@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper figure and prints the
+paper-vs-measured comparison.  The experiments are heavy Monte-Carlo
+runs, so every benchmark executes exactly once (rounds=1) — the timing
+pytest-benchmark records is the figure's end-to-end regeneration cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.testbed import office_testbed
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """One shared office floor for all figure benchmarks."""
+    return office_testbed()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure driver exactly once under the benchmark harness."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

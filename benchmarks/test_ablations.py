@@ -1,0 +1,168 @@
+"""Ablations: the design choices DESIGN.md calls out (A1–A5).
+
+Each ablation reruns a slice of the ToF/localization experiment with one
+ingredient changed, quantifying what that ingredient buys.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.baselines.clock_toa import ClockToaBaseline
+from repro.baselines.matched_filter import matched_filter_tof
+from repro.core.cfo import band_products
+from repro.core.ndft import steering_vector
+from repro.core.sparse import SparseSolverConfig
+from repro.core.tof import TofEstimator, TofEstimatorConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_localization_experiment, run_tof_experiment
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.wifi.bands import US_BAND_PLAN
+
+FREQS_5G = US_BAND_PLAN.subset_5g().center_frequencies_hz
+
+
+def _tof_medians(**kwargs):
+    samples = run_tof_experiment(12, **kwargs)
+    return float(np.median([s.abs_error_s for s in samples])) * 1e9
+
+
+def test_a1_sparsity_parameter(benchmark, testbed):
+    """A1: the L1 weight α.  Too small → dense mush; too big → starved."""
+
+    def sweep_alpha():
+        rows = []
+        h = steering_vector(FREQS_5G, 70e-9) + 0.5 * steering_vector(FREQS_5G, 95e-9)
+        for alpha in (0.02, 0.08, 0.3, 0.6):
+            cfg = TofEstimatorConfig(
+                quirk_2g4=False,
+                compute_profile=True,
+                sparse=SparseSolverConfig(alpha_rel=alpha),
+            )
+            est = TofEstimator(cfg).estimate_from_products(FREQS_5G, h, exponent=2)
+            peaks = est.profile.dominant_peak_count()
+            err_ps = abs(est.tof_s - 35e-9) * 1e12
+            rows.append([alpha, peaks, err_ps])
+        return rows
+
+    rows = run_once(benchmark, sweep_alpha)
+    print("\n=== A1: sparsity parameter alpha ===")
+    print(format_table(["alpha_rel", "dominant peaks", "ToF err (ps)"], rows))
+    peaks_by_alpha = [r[1] for r in rows]
+    assert peaks_by_alpha[0] >= peaks_by_alpha[-1]  # bigger alpha, sparser
+    assert all(r[2] < 500.0 for r in rows[:3])  # ToF robust over a wide range
+
+
+def test_a2_band_subsets(benchmark, testbed):
+    """A2: stitched bandwidth matters — the 35-band sweep vs subsets."""
+
+    def sweep_bands():
+        rows = []
+        for label, kwargs in (
+            ("all 35 bands", dict()),
+            ("5 GHz only", dict(use_2g4=False)),
+            ("2.4 GHz only", dict(use_5g=False, quirk_2g4=False)),
+        ):
+            cfg = TofEstimatorConfig(compute_profile=False, **kwargs)
+            med = _tof_medians(
+                seed=131, line_of_sight=True, testbed=testbed, estimator_config=cfg
+            )
+            rows.append([label, med])
+        return rows
+
+    rows = run_once(benchmark, sweep_bands)
+    print("\n=== A2: band-subset ablation (median ToF error, ns) ===")
+    print(format_table(["bands", "median err (ns)"], rows))
+    full, only5g, only24 = (r[1] for r in rows)
+    # 2.4 GHz alone spans 50 MHz: ~10x worse than the stitched sweeps.
+    assert only24 > 2.0 * min(full, only5g)
+    assert min(full, only5g) < 1.0
+
+
+def test_a3_compensation_toggles(benchmark, testbed):
+    """A3: remove one compensation at a time.
+
+    Without zero-subcarrier interpolation (raw ToA) the detection delay
+    (~177 ns) lands in the estimate; without calibration the chain
+    delays (~tens of ns) do.
+    """
+
+    def sweep_compensation():
+        samples = run_tof_experiment(
+            10, seed=151, line_of_sight=True, testbed=testbed
+        )
+        chronos = float(np.median([s.abs_error_s for s in samples])) * 1e9
+        uncal = float(
+            np.median([abs(s.estimate.raw_tof_s - s.true_tof_s) for s in samples])
+        ) * 1e9
+        # "No detection-delay compensation": the coarse slope estimate /2
+        # is exactly a ToA that still contains the detection delay.
+        toa = float(
+            np.median(
+                [
+                    abs(s.estimate.coarse_round_trip_s / 2.0 - s.true_tof_s)
+                    for s in samples
+                ]
+            )
+        ) * 1e9
+        return [
+            ["full Chronos", chronos],
+            ["no constant-bias calibration", uncal],
+            ["no detection-delay removal (raw ToA)", toa],
+        ]
+
+    rows = run_once(benchmark, sweep_compensation)
+    print("\n=== A3: compensation ablation (median ToF error, ns) ===")
+    print(format_table(["variant", "median err (ns)"], rows))
+    chronos, uncal, toa = (r[1] for r in rows)
+    assert chronos < uncal < toa
+    assert toa > 100.0  # detection delay dominates, as §5 argues
+
+
+def test_a4_baseline_comparison(benchmark, testbed):
+    """A4: Chronos vs clock ToA and the non-sparse matched filter."""
+
+    def compare():
+        samples = run_tof_experiment(
+            10, seed=171, line_of_sight=True, testbed=testbed,
+            estimator_config=TofEstimatorConfig(compute_profile=False),
+        )
+        chronos_cm = float(np.median([s.abs_error_m for s in samples])) * 100
+        rng = np.random.default_rng(171)
+        clock = ClockToaBaseline()
+        clock.calibrate(10e-9, rng)
+        clock_cm = float(
+            np.median(
+                [
+                    abs(clock.measure_distance(s.distance_m, rng) - s.distance_m)
+                    for s in samples
+                ]
+            )
+        ) * 100
+        return [["Chronos", chronos_cm], ["clock ToA (20 MHz)", clock_cm]]
+
+    rows = run_once(benchmark, compare)
+    print("\n=== A4: baselines (median distance error, cm) ===")
+    print(format_table(["method", "median err (cm)"], rows))
+    chronos_cm, clock_cm = (r[1] for r in rows)
+    assert chronos_cm < clock_cm / 10.0
+
+
+def test_a5_antenna_separation(benchmark, testbed):
+    """A5: the §10 trade-off — localization vs antenna separation."""
+
+    def sweep_separation():
+        rows = []
+        for sep in (0.15, 0.3, 1.0):
+            samples = run_localization_experiment(
+                8, sep, seed=191, line_of_sight=True, testbed=testbed
+            )
+            med = float(np.median([s.error_m for s in samples])) * 100
+            rows.append([f"{sep * 100:.0f} cm", med])
+        return rows
+
+    rows = run_once(benchmark, sweep_separation)
+    print("\n=== A5: localization vs antenna separation (median, cm) ===")
+    print(format_table(["separation", "median err (cm)"], rows))
+    narrow, client, ap = (r[1] for r in rows)
+    # Wider separation should not be worse than the narrowest one.
+    assert ap <= narrow * 1.5

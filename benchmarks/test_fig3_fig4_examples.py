@@ -1,0 +1,37 @@
+"""Fig. 3 (CRT alignment) and Fig. 4 (worked multipath profile)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure_3, figure_4
+
+
+def test_fig3_crt_alignment(benchmark):
+    """Fig. 3: five bands' phase candidates align only at the true 2 ns."""
+    result = run_once(benchmark, figure_3)
+    print("\n=== Fig. 3: CRT phase alignment (0.6 m source) ===")
+    print(f"true ToF      : {result.true_tof_s * 1e9:.3f} ns")
+    print(f"aligned ToF   : {result.estimated_tof_s * 1e9:.3f} ns")
+    print(f"error         : {result.error_s * 1e12:.1f} ps")
+    peak_votes = result.votes.max()
+    print(f"peak votes    : {peak_votes:.0f} / 5 bands")
+    assert result.error_s < 0.05e-9
+    assert peak_votes == 5
+
+
+def test_fig4_multipath_profile(benchmark):
+    """Fig. 4: the 5.2/10/16 ns triple recovered by Algorithm 1."""
+    result = run_once(benchmark, figure_4)
+    print("\n=== Fig. 4: sparse inverse-NDFT profile ===")
+    print(f"true delays      : {[round(d * 1e9, 1) for d in result.true_delays_s]} ns")
+    print(
+        f"recovered delays : "
+        f"{[round(d * 1e9, 2) for d in result.recovered_delays_s]} ns"
+    )
+    print(f"worst peak error : {result.max_peak_error_s * 1e12:.0f} ps")
+    assert len(result.recovered_delays_s) == 3
+    assert result.max_peak_error_s < 0.3e-9
+    # Peak ordering by power mirrors the paper's attenuation ordering.
+    profile = result.profile
+    peaks = profile.peaks()[:3]
+    assert peaks[0].power > peaks[1].power > peaks[2].power

@@ -1,0 +1,60 @@
+"""Fig. 7: time-of-flight accuracy, profile sparsity, detection delay."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure_7a, figure_7b, figure_7c
+from repro.experiments.report import format_table, summary_row
+
+
+def test_fig7a_tof_error_cdf(benchmark, testbed):
+    """Fig. 7a: ToF error CDFs.  Paper: median 0.47 ns LOS / 0.69 ns NLOS."""
+    result = run_once(
+        benchmark, figure_7a, n_pairs_per_condition=25, testbed=testbed
+    )
+    print("\n=== Fig. 7a: ToF error (ns) ===")
+    print(
+        format_table(
+            ["condition", "n", "median", "p90", "p95", "max"],
+            [
+                summary_row("LOS  (paper 0.47 / p95 1.96)", result.los_ns),
+                summary_row("NLOS (paper 0.69 / p95 4.01)", result.nlos_ns),
+            ],
+        )
+    )
+    # Shape assertions: sub-ns medians; NLOS no better than LOS.
+    assert result.los_ns.median < 1.0
+    assert result.nlos_ns.median < 2.0
+    assert result.nlos_ns.median >= 0.3 * result.los_ns.median
+
+
+def test_fig7b_profile_sparsity(benchmark, testbed):
+    """Fig. 7b: profiles are sparse.  Paper: 5.05 ± 1.95 dominant peaks."""
+    result = run_once(benchmark, figure_7b, n_pairs=8, testbed=testbed)
+    print("\n=== Fig. 7b: multipath profile sparsity ===")
+    print(f"mean dominant peaks : {result.mean_dominant_peaks:.2f} (paper 5.05)")
+    print(f"std dominant peaks  : {result.std_dominant_peaks:.2f} (paper 1.95)")
+    print(f"LOS example peaks   : {result.los_peaks}")
+    print(f"NLOS example peaks  : {result.nlos_peaks}")
+    assert 2.0 <= result.mean_dominant_peaks <= 12.0
+    assert result.los_peaks <= result.nlos_peaks + 4  # LOS at least as sparse
+
+
+def test_fig7c_detection_delay(benchmark):
+    """Fig. 7c: detection delay ~177 ns, ~8× ToF, highly variable."""
+    result = run_once(benchmark, figure_7c, n_pairs=8)
+    print("\n=== Fig. 7c: packet detection delay vs ToF (ns) ===")
+    print(
+        format_table(
+            ["quantity", "n", "median", "p90", "p95", "max"],
+            [
+                summary_row("detection delay (paper 177)", result.detection_ns),
+                summary_row("propagation delay", result.propagation_ns),
+            ],
+        )
+    )
+    print(f"std of detection delay: {result.detection_ns.std:.1f} ns (paper 24.76)")
+    print(f"delay ratio           : {result.delay_ratio:.1f}x (paper ~8x)")
+    assert 150.0 < result.detection_ns.median < 210.0
+    assert result.delay_ratio > 3.0
+    assert result.detection_ns.std > 10.0

@@ -1,0 +1,49 @@
+"""Fig. 9: hopping time, video streaming and TCP under localization."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure_9a, figure_9b, figure_9c
+from repro.experiments.report import cdf_sketch
+
+
+def test_fig9a_hopping_time_cdf(benchmark):
+    """Fig. 9a: sweep time across 35 bands.  Paper median: 84 ms."""
+    result = run_once(benchmark, figure_9a, n_sweeps=200)
+    print("\n=== Fig. 9a: sweep duration (ms) ===")
+    print(f"median : {result.durations_ms.median:.1f} (paper 84)")
+    print(f"p95    : {result.durations_ms.p95:.1f}")
+    print(cdf_sketch(result.samples_ms))
+    assert abs(result.durations_ms.median - 84.0) < 6.0
+    assert result.durations_ms.p95 < 120.0
+
+
+def test_fig9b_video_streaming(benchmark):
+    """Fig. 9b: the stream's buffer rides out the localization sweep."""
+    trace = run_once(benchmark, figure_9b)
+    print("\n=== Fig. 9b: video streaming across the sweep ===")
+    print(f"stalls                 : {trace.stalls} (paper: none)")
+    print(f"min buffer near sweep  : {trace.min_buffer_during_blackout_kb():.0f} kB")
+    final_buffer = trace.buffer_kb()[-1]
+    print(f"final buffer           : {final_buffer:.0f} kB")
+    assert not trace.stalled()
+    assert trace.min_buffer_during_blackout_kb() > 0.0
+    # Download halts during the blackout: flat cumulative curve there.
+    t = trace.times_s
+    during = (t >= trace.blackout_start_s) & (
+        t < trace.blackout_start_s + trace.blackout_duration_s
+    )
+    idx = np.where(during)[0]
+    growth = trace.downloaded_kb[idx[-1]] - trace.downloaded_kb[idx[0]]
+    assert growth < 40.0
+
+
+def test_fig9c_tcp_throughput(benchmark):
+    """Fig. 9c: TCP dips only slightly.  Paper: 6.5 % at t = 6 s."""
+    trace = run_once(benchmark, figure_9c)
+    print("\n=== Fig. 9c: TCP throughput across the sweep ===")
+    print(f"steady state : {trace.steady_state_mbps():.2f} Mbit/s")
+    print(f"dip          : {trace.dip_fraction() * 100:.1f} % (paper 6.5 %)")
+    print(f"recovered    : {trace.recovered_mbps():.2f} Mbit/s")
+    assert 0.01 < trace.dip_fraction() < 0.25
+    assert trace.recovered_mbps() > 0.85 * trace.steady_state_mbps()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Why stitch bands?  The paper's core intuition, made quantitative (§4).
+
+Measures the same free-space link three ways:
+
+* with the 2.4 GHz channels only (50 MHz of total span),
+* with the 5 GHz channels only (645 MHz of span),
+* with all 35 US bands.
+
+and contrasts the stitched estimator against a 20 MHz clock-readout
+time-of-arrival — the method §1 dismisses ("a clock running at 20 MHz
+can only tell apart distances separated by 15 m").
+
+Run:  python examples/band_stitching_ablation.py
+"""
+
+import numpy as np
+
+from repro import (
+    INTEL_5300,
+    LinkCalibration,
+    Point,
+    SimulatedLink,
+    TofEstimator,
+    TofEstimatorConfig,
+    free_space,
+)
+from repro.baselines.clock_toa import ClockToaBaseline
+from repro.rf.constants import SPEED_OF_LIGHT
+
+
+def measure(config, tx_state, rx_state, distance_m, rng):
+    """Calibrate once, then range once, with the given band selection."""
+    cal_link = SimulatedLink(free_space(), Point(0, 0), Point(1, 0),
+                             tx_state, rx_state, rng=rng)
+    est = TofEstimator(config)
+    cal = est.estimate_many([cal_link.sweep(3) for _ in range(2)])
+    calibration = LinkCalibration.fit(
+        cal.raw_tof_s, cal_link.true_tof_s, cal.coarse_round_trip_s
+    )
+    link = SimulatedLink(free_space(), Point(0, 0), Point(distance_m, 0),
+                         tx_state, rx_state, rng=rng)
+    result = TofEstimator(config, calibration).estimate(link.sweep(3))
+    return abs(result.distance_m - distance_m)
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    tx = INTEL_5300.sample_device_state(rng)
+    rx = INTEL_5300.sample_device_state(rng)
+    distance = 9.0
+
+    variants = [
+        ("2.4 GHz only (50 MHz span)",
+         TofEstimatorConfig(use_5g=False, quirk_2g4=False, compute_profile=False)),
+        ("5 GHz only (645 MHz span)",
+         TofEstimatorConfig(use_2g4=False, compute_profile=False)),
+        ("all 35 bands (3.4 GHz span)",
+         TofEstimatorConfig(quirk_2g4=False, compute_profile=False)),
+    ]
+    print(f"ranging a {distance:.0f} m free-space link:\n")
+    for label, cfg in variants:
+        errors = [measure(cfg, tx, rx, distance, rng) for _ in range(3)]
+        print(f"  {label:32s} median error {np.median(errors) * 100:8.2f} cm")
+
+    clock = ClockToaBaseline()
+    clock.calibrate(true_tof_s=10e-9, rng=rng)
+    clock_errors = [
+        abs(clock.measure_distance(distance, rng) - distance) for _ in range(10)
+    ]
+    print(f"  {'clock-readout ToA (20 MHz clock)':32s} "
+          f"median error {np.median(clock_errors) * 100:8.2f} cm")
+    print("\nthe stitched sweeps resolve centimeters where the clock "
+          "readout is stuck at meters — the paper's §4 argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Device-to-device localization in the paper's office testbed (§8, §12.2).
+
+A 3-antenna laptop (the receiver) locates a phone-class transmitter in
+the Fig. 6 office floor — no access points, no fingerprinting, no
+infrastructure.  The receiver measures time-of-flight from the phone to
+each of its antennas, converts to distances, rejects
+geometry-inconsistent estimates, and intersects the circles by least
+squares.
+
+Run:  python examples/device_to_device_localization.py
+"""
+
+import numpy as np
+
+from repro import ChronosDevice, ChronosPair, Point, triangle_array
+from repro.experiments.testbed import office_testbed
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    testbed = office_testbed()
+
+    phone_position = Point(2.0, 10.0)
+    laptop_position = Point(9.0, 13.5)
+    los = testbed.environment.has_line_of_sight(phone_position, laptop_position)
+    print(f"scenario: phone at {phone_position.as_tuple()}, "
+          f"laptop at {laptop_position.as_tuple()}, "
+          f"{'line-of-sight' if los else 'non-line-of-sight'}")
+
+    phone = ChronosDevice.create("phone", phone_position, rng)
+    laptop = ChronosDevice.create(
+        "laptop",
+        laptop_position,
+        rng,
+        antenna_offsets=triangle_array(0.3),  # client-class 30 cm spacing
+        heading_rad=0.6,
+    )
+    pair = ChronosPair(
+        testbed.environment, receiver=laptop, transmitter=phone, rng=rng
+    )
+
+    print("calibrating each antenna pair once at a known distance ...")
+    pair.calibrate()
+
+    fix = pair.localize()
+    print("\nper-antenna distances (m):",
+          [f"{d:.2f}" for d in fix.distances_m])
+    print(f"anchors kept by the geometry filter: "
+          f"{list(fix.result.used_indices)}")
+    print(f"estimated position : ({fix.position.x:.2f}, {fix.position.y:.2f})")
+    print(f"true position      : ({fix.true_position.x:.2f}, "
+          f"{fix.true_position.y:.2f})")
+    print(f"localization error : {fix.error_m * 100:.1f} cm "
+          f"(paper medians: 58 cm LOS / 118 cm NLOS at this spacing)")
+    print(f"residual RMS       : {fix.result.residual_rms_m * 100:.1f} cm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Compute and display multipath profiles (§6, Fig. 4 / Fig. 7b).
+
+Reconstructs the paper's worked example — three paths at 5.2, 10 and
+16 ns — through the sparse inverse NDFT (Algorithm 1) and contrasts it
+with the non-sparse matched-filter inversion to show what the sparsity
+prior buys.
+
+Run:  python examples/multipath_profiles.py
+"""
+
+import numpy as np
+
+from repro.baselines.matched_filter import matched_filter_profile
+from repro.core.ndft import tau_grid
+from repro.core.profile import MultipathProfile
+from repro.core.sparse import invert_ndft
+from repro.rf.channel import channel_at
+from repro.rf.paths import from_delays
+from repro.wifi.bands import US_BAND_PLAN
+
+
+def ascii_profile(profile: MultipathProfile, max_ns: float = 25.0, width: int = 64) -> str:
+    """Bar-chart rendering of a profile's normalized power."""
+    mask = profile.taus_s <= max_ns * 1e-9
+    taus = profile.taus_s[mask]
+    power = profile.normalized_power()[mask]
+    lines = []
+    step = max(1, len(taus) // 40)
+    for i in range(0, len(taus), step):
+        bar = "#" * int(round(power[i] * width))
+        if bar:
+            lines.append(f"{taus[i] * 1e9:6.2f} ns |{bar}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    delays = (5.2e-9, 10e-9, 16e-9)
+    amplitudes = (1.0, 0.65, 0.45)
+    paths = from_delays(delays, amplitudes)
+    freqs = US_BAND_PLAN.subset_5g().center_frequencies_hz
+    channels = channel_at(paths, freqs)
+
+    grid = tau_grid(200e-9, 0.25e-9)
+    sparse = MultipathProfile(grid, invert_ndft(channels, freqs, grid))
+    plain = matched_filter_profile(channels, freqs, grid_step_s=0.25e-9)
+
+    print("ground truth: paths at 5.2, 10.0, 16.0 ns "
+          "(amplitudes 1.0 / 0.65 / 0.45)\n")
+    print("sparse inverse NDFT (Algorithm 1):")
+    print(ascii_profile(sparse))
+    print("\nrecovered peaks:",
+          [f"{p.delay_s * 1e9:.2f} ns" for p in sparse.peaks()[:5]])
+
+    print("\nnon-sparse matched filter (baseline):")
+    print(ascii_profile(plain))
+    print("\nnote the sidelobe plateau the sparsity prior removes; "
+          "the matched filter's peaks sit on a raised floor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — a reproduction of "Sub-Nanosecond Time of Flight on Commercial
+Wi-Fi Cards" (Chronos; Vasisht, Kumar, Katabi).
+
+The package is organized as the paper is:
+
+* :mod:`repro.rf` — physics: geometry, image-method multipath, channels.
+* :mod:`repro.wifi` — the 802.11n substrate: 35-band US plan, OFDM/CSI,
+  hardware impairments (detection delay, CFO, κ, the 2.4 GHz quirk).
+* :mod:`repro.core` — Chronos itself: CRT phase alignment (§4),
+  zero-subcarrier interpolation (§5), sparse inverse NDFT (§6,
+  Algorithm 1), CFO reciprocity cancellation (§7), localization (§8).
+* :mod:`repro.baselines` — comparison methods (clock ToA, single-band
+  phase, plain matched-filter NDFT, per-band MUSIC).
+* :mod:`repro.mac` — the transmitter-driven channel-hopping protocol.
+* :mod:`repro.net` — traffic-impact models (TCP, video streaming).
+* :mod:`repro.drone` — the personal-drone application (§9).
+* :mod:`repro.experiments` — the testbed and one driver per paper figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import ChronosDevice, ChronosPair, Point, triangle_array
+    from repro.experiments.testbed import office_testbed
+
+    rng = np.random.default_rng(7)
+    env = office_testbed().environment
+    user = ChronosDevice.create("user", Point(4, 5), rng)
+    laptop = ChronosDevice.create(
+        "laptop", Point(10, 9), rng, antenna_offsets=triangle_array(0.3)
+    )
+    pair = ChronosPair(env, receiver=laptop, transmitter=user, rng=rng)
+    pair.calibrate()
+    fix = pair.localize()
+    print(fix.position, fix.error_m)
+"""
+
+from repro.core.cfo import LinkCalibration
+from repro.core.localization import LocalizationResult, locate_transmitter
+from repro.core.pipeline import (
+    ChronosDevice,
+    ChronosPair,
+    PairFix,
+    linear_array,
+    triangle_array,
+)
+from repro.core.profile import MultipathProfile
+from repro.core.tof import TofEstimate, TofEstimator, TofEstimatorConfig
+from repro.rf.constants import SPEED_OF_LIGHT, distance_to_tof, tof_to_distance
+from repro.rf.environment import Environment, free_space, rectangular_room
+from repro.rf.geometry import Point
+from repro.rf.noise import LinkBudget
+from repro.wifi.bands import US_BAND_PLAN, BandPlan
+from repro.wifi.hardware import IDEAL_HARDWARE, INTEL_5300, HardwareProfile
+from repro.wifi.radio import SimulatedLink, make_link
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LinkCalibration",
+    "LocalizationResult",
+    "locate_transmitter",
+    "ChronosDevice",
+    "ChronosPair",
+    "PairFix",
+    "linear_array",
+    "triangle_array",
+    "MultipathProfile",
+    "TofEstimate",
+    "TofEstimator",
+    "TofEstimatorConfig",
+    "SPEED_OF_LIGHT",
+    "distance_to_tof",
+    "tof_to_distance",
+    "Environment",
+    "free_space",
+    "rectangular_room",
+    "Point",
+    "LinkBudget",
+    "US_BAND_PLAN",
+    "BandPlan",
+    "IDEAL_HARDWARE",
+    "INTEL_5300",
+    "HardwareProfile",
+    "SimulatedLink",
+    "make_link",
+    "__version__",
+]

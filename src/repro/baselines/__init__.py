@@ -1,0 +1,28 @@
+"""Baseline ranging methods Chronos is compared against.
+
+* :mod:`repro.baselines.clock_toa` — reading the Wi-Fi card's sample
+  clock (tens of ns granularity; what §1 calls "limited time
+  granularity").
+* :mod:`repro.baselines.single_band` — phase-based ToF from a single
+  band (exact but ambiguous modulo 1/f, §4's starting point).
+* :mod:`repro.baselines.matched_filter` — plain (non-sparse) inverse
+  NDFT: the closed-form beamforming profile with its Fourier-limited
+  resolution and sidelobes.
+* :mod:`repro.baselines.music` — per-band MUSIC super-resolution over
+  the 30 subcarriers of one 20 MHz channel (SpotFi-style), showing what
+  a single band can and cannot resolve.
+"""
+
+from repro.baselines.clock_toa import ClockToaBaseline, clock_quantized_tof
+from repro.baselines.single_band import single_band_tof
+from repro.baselines.matched_filter import matched_filter_tof
+from repro.baselines.music import music_delays, music_tof
+
+__all__ = [
+    "ClockToaBaseline",
+    "clock_quantized_tof",
+    "single_band_tof",
+    "matched_filter_tof",
+    "music_delays",
+    "music_tof",
+]

@@ -1,0 +1,93 @@
+"""The clock-readout baseline: time-of-arrival at sample granularity.
+
+§1 of the paper: "the clocks on today's Wi-Fi cards operate at tens of
+Megahertz, limiting their resolution in measuring time to tens of
+nanoseconds … a clock running at 20 MHz can only tell apart distances
+separated by 15 m."  This baseline models exactly that: the receiver
+timestamps a packet's arrival with its sample clock, so the measurement
+is the true time-of-flight **plus the packet detection delay**,
+quantized to the clock period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.wifi.hardware import DetectionDelayModel
+
+
+def clock_quantized_tof(
+    true_tof_s: float,
+    clock_hz: float = 20e6,
+    detection_delay_s: float = 0.0,
+) -> float:
+    """One clock-readout ToA measurement.
+
+    Args:
+        true_tof_s: Ground-truth time-of-flight.
+        clock_hz: Sampling clock (20 MHz for a 20 MHz Wi-Fi channel;
+            SAIL's Atheros card exposes 88 MHz).
+        detection_delay_s: The packet detection delay baked into the
+            timestamp (unremovable at this layer, per §5).
+
+    Returns:
+        The measured arrival time, quantized to the clock period.
+    """
+    if clock_hz <= 0:
+        raise ValueError(f"clock must be positive, got {clock_hz}")
+    if true_tof_s < 0:
+        raise ValueError(f"ToF must be non-negative, got {true_tof_s}")
+    period = 1.0 / clock_hz
+    raw = true_tof_s + detection_delay_s
+    return round(raw / period) * period
+
+
+@dataclass
+class ClockToaBaseline:
+    """A repeatable clock-ToA ranging baseline with detection delay.
+
+    Calibration mirrors Chronos's: the mean measured offset at a known
+    distance is subtracted.  What cannot be calibrated away is the
+    *variance* of the detection delay and the clock quantization — which
+    is why this baseline is stuck at meters of error.
+
+    Args:
+        clock_hz: Receiver sample clock.
+        detection_delay: Per-packet delay model.
+        n_packets: Packets averaged per range estimate.
+    """
+
+    clock_hz: float = 20e6
+    detection_delay: DetectionDelayModel = DetectionDelayModel()
+    n_packets: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_packets < 1:
+            raise ValueError(f"need at least one packet, got {self.n_packets}")
+        self._bias_s = 0.0
+
+    def calibrate(self, true_tof_s: float, rng: np.random.Generator) -> None:
+        """One-time constant-bias calibration at a known ToF."""
+        measured = self._measure_raw(true_tof_s, rng)
+        self._bias_s = measured - true_tof_s
+
+    def measure_tof(self, true_tof_s: float, rng: np.random.Generator) -> float:
+        """A calibrated ToF estimate."""
+        return self._measure_raw(true_tof_s, rng) - self._bias_s
+
+    def measure_distance(self, true_distance_m: float, rng: np.random.Generator) -> float:
+        """A calibrated distance estimate."""
+        tof = self.measure_tof(true_distance_m / SPEED_OF_LIGHT, rng)
+        return tof * SPEED_OF_LIGHT
+
+    def _measure_raw(self, true_tof_s: float, rng: np.random.Generator) -> float:
+        samples = [
+            clock_quantized_tof(
+                true_tof_s, self.clock_hz, self.detection_delay.sample(rng)
+            )
+            for _ in range(self.n_packets)
+        ]
+        return float(np.mean(samples))

@@ -1,0 +1,63 @@
+"""Non-sparse inverse NDFT baseline: the plain matched-filter profile.
+
+§6.2 notes the inverse NDFT is under-determined; dropping the sparsity
+prior and just back-projecting (``|Fᴴh|``, the adjoint / "beamforming"
+solution) yields the Fourier-limited profile with heavy sidelobes from
+the non-uniform band spacing.  Comparing its first-peak ToF against
+Algorithm 1's quantifies what sparsity buys — the paper's claim that
+"leveraging sparse recovery of time-of-flight is key to Chronos's high
+resolution".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ndft import matched_filter, tau_grid, unambiguous_window_s
+from repro.core.profile import MultipathProfile
+
+
+def matched_filter_profile(
+    channels: np.ndarray,
+    frequencies_hz: np.ndarray,
+    grid_step_s: float = 0.5e-9,
+    max_delay_s: float | None = None,
+    peak_threshold_rel: float = 0.3,
+) -> MultipathProfile:
+    """The adjoint-solution delay profile over the unambiguous window.
+
+    The dominance threshold defaults much higher than Algorithm 1's
+    because matched-filter sidelobes reach ~60 % of the main lobe on
+    the US plan — a low threshold would report them all as paths.
+    """
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    window = unambiguous_window_s(freqs)
+    if max_delay_s is not None:
+        window = min(window, max_delay_s)
+    grid = tau_grid(window, grid_step_s)
+    spectrum = matched_filter(np.asarray(channels, complex), freqs, grid)
+    return MultipathProfile(grid, spectrum, dominance_threshold_rel=peak_threshold_rel)
+
+
+def matched_filter_tof(
+    channels: np.ndarray,
+    frequencies_hz: np.ndarray,
+    exponent: int = 2,
+    grid_step_s: float = 0.5e-9,
+    max_delay_s: float | None = None,
+) -> float:
+    """First-peak ToF from the non-sparse profile.
+
+    Args:
+        channels: Zero-subcarrier reciprocity products per band.
+        frequencies_hz: Band center frequencies.
+        exponent: Delay-domain scale of the products (2 for h²).
+    """
+    profile = matched_filter_profile(
+        channels, frequencies_hz, grid_step_s, max_delay_s
+    )
+    # First-peak selection is hopeless on a sidelobe-ridden profile (the
+    # floor reaches tens of percent), so the baseline reports the
+    # *strongest* peak — its best possible behaviour, and still visibly
+    # worse than the sparse method in multipath.
+    return profile.strongest_peak().delay_s / exponent

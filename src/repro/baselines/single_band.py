@@ -1,0 +1,43 @@
+"""Single-band phase ToF: exact but hopelessly ambiguous (§4).
+
+Eqn. 3 of the paper: ``τ = -∠h / (2πf)  mod 1/f``.  On one band the
+phase pins the ToF only modulo ~0.4 ns (12 cm) — every candidate in
+:func:`repro.core.crt.phase_tof_candidates` is equally plausible.  This
+baseline resolves the ambiguity the only way a single band can: pick
+the candidate closest to a coarse prior (e.g. the clock-ToA estimate),
+which transfers the prior's meter-scale error to the result whenever
+the prior is off by more than half a period.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.crt import phase_tof_candidates
+
+
+def single_band_tof(
+    channel: complex,
+    frequency_hz: float,
+    coarse_prior_s: float,
+    max_delay_s: float = 200e-9,
+) -> float:
+    """ToF from one band's phase, disambiguated by a coarse prior.
+
+    Args:
+        channel: The measured (zero-subcarrier) channel on the band.
+        frequency_hz: The band's center frequency.
+        coarse_prior_s: A coarse ToF prior (its error dominates the
+            result when it exceeds half the phase period ~0.2 ns).
+        max_delay_s: Candidate search window.
+
+    Returns:
+        The phase-consistent delay nearest the prior.
+    """
+    if coarse_prior_s < 0:
+        raise ValueError(f"prior must be non-negative, got {coarse_prior_s}")
+    phase = float(np.angle(channel))
+    candidates = phase_tof_candidates(phase, frequency_hz, max_delay_s)
+    if len(candidates) == 0:
+        raise ValueError("no candidates in the window")
+    return float(candidates[np.argmin(np.abs(candidates - coarse_prior_s))])

@@ -1,0 +1,59 @@
+"""Chronos core: the paper's algorithms.
+
+Sub-modules map one-to-one onto the paper's sections:
+
+* :mod:`repro.core.crt` — §4, time-of-flight from per-band phases via the
+  Chinese-remainder structure (Fig. 3's alignment picture).
+* :mod:`repro.core.interpolation` — §5, recovering the unmeasurable
+  zero-subcarrier channel by interpolating the 30 reported subcarriers.
+* :mod:`repro.core.ndft` / :mod:`repro.core.sparse` — §6, the non-uniform
+  DFT over band center-frequencies and its sparse (Algorithm 1) inverse.
+* :mod:`repro.core.profile` — §6, multipath profiles and first-peak ToF.
+* :mod:`repro.core.cfo` — §7, forward×reverse reciprocity cancellation
+  and the one-time constant-bias calibration.
+* :mod:`repro.core.tof` — the full estimator pipeline.
+* :mod:`repro.core.localization` — §8, distances → position.
+* :mod:`repro.core.pipeline` — the device-to-device facade.
+"""
+
+from repro.core.crt import crt_align, integer_crt, phase_tof_candidates
+from repro.core.interpolation import zero_subcarrier_csi
+from repro.core.ndft import ndft_matrix, tau_grid
+from repro.core.sparse import SparseSolverConfig, invert_ndft, soft_threshold
+from repro.core.profile import MultipathProfile, refine_first_peak
+from repro.core.cfo import LinkCalibration, band_products
+from repro.core.tof import TofEstimate, TofEstimator, TofEstimatorConfig
+from repro.core.ranging import RangingFilter
+from repro.core.localization import (
+    LocalizationResult,
+    circle_intersections,
+    filter_geometry_consistent,
+    locate_transmitter,
+)
+from repro.core.pipeline import ChronosDevice, ChronosPair
+
+__all__ = [
+    "crt_align",
+    "integer_crt",
+    "phase_tof_candidates",
+    "zero_subcarrier_csi",
+    "ndft_matrix",
+    "tau_grid",
+    "SparseSolverConfig",
+    "invert_ndft",
+    "soft_threshold",
+    "MultipathProfile",
+    "refine_first_peak",
+    "LinkCalibration",
+    "band_products",
+    "TofEstimate",
+    "TofEstimator",
+    "TofEstimatorConfig",
+    "RangingFilter",
+    "LocalizationResult",
+    "circle_intersections",
+    "filter_geometry_consistent",
+    "locate_transmitter",
+    "ChronosDevice",
+    "ChronosPair",
+]

@@ -1,0 +1,134 @@
+"""Carrier-frequency-offset cancellation and one-time calibration (§7).
+
+The reciprocity product (forward CSI × reverse CSI) cancels the unknown
+per-packet phase that CFO imposes, because transmitter and receiver swap
+roles between a packet and its ACK: the offsets are equal and opposite
+(Eqns. 11–13).  What survives is
+
+* the **squared** channel ``h²`` — so the multipath profile's first peak
+  lands at **2τ** (or 8τ when the 2.4 GHz quirk's 4th power is used);
+* the device constant κ — a flat complex factor, invisible to peak
+  *positions* (a global phase does not move profile peaks);
+* constant chain group delays — a fixed ToF bias, removed by the paper's
+  one-time known-distance calibration (§7, observation 2);
+* a small residual ``2πΔf·(t₁−t₂)`` phase from the packet→ACK turnaround,
+  suppressed by averaging products over several packets (observation 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.interpolation import zero_subcarrier_product
+from repro.wifi.bands import Band
+from repro.wifi.csi import CsiSweep
+
+from repro.rf.constants import SPEED_OF_LIGHT
+
+
+def band_products(
+    sweep: CsiSweep,
+    power: int = 1,
+    band_filter: Callable[[Band], bool] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-band averaged reciprocity products at subcarrier 0.
+
+    For every band in the sweep (optionally filtered), interpolates each
+    packet pair to subcarrier 0, multiplies forward × reverse, and
+    averages the products across the packets exchanged during that
+    band's dwell — the §7 packet-averaging that suppresses residual-CFO
+    error.
+
+    Args:
+        sweep: A full (possibly multi-packet-per-band) CSI sweep.
+        power: CSI power applied before interpolation (4 for the 2.4 GHz
+            quirk workaround, else 1).
+        band_filter: Optional predicate selecting bands.
+
+    Returns:
+        ``(frequencies_hz, products)`` — ascending band centers and one
+        averaged complex product per band.
+    """
+    freqs: list[float] = []
+    products: list[complex] = []
+    for center_hz, measurements in sweep.by_band().items():
+        band = measurements[0].band
+        if band_filter is not None and not band_filter(band):
+            continue
+        values = [zero_subcarrier_product(m, power) for m in measurements]
+        freqs.append(center_hz)
+        products.append(complex(np.mean(values)))
+    if not freqs:
+        raise ValueError("band filter removed every band from the sweep")
+    return np.asarray(freqs, dtype=float), np.asarray(products, dtype=complex)
+
+
+@dataclass(frozen=True)
+class LinkCalibration:
+    """The paper's one-time constant-bias calibration (§7, observation 2).
+
+    Chain delays (and any other location-independent constants) shift
+    every ToF estimate by the same amount.  Measuring once at a known
+    distance captures that offset; subtracting it afterwards removes it.
+
+    Attributes:
+        tof_bias_s: Estimated ToF minus true ToF at the reference
+            placement (positive: the pipeline over-estimates).
+        coarse_bias_s: Round-trip slope delay minus ``2 × raw ToF
+            estimate`` at the reference placement.  Fitting against the
+            *raw* (uncalibrated) estimate keeps the coarse gate in the
+            same delay domain as the profile atoms (2τ + chain delays),
+            so it can bound them directly; the residual bias is then
+            just twice the mean packet-detection delay.  ``None`` when
+            the calibration measurement did not record it.
+    """
+
+    tof_bias_s: float = 0.0
+    coarse_bias_s: float | None = None
+
+    def apply(self, tof_s: float) -> float:
+        """Remove the constant bias from a raw ToF estimate."""
+        return tof_s - self.tof_bias_s
+
+    def coarse_round_trip_to_raw_2tau(self, coarse_rt_s: float) -> float | None:
+        """Convert a round-trip slope delay to the raw-atom 2τ domain.
+
+        Returns ``None`` when no coarse calibration exists.
+        """
+        if self.coarse_bias_s is None:
+            return None
+        return coarse_rt_s - self.coarse_bias_s
+
+    @staticmethod
+    def fit(
+        measured_tof_s: float,
+        true_tof_s: float,
+        measured_coarse_rt_s: float | None = None,
+    ) -> "LinkCalibration":
+        """Build a calibration from a known-distance measurement.
+
+        ``measured_tof_s`` must be the *raw* (uncalibrated) estimate at
+        the reference placement.
+        """
+        coarse_bias = None
+        if measured_coarse_rt_s is not None:
+            coarse_bias = measured_coarse_rt_s - 2.0 * measured_tof_s
+        return LinkCalibration(
+            tof_bias_s=measured_tof_s - true_tof_s, coarse_bias_s=coarse_bias
+        )
+
+    @staticmethod
+    def fit_from_distance(
+        measured_tof_s: float,
+        true_distance_m: float,
+        measured_coarse_rt_s: float | None = None,
+    ) -> "LinkCalibration":
+        """Convenience: the reference is usually a laser-measured distance."""
+        if true_distance_m < 0:
+            raise ValueError(f"distance must be non-negative, got {true_distance_m}")
+        return LinkCalibration.fit(
+            measured_tof_s, true_distance_m / SPEED_OF_LIGHT, measured_coarse_rt_s
+        )

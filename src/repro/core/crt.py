@@ -1,0 +1,172 @@
+"""Time-of-flight from per-band phases via the Chinese Remainder Theorem (§4).
+
+A single band's channel phase pins the time-of-flight only modulo ``1/f``
+(Eqn. 3 — 0.4 ns at 2.4 GHz).  Measuring on many bands yields a system
+of simultaneous congruences (Eqn. 4) whose solution is unique modulo the
+LCM of the ``1/f_i`` — about 200 ns for the US plan.
+
+Two solvers live here:
+
+* :func:`integer_crt` — the textbook constructive CRT over coprime
+  integer moduli, used to *demonstrate* the theorem the paper invokes;
+* :func:`crt_align` — the noise-tolerant "alignment" solver the paper
+  illustrates in Fig. 3: enumerate each band's candidate delays (the
+  colored lines) and pick the delay where the most candidates agree.
+
+``crt_align`` assumes a single dominant path; the general multipath
+version is the sparse inverse-NDFT of §6 (:mod:`repro.core.sparse`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def integer_crt(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """Solve ``x ≡ r_i (mod m_i)`` for pairwise-coprime moduli.
+
+    Returns the unique solution in ``[0, prod(m_i))``.  Raises
+    ``ValueError`` when the moduli are not pairwise coprime, mirroring
+    the theorem's hypothesis.
+    """
+    if len(residues) != len(moduli):
+        raise ValueError(
+            f"got {len(residues)} residues but {len(moduli)} moduli"
+        )
+    if not moduli:
+        raise ValueError("need at least one congruence")
+    for m in moduli:
+        if m < 2:
+            raise ValueError(f"moduli must be >= 2, got {m}")
+    for i in range(len(moduli)):
+        for j in range(i + 1, len(moduli)):
+            if math.gcd(moduli[i], moduli[j]) != 1:
+                raise ValueError(
+                    f"moduli {moduli[i]} and {moduli[j]} are not coprime"
+                )
+    total = math.prod(moduli)
+    x = 0
+    for r, m in zip(residues, moduli):
+        partial = total // m
+        x += r * partial * pow(partial, -1, m)
+    return x % total
+
+
+def phase_tof_candidates(
+    phase_rad: float, frequency_hz: float, max_delay_s: float
+) -> np.ndarray:
+    """All delays in ``[0, max_delay)`` consistent with one band's phase.
+
+    Implements Eqn. 3: ``tau = -phase / (2 pi f)  (mod 1/f)``, then
+    extends by integer multiples of the period ``1/f`` — the colored
+    vertical lines of the paper's Fig. 3.
+    """
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    if max_delay_s <= 0:
+        raise ValueError(f"max delay must be positive, got {max_delay_s}")
+    period = 1.0 / frequency_hz
+    base = (-phase_rad / (2.0 * math.pi * frequency_hz)) % period
+    n = int(math.ceil(max_delay_s / period))
+    candidates = base + period * np.arange(n + 1)
+    return candidates[candidates < max_delay_s]
+
+
+def crt_align(
+    phases_rad: Sequence[float],
+    frequencies_hz: Sequence[float],
+    max_delay_s: float = 200e-9,
+    tolerance_s: float = 0.02e-9,
+) -> float:
+    """The Fig. 3 alignment solver: the delay most congruences agree on.
+
+    Each band votes for its candidate delays; votes within
+    ``tolerance_s`` of a common delay count as aligned.  Returns the
+    delay with the most aligned votes (ties broken toward the smaller
+    residual spread, then the earlier delay).
+
+    Args:
+        phases_rad: Measured zero-subcarrier channel phase per band.
+        frequencies_hz: Band center frequencies, same order.
+        max_delay_s: Search window (the CRT-unique range).
+        tolerance_s: Phase-noise slack when counting alignment.
+
+    Returns:
+        The estimated time-of-flight in seconds.
+    """
+    if len(phases_rad) != len(frequencies_hz):
+        raise ValueError(
+            f"got {len(phases_rad)} phases but {len(frequencies_hz)} frequencies"
+        )
+    if len(phases_rad) < 2:
+        raise ValueError("need at least two bands to disambiguate")
+    all_candidates = [
+        phase_tof_candidates(p, f, max_delay_s)
+        for p, f in zip(phases_rad, frequencies_hz)
+    ]
+    # Vote on a grid fine enough that tolerance_s spans >= 1 bin.
+    grid_step = max(tolerance_s / 2.0, 1e-12)
+    n_bins = int(math.ceil(max_delay_s / grid_step))
+    votes = np.zeros(n_bins)
+    half_width = max(int(round(tolerance_s / grid_step)), 1)
+    for candidates in all_candidates:
+        hit = np.zeros(n_bins, dtype=bool)
+        idx = np.clip((candidates / grid_step).astype(int), 0, n_bins - 1)
+        for i in idx:
+            lo = max(i - half_width, 0)
+            hi = min(i + half_width + 1, n_bins)
+            hit[lo:hi] = True
+        votes += hit  # each band contributes at most one vote per bin
+    best_bin = int(np.argmax(votes))
+    coarse = (best_bin + 0.5) * grid_step
+    return _refine_alignment(coarse, all_candidates, tolerance_s * 4.0)
+
+
+def _refine_alignment(
+    coarse_delay_s: float,
+    all_candidates: list[np.ndarray],
+    window_s: float,
+) -> float:
+    """Average the per-band candidates nearest the coarse winner.
+
+    Bands whose closest candidate is outside ``window_s`` are treated as
+    unaligned (their congruence is inconsistent at this delay) and
+    excluded from the average.
+    """
+    aligned: list[float] = []
+    for candidates in all_candidates:
+        if len(candidates) == 0:
+            continue
+        nearest = candidates[np.argmin(np.abs(candidates - coarse_delay_s))]
+        if abs(nearest - coarse_delay_s) <= window_s:
+            aligned.append(float(nearest))
+    if not aligned:
+        return coarse_delay_s
+    return float(np.mean(aligned))
+
+
+def alignment_votes(
+    phases_rad: Sequence[float],
+    frequencies_hz: Sequence[float],
+    max_delay_s: float,
+    grid_step_s: float = 0.01e-9,
+    tolerance_s: float = 0.02e-9,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The Fig. 3 picture itself: vote counts over a delay grid.
+
+    Returns ``(grid, votes)`` where ``votes[k]`` is how many bands have a
+    candidate within ``tolerance_s`` of ``grid[k]``.  Benchmarks print
+    this to reproduce the figure.
+    """
+    grid = np.arange(0.0, max_delay_s, grid_step_s)
+    votes = np.zeros(len(grid))
+    for p, f in zip(phases_rad, frequencies_hz, strict=True):
+        candidates = phase_tof_candidates(p, f, max_delay_s)
+        if len(candidates) == 0:
+            continue
+        dist = np.min(np.abs(grid[:, None] - candidates[None, :]), axis=1)
+        votes += (dist <= tolerance_s).astype(float)
+    return grid, votes

@@ -1,0 +1,137 @@
+"""Recovering the zero-subcarrier channel by interpolation (§5).
+
+Wi-Fi never transmits on subcarrier 0 (it collides with DC offsets), yet
+§5 shows that subcarrier 0 is the *only* place where the measured channel
+is free of packet-detection delay.  The paper's fix: the channel is a
+physically continuous function of frequency, so interpolate the 30
+measured subcarriers to estimate it at 0 (the paper uses a cubic spline).
+
+Naive phase interpolation is fragile: the detection delay itself imposes
+a steep phase ramp across subcarriers (≈0.7 rad per reported-subcarrier
+gap for a 180 ns delay), and the Intel 5300 grid has gaps of 2
+subcarriers — one more doubling (e.g. the 4th-power quirk workaround)
+would alias a naive unwrap.  We therefore:
+
+1. estimate the bulk phase slope robustly (gap-1 subcarrier pairs anchor
+   the coarse slope; gap-2 pairs refine it),
+2. de-rotate the CSI by that slope (the value at subcarrier 0 is
+   untouched — the de-rotation is exp(-j·slope·k), identity at k=0),
+3. cubic-spline the now slowly-varying complex CSI (real and imaginary
+   parts), and evaluate at subcarrier 0.
+
+Step 3 on the de-trended *complex* values is numerically equivalent to
+the paper's magnitude/phase spline but immune to phase-wrap artifacts at
+deep fades.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.interpolate import CubicSpline
+
+from repro.wifi.csi import BandCsi, LinkCsi
+from repro.wifi.ofdm import SUBCARRIER_SPACING_HZ
+
+
+def phase_slope_per_index(csi: np.ndarray, indices: np.ndarray) -> float:
+    """Robust bulk phase slope (radians per subcarrier index).
+
+    The slope encodes the total group delay (propagation + detection +
+    chain).  Adjacent-pair phase differences alias at ±π per index gap;
+    gap-1 pairs therefore tolerate the largest delays and are used as
+    the coarse anchor, after which wider-gap pairs (which are more
+    numerous, hence less noisy) refine the estimate around it.
+    """
+    csi = np.asarray(csi, dtype=complex)
+    idx = np.asarray(indices, dtype=float)
+    if csi.shape != idx.shape or csi.ndim != 1:
+        raise ValueError("csi and indices must be 1-D and the same length")
+    if len(csi) < 2:
+        raise ValueError("need at least two subcarriers for a slope")
+    gaps = np.diff(idx)
+    pair_rot = csi[1:] * np.conj(csi[:-1])
+    min_gap = gaps.min()
+    anchor_pairs = pair_rot[gaps == min_gap]
+    coarse = float(np.angle(anchor_pairs.sum())) / float(min_gap)
+    # Refine: unwrap each pair's phase difference around the coarse
+    # prediction, then average slope contributions weighted by gap.
+    slopes = []
+    weights = []
+    for rot, gap in zip(pair_rot, gaps):
+        predicted = coarse * gap
+        observed = predicted + float(np.angle(rot * np.exp(-1j * predicted)))
+        slopes.append(observed / gap)
+        weights.append(abs(rot) * gap)
+    total_weight = float(np.sum(weights))
+    if total_weight <= 0.0:
+        return coarse
+    return float(np.average(slopes, weights=weights))
+
+
+def zero_subcarrier_csi(band_csi: BandCsi, power: int = 1) -> complex:
+    """Interpolated channel at subcarrier 0 — delay-free by §5's claim.
+
+    Args:
+        band_csi: One packet's CSI on one band.
+        power: Raise the raw CSI to this power *before* interpolating.
+            ``power=4`` implements the Intel 5300 2.4 GHz quirk
+            workaround (phase mod π/2 becomes a clean phase after ×4).
+
+    Returns:
+        The complex channel estimate at the band's center frequency.
+    """
+    if power < 1:
+        raise ValueError(f"power must be >= 1, got {power}")
+    csi = np.asarray(band_csi.csi, dtype=complex) ** power
+    indices = np.asarray(band_csi.subcarriers, dtype=float)
+    slope = phase_slope_per_index(csi, indices)
+    detrended = csi * np.exp(-1j * slope * indices)
+    real_spline = CubicSpline(indices, detrended.real)
+    imag_spline = CubicSpline(indices, detrended.imag)
+    return complex(real_spline(0.0) + 1j * imag_spline(0.0))
+
+
+def zero_subcarrier_product(link_csi: LinkCsi, power: int = 1) -> complex:
+    """§7's reciprocity product evaluated at subcarrier 0.
+
+    Interpolates the forward and reverse CSI to subcarrier 0 *first*
+    (each direction's detection-delay ramp is handled separately, keeping
+    unwrap margins safe), then multiplies.  The CFO phases are equal and
+    opposite, so they cancel in the product; the result approximates
+    ``κ · h²`` (or ``κ⁴ · h⁸`` for ``power=4``).
+    """
+    fwd = zero_subcarrier_csi(link_csi.forward, power)
+    rev = zero_subcarrier_csi(link_csi.reverse, power)
+    return fwd * rev
+
+
+def group_delay_s(band_csi: BandCsi) -> float:
+    """Total group delay encoded in one packet's CSI phase slope.
+
+    This is the sum of time-of-flight, packet detection delay and chain
+    delay.  Subtracting an independent ToF estimate yields the per-packet
+    detection delay — how the paper measures Fig. 7c.
+    """
+    slope = phase_slope_per_index(
+        np.asarray(band_csi.csi, dtype=complex),
+        np.asarray(band_csi.subcarriers, dtype=float),
+    )
+    # phase(k) = -2*pi*(k*spacing)*delay  =>  delay = -slope/(2*pi*spacing)
+    return -slope / (2.0 * math.pi * SUBCARRIER_SPACING_HZ)
+
+
+def round_trip_slope_delay_s(link_csi: LinkCsi) -> float:
+    """Forward + reverse group delay of one packet pair.
+
+    Equals ``2τ + δ_fwd + δ_rev + chain delays (+ a multipath-weighted
+    late bias)``.  Unlike the super-resolved profile, this quantity has
+    **no lattice ambiguity** whatsoever — a phase slope cannot alias by
+    50 ns.  Averaged over bands and packets, the random detection delays
+    concentrate around their mean, making this the coarse, ghost-free
+    range gate that anchors first-peak selection (the constant part of
+    the bias is removed by the same known-distance calibration as the
+    ToF bias).
+    """
+    return group_delay_s(link_csi.forward) + group_delay_s(link_csi.reverse)

@@ -1,0 +1,212 @@
+"""From distances to positions: §8 of the paper.
+
+Each receive antenna's ToF × c defines a circle around that antenna on
+which the transmitter must lie.  With two antennas the circles intersect
+in (generically) two points; a third non-colinear antenna — or motion —
+disambiguates.  Noisy circles rarely meet in a point, so the paper uses
+least-squares intersection, preceded by discarding distance estimates
+"that do not fit the geometry of the relative antenna placements"
+(§12.2).  All of that is implemented here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.rf.geometry import Point
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """Output of :func:`locate_transmitter`.
+
+    Attributes:
+        position: Least-squares transmitter location.
+        residual_rms_m: RMS circle mismatch at the solution (meters) —
+            large values flag unreliable fixes.
+        used_indices: Which distance measurements survived the geometry
+            filter and fed the optimizer.
+        candidates: The discrete candidate set before refinement (both
+            circle intersections in the 2-anchor case).
+    """
+
+    position: Point
+    residual_rms_m: float
+    used_indices: tuple[int, ...]
+    candidates: tuple[Point, ...]
+
+
+def circle_intersections(c1: Point, r1: float, c2: Point, r2: float) -> list[Point]:
+    """Intersection points of two circles (0, 1 or 2 points).
+
+    Concentric circles and containment/separation cases return ``[]``.
+    """
+    if r1 < 0 or r2 < 0:
+        raise ValueError(f"radii must be non-negative, got {r1}, {r2}")
+    d = c1.distance_to(c2)
+    if d < 1e-12:
+        return []
+    if d > r1 + r2 or d < abs(r1 - r2):
+        return []
+    a = (r1**2 - r2**2 + d**2) / (2.0 * d)
+    h_sq = r1**2 - a**2
+    h = math.sqrt(max(h_sq, 0.0))
+    direction = (c2 - c1) * (1.0 / d)
+    mid = c1 + a * direction
+    if h < 1e-12:
+        return [mid]
+    normal = Point(-direction.y, direction.x)
+    return [mid + h * normal, mid - h * normal]
+
+
+def filter_geometry_consistent(
+    anchors: Sequence[Point],
+    distances_m: Sequence[float],
+    tolerance_m: float = 0.3,
+) -> list[int]:
+    """Indices of distance estimates consistent with the antenna geometry.
+
+    Physics bounds any two true distances from a common transmitter to
+    two anchors: ``|d_i - d_j| <= ||a_i - a_j||`` (triangle inequality).
+    Estimates violating the bound (beyond ``tolerance_m`` of slack) are
+    iteratively discarded, worst violator first — this is the paper's
+    §12.2 outlier-rejection step.
+
+    At least two estimates are always retained (dropping below two makes
+    localization impossible; the residual check must catch the rest).
+    """
+    if len(anchors) != len(distances_m):
+        raise ValueError(
+            f"got {len(anchors)} anchors but {len(distances_m)} distances"
+        )
+    for d in distances_m:
+        if d < 0:
+            raise ValueError(f"distances must be non-negative, got {d}")
+    active = list(range(len(anchors)))
+    while len(active) > 2:
+        violation = {i: 0.0 for i in active}
+        for ii, i in enumerate(active):
+            for j in active[ii + 1 :]:
+                bound = anchors[i].distance_to(anchors[j]) + tolerance_m
+                excess = abs(distances_m[i] - distances_m[j]) - bound
+                if excess > 0:
+                    violation[i] += excess
+                    violation[j] += excess
+        worst = max(active, key=lambda i: violation[i])
+        if violation[worst] <= 0.0:
+            break
+        active.remove(worst)
+    return active
+
+
+def locate_transmitter(
+    anchors: Sequence[Point],
+    distances_m: Sequence[float],
+    tolerance_m: float = 0.3,
+    position_hint: Point | None = None,
+) -> LocalizationResult:
+    """Least-squares position of a transmitter from anchor distances (§8).
+
+    Args:
+        anchors: Receive-antenna positions (world frame).
+        distances_m: Estimated distance from the transmitter to each
+            anchor (ToF × c).
+        tolerance_m: Slack for the geometry-consistency filter.
+        position_hint: Optional prior (e.g. the previous fix, or motion
+            disambiguation): used to pick among candidate intersections.
+
+    Returns:
+        A :class:`LocalizationResult`.  With two usable anchors and no
+        hint, the returned position is the candidate with the smaller
+        residual, and both candidates are exposed for the caller to
+        disambiguate (the paper's mobility strategy).
+    """
+    if len(anchors) < 2:
+        raise ValueError(f"need at least 2 anchors, got {len(anchors)}")
+    used = filter_geometry_consistent(anchors, distances_m, tolerance_m)
+    sub_anchors = [anchors[i] for i in used]
+    sub_dists = [distances_m[i] for i in used]
+
+    candidates = _candidate_seeds(sub_anchors, sub_dists)
+    if position_hint is not None:
+        candidates.sort(key=lambda p: p.distance_to(position_hint))
+
+    best: tuple[float, Point] | None = None
+    for seed in candidates:
+        refined, residual = _refine(seed, sub_anchors, sub_dists)
+        if best is None or residual < best[0] - 1e-12:
+            best = (residual, refined)
+        if position_hint is not None and best is not None:
+            break  # the hint already ordered candidates; take the nearest
+    assert best is not None
+    residual, position = best
+    return LocalizationResult(
+        position=position,
+        residual_rms_m=residual,
+        used_indices=tuple(used),
+        candidates=tuple(candidates),
+    )
+
+
+def _candidate_seeds(anchors: Sequence[Point], dists: Sequence[float]) -> list[Point]:
+    """Seed positions: circle intersections of the widest anchor pair."""
+    pairs = [
+        (i, j)
+        for i in range(len(anchors))
+        for j in range(i + 1, len(anchors))
+    ]
+    pairs.sort(key=lambda ij: -anchors[ij[0]].distance_to(anchors[ij[1]]))
+    for i, j in pairs:
+        pts = circle_intersections(anchors[i], dists[i], anchors[j], dists[j])
+        if pts:
+            return pts
+    # Circles never intersect (inconsistent radii): fall back to the
+    # point on the line between the two widest anchors weighted by radii.
+    i, j = pairs[0]
+    a, b = anchors[i], anchors[j]
+    total = dists[i] + dists[j]
+    t = dists[i] / total if total > 0 else 0.5
+    return [a + t * (b - a)]
+
+
+def _refine(
+    seed: Point, anchors: Sequence[Point], dists: Sequence[float]
+) -> tuple[Point, float]:
+    """Nonlinear least squares from a seed; returns (position, RMS)."""
+
+    anchor_xy = np.array([[a.x, a.y] for a in anchors])
+    d = np.asarray(dists, dtype=float)
+
+    def residuals(xy: np.ndarray) -> np.ndarray:
+        deltas = anchor_xy - xy[np.newaxis, :]
+        ranges = np.linalg.norm(deltas, axis=1)
+        return ranges - d
+
+    solution = least_squares(residuals, x0=np.array([seed.x, seed.y]), method="lm")
+    rms = float(np.sqrt(np.mean(solution.fun**2)))
+    return Point(float(solution.x[0]), float(solution.x[1])), rms
+
+
+def disambiguate_by_motion(
+    candidates: Sequence[Point],
+    previous_position: Point,
+    moved_toward: Point,
+    new_distance_m: float,
+) -> Point:
+    """The paper's §8 mobility disambiguation.
+
+    After moving from ``previous_position`` toward ``moved_toward``, the
+    candidate whose predicted new distance best matches the measured
+    ``new_distance_m`` is the true transmitter location.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate")
+    return min(
+        candidates,
+        key=lambda c: abs(c.distance_to(moved_toward) - new_distance_m),
+    )

@@ -1,0 +1,127 @@
+"""The Non-uniform Discrete Fourier Transform over Wi-Fi band centers.
+
+The measured zero-subcarrier channels at the n band center-frequencies
+are samples of the Fourier transform of the (sparse) power-delay profile
+at *non-uniformly spaced* frequencies (paper §6.1):
+
+    h_i = sum_k p_k * exp(-j * 2 * pi * f_i * tau_k)      (Eqn. 7)
+
+Collecting the candidate delays ``tau_k`` on a grid gives the matrix form
+``h = F p`` with ``F[i, k] = exp(-j 2 pi f_i tau_k)`` — the paper's
+Fourier matrix.  Because the f_i share a 5 MHz divisor, columns of F
+repeat with period 200 ns in tau: the grid must stay inside one such
+window (:func:`unambiguous_window_s`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_GRID_STEP_S = 0.5e-9
+"""Default delay-grid spacing; sub-grid accuracy comes from refinement."""
+
+
+def unambiguous_window_s(frequencies_hz: np.ndarray) -> float:
+    """Length of the alias-free delay window for a frequency set.
+
+    This is the CRT/LCM bound of §4, with one refinement: a delay shift
+    that rotates *every* measurement by the same phase is unobservable
+    (the path's complex amplitude absorbs it), so distinguishability is
+    governed by the GCD of the frequency **differences**, not of the
+    frequencies themselves.  For the 2.4 GHz channels (2412, 2417, …,
+    all ≡ 2 mod 5 MHz) a 200 ns shift rotates all bands identically —
+    the window is 1/(5 MHz) = 200 ns even though the raw-frequency GCD
+    is 1 MHz.
+
+    Frequencies are rounded to a 1 kHz lattice first (real band plans
+    are exact multiples of 5 MHz).  A single frequency has no
+    differences and returns ``inf`` (callers cap the grid separately).
+    """
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    if freqs.ndim != 1 or len(freqs) == 0:
+        raise ValueError("frequencies must be a non-empty 1-D array")
+    if np.any(freqs <= 0):
+        raise ValueError("frequencies must be positive")
+    if len(freqs) == 1:
+        return float("inf")
+    khz = np.round(freqs / 1e3).astype(np.int64)
+    diffs = np.abs(khz - khz[0])
+    diffs = diffs[diffs > 0]
+    if len(diffs) == 0:
+        return float("inf")
+    gcd_khz = np.gcd.reduce(diffs)
+    return 1.0 / (float(gcd_khz) * 1e3)
+
+
+def tau_grid(
+    max_delay_s: float, step_s: float = DEFAULT_GRID_STEP_S, start_s: float = 0.0
+) -> np.ndarray:
+    """A uniform candidate-delay grid ``[start, max_delay)``.
+
+    Args:
+        max_delay_s: Exclusive upper edge; typically the unambiguous
+            window (200 ns for the US plan).
+        step_s: Grid spacing; 0.5 ns resolves the stitched-bandwidth
+            peaks, and sub-grid refinement recovers the rest.
+        start_s: Inclusive lower edge (0 for physical delays).
+    """
+    if max_delay_s <= start_s:
+        raise ValueError(
+            f"max_delay ({max_delay_s}) must exceed start ({start_s})"
+        )
+    if step_s <= 0:
+        raise ValueError(f"grid step must be positive, got {step_s}")
+    n = int(np.floor((max_delay_s - start_s) / step_s))
+    if n < 2:
+        raise ValueError("grid would have fewer than 2 points")
+    return start_s + step_s * np.arange(n)
+
+
+def ndft_matrix(frequencies_hz: np.ndarray, taus_s: np.ndarray) -> np.ndarray:
+    """The paper's non-uniform Fourier matrix ``F[i,k] = e^{-j2π f_i τ_k}``.
+
+    Shape ``(len(frequencies), len(taus))``, complex128.
+    """
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    taus = np.asarray(taus_s, dtype=float)
+    if freqs.ndim != 1 or taus.ndim != 1:
+        raise ValueError("frequencies and taus must be 1-D")
+    return np.exp(-2.0j * np.pi * np.outer(freqs, taus))
+
+
+def forward_ndft(
+    profile: np.ndarray, frequencies_hz: np.ndarray, taus_s: np.ndarray
+) -> np.ndarray:
+    """Synthesize channels from a delay-domain profile (``h = F p``)."""
+    profile = np.asarray(profile)
+    if profile.shape != np.asarray(taus_s).shape:
+        raise ValueError(
+            f"profile shape {profile.shape} does not match tau grid "
+            f"{np.asarray(taus_s).shape}"
+        )
+    return ndft_matrix(frequencies_hz, taus_s) @ profile
+
+
+def steering_vector(frequencies_hz: np.ndarray, tau_s: float) -> np.ndarray:
+    """The column of F for a single delay — used by matched-filter steps."""
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    return np.exp(-2.0j * np.pi * freqs * tau_s)
+
+
+def matched_filter(
+    channels: np.ndarray, frequencies_hz: np.ndarray, taus_s: np.ndarray
+) -> np.ndarray:
+    """``|Fᴴ h|`` evaluated on a delay grid.
+
+    The non-sparse "beamforming" projection; its peaks are delay
+    estimates with Fourier-limited resolution and sidelobes from the
+    non-uniform sampling.  Used for coarse scans and as a baseline.
+    """
+    h = np.asarray(channels, dtype=complex)
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    if h.shape != freqs.shape:
+        raise ValueError(
+            f"channels shape {h.shape} does not match frequencies {freqs.shape}"
+        )
+    F = ndft_matrix(freqs, np.asarray(taus_s, dtype=float))
+    return np.abs(F.conj().T @ h)

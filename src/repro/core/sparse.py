@@ -1,0 +1,145 @@
+"""Algorithm 1 of the paper: sparse inversion of the non-uniform DFT.
+
+The inverse-NDFT problem is under-determined (n ≈ 35 measurements,
+m ≈ hundreds of candidate delays).  The paper regularizes it with an L1
+penalty (Eqn. 10):
+
+    min_p  || h - F p ||_2^2  +  alpha * || p ||_1
+
+and solves it with a proximal-gradient iteration whose proximal operator
+is complex soft-thresholding — the paper's SPARSIFY function.  We
+implement exactly that (ISTA), plus optional FISTA acceleration (same
+fixed point, fewer iterations), with the paper's step size
+``gamma = 1 / ||F||^2`` and its ``||p_{t+1} - p_t|| < eps`` stop rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ndft import ndft_matrix
+
+
+@dataclass(frozen=True)
+class SparseSolverConfig:
+    """Tuning knobs for Algorithm 1.
+
+    Attributes:
+        alpha_rel: Sparsity weight as a fraction of ``||Fᴴh||_inf`` (the
+            smallest alpha that zeroes everything is exactly that norm,
+            so a relative scale is the standard LASSO convention).
+        max_iterations: Hard iteration cap.
+        tolerance_rel: Stop when the iterate moves less than this fraction
+            of its own norm (the paper's epsilon, made scale-free).
+        accelerated: Use FISTA momentum (same solution, ~10x faster).
+    """
+
+    alpha_rel: float = 0.08
+    max_iterations: int = 2000
+    tolerance_rel: float = 1e-5
+    accelerated: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha_rel < 1.0:
+            raise ValueError(f"alpha_rel must be in (0, 1), got {self.alpha_rel}")
+        if self.max_iterations < 1:
+            raise ValueError(f"need at least one iteration, got {self.max_iterations}")
+        if self.tolerance_rel <= 0:
+            raise ValueError(f"tolerance must be positive, got {self.tolerance_rel}")
+
+
+def soft_threshold(p: np.ndarray, threshold: float) -> np.ndarray:
+    """The paper's SPARSIFY: complex soft-thresholding.
+
+    Entries with magnitude below ``threshold`` become zero; the rest
+    shrink toward zero by ``threshold`` while keeping their phase:
+
+        p_i -> p_i * (|p_i| - t) / |p_i|     if |p_i| > t, else 0
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    p = np.asarray(p, dtype=complex)
+    mags = np.abs(p)
+    out = np.zeros_like(p)
+    # The subnormal floor guards the division below: entries that small
+    # are zero for every practical purpose and would otherwise produce
+    # nan/inf through underflowing arithmetic.
+    keep = (mags > threshold) & (mags > 1e-300)
+    out[keep] = p[keep] * (mags[keep] - threshold) / mags[keep]
+    return out
+
+
+def invert_ndft(
+    channels: np.ndarray,
+    frequencies_hz: np.ndarray,
+    taus_s: np.ndarray,
+    config: SparseSolverConfig | None = None,
+) -> np.ndarray:
+    """Solve ``min ||h - F p||² + α||p||₁`` for the delay profile ``p``.
+
+    Args:
+        channels: Measured (zero-subcarrier) channels, one per frequency.
+        frequencies_hz: The non-uniform measurement frequencies.
+        taus_s: Candidate-delay grid (see :func:`repro.core.ndft.tau_grid`).
+        config: Solver settings; defaults are tuned for the 35-band plan.
+
+    Returns:
+        Complex profile ``p`` over ``taus_s``; its magnitude is the
+        multipath profile of the paper's Fig. 4.
+    """
+    cfg = config or SparseSolverConfig()
+    h = np.asarray(channels, dtype=complex)
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    taus = np.asarray(taus_s, dtype=float)
+    if h.shape != freqs.shape:
+        raise ValueError(
+            f"channels shape {h.shape} does not match frequencies {freqs.shape}"
+        )
+    if len(h) < 2:
+        raise ValueError("need at least 2 frequency measurements")
+
+    F = ndft_matrix(freqs, taus)
+    Fh = F.conj().T
+    # Step size: gamma = 1 / ||F||^2 (largest singular value squared), as
+    # in Algorithm 1; this is the Lipschitz constant of the smooth term's
+    # gradient up to the factor 2 absorbed into the residual definition.
+    lipschitz = float(np.linalg.norm(F, 2) ** 2)
+    gamma = 1.0 / lipschitz
+
+    correlation = np.abs(Fh @ h)
+    alpha = cfg.alpha_rel * float(correlation.max())
+    if alpha == 0.0:
+        return np.zeros(len(taus), dtype=complex)
+
+    p = np.zeros(len(taus), dtype=complex)
+    momentum = p
+    t_k = 1.0
+    for _ in range(cfg.max_iterations):
+        base = momentum if cfg.accelerated else p
+        residual = F @ base - h
+        p_next = soft_threshold(base - gamma * (Fh @ residual), gamma * alpha)
+        step = float(np.linalg.norm(p_next - p))
+        scale = max(float(np.linalg.norm(p_next)), 1e-30)
+        if cfg.accelerated:
+            t_next = (1.0 + np.sqrt(1.0 + 4.0 * t_k**2)) / 2.0
+            momentum = p_next + ((t_k - 1.0) / t_next) * (p_next - p)
+            t_k = t_next
+        p = p_next
+        if step < cfg.tolerance_rel * scale:
+            break
+    return p
+
+
+def lasso_objective(
+    p: np.ndarray,
+    channels: np.ndarray,
+    frequencies_hz: np.ndarray,
+    taus_s: np.ndarray,
+    alpha: float,
+) -> float:
+    """Evaluate the Eqn. 10 objective — used by convergence tests."""
+    F = ndft_matrix(np.asarray(frequencies_hz, float), np.asarray(taus_s, float))
+    residual = np.asarray(channels, complex) - F @ np.asarray(p, complex)
+    return float(np.sum(np.abs(residual) ** 2) + alpha * np.sum(np.abs(p)))

@@ -1,0 +1,494 @@
+"""The full Chronos time-of-flight estimator (§4–§7 end to end).
+
+Pipeline for one CSI sweep:
+
+1. **Zero-subcarrier recovery** (§5): spline-interpolate each direction's
+   30 subcarriers to subcarrier 0, per band, per packet.
+2. **CFO cancellation** (§7): multiply forward × reverse values and
+   average the products over the packets of each band's dwell.
+3. **Band grouping**: with the Intel 5300's 2.4 GHz quirk the 2.4 GHz
+   bands are processed on the 4th power of the CSI (profile peaks at 8τ)
+   separately from the 5 GHz bands (peaks at 2τ).  Quirk-free hardware
+   lets all 35 bands join a single inversion.
+4. **Sparse inverse NDFT** (§6, Algorithm 1) per group, first dominant
+   peak, off-grid refinement.
+5. **Fusion + calibration**: group estimates are fused (span-weighted —
+   wider stitched bandwidth earns more trust) and the one-time constant
+   bias (§7, observation 2) is subtracted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cfo import LinkCalibration, band_products
+from repro.core.deflation import (
+    DeflationConfig,
+    extract_paths,
+    first_path_delay,
+    ghost_shifts_s,
+    lasso_amplitudes,
+    prune_ghost_atoms,
+)
+from repro.core.ndft import ndft_matrix, tau_grid, unambiguous_window_s
+from repro.core.profile import (
+    MultipathProfile,
+    RefinedPath,
+    refine_first_peak,
+    _golden_max,
+)
+from repro.core.sparse import SparseSolverConfig, invert_ndft
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.wifi.csi import CsiSweep
+
+
+@dataclass(frozen=True)
+class TofEstimatorConfig:
+    """Tuning of the end-to-end estimator.
+
+    Attributes:
+        grid_step_s: Delay-grid spacing for the inverse NDFT.
+        max_profile_delay_s: Upper edge of the delay grid.  The combined
+            2.4+5 GHz plan's frequency GCD is 1 MHz, making the formal
+            alias-free window 1 µs; physically, indoor profiles die out
+            within a few hundred ns (and the reciprocity square doubles
+            delays), so the grid is capped here for speed and to starve
+            far sidelobes.
+        sparse: Algorithm 1 settings.
+        peak_threshold_rel: Dominance threshold for profile peaks —
+            relative *power*, so 0.05 keeps paths within ~13 dB of the
+            strongest.
+        method: ``"hybrid"`` (default) extracts the time-of-flight by
+            greedy off-grid deflation — immune to the grid/pseudo-alias
+            pathologies of on-grid L1 on stitched apertures — while the
+            L1 profile is still computed for diagnostics and figures.
+            ``"ista"`` takes the first peak straight from the Algorithm 1
+            profile plus local refinement (the paper-literal reading).
+        deflation: Settings of the greedy extractor (hybrid method).
+        first_peak_amplitude_rel: Amplitude validation for the first-peak
+            rule — leading atoms weaker than this fraction of the
+            strongest are noise fits, not the direct path.
+        coarse_gate_margin_s: Safety margin (in the 2τ domain) subtracted
+            from the slope-based coarse range estimate before it gates
+            first-peak selection.  The slope estimate runs *late* of the
+            true 2τ by a multipath-weighted bias, never early, so the
+            margin only needs to cover that bias plus averaging noise.
+            Gating requires a calibration that recorded the coarse bias.
+        compute_profile: Skip the (cost-dominating) L1 inversion when
+            False; the reported profile is then rasterized from the
+            extracted paths.  Experiment drivers that only need ToF and
+            run thousands of estimates set this to False.
+        refine: Enable off-grid first-peak refinement (ista method).
+        quirk_2g4: The hardware reports 2.4 GHz phase mod π/2 (Intel
+            5300); route those bands through the 4th-power workaround.
+        use_2g4 / use_5g: Band-group selection (ablation knob).
+        fuse_tolerance_s: Secondary group estimates farther than this
+            from the primary are treated as aliased/broken and dropped.
+    """
+
+    grid_step_s: float = 0.5e-9
+    max_profile_delay_s: float = 500e-9
+    sparse: SparseSolverConfig = field(default_factory=SparseSolverConfig)
+    peak_threshold_rel: float = 0.05
+    method: str = "hybrid"
+    deflation: DeflationConfig = field(default_factory=DeflationConfig)
+    first_peak_amplitude_rel: float = 0.25
+    coarse_gate_margin_s: float = 15e-9
+    compute_profile: bool = True
+    refine: bool = True
+    quirk_2g4: bool = True
+    use_2g4: bool = True
+    use_5g: bool = True
+    fuse_tolerance_s: float = 3e-9
+
+    def __post_init__(self) -> None:
+        if self.grid_step_s <= 0:
+            raise ValueError(f"grid step must be positive, got {self.grid_step_s}")
+        if self.max_profile_delay_s <= self.grid_step_s:
+            raise ValueError(
+                "max profile delay must exceed the grid step, got "
+                f"{self.max_profile_delay_s}"
+            )
+        if not 0.0 < self.peak_threshold_rel < 1.0:
+            raise ValueError(
+                f"peak threshold must be in (0,1), got {self.peak_threshold_rel}"
+            )
+        if not (self.use_2g4 or self.use_5g):
+            raise ValueError("at least one band group must be enabled")
+        if self.method not in ("hybrid", "ista"):
+            raise ValueError(f"unknown method {self.method!r}")
+        if not 0.0 < self.first_peak_amplitude_rel <= 1.0:
+            raise ValueError(
+                "first_peak_amplitude_rel must be in (0,1], got "
+                f"{self.first_peak_amplitude_rel}"
+            )
+
+
+@dataclass(frozen=True)
+class GroupEstimate:
+    """One band-group's contribution to the fused ToF."""
+
+    name: str
+    tof_s: float
+    span_hz: float
+    n_bands: int
+    exponent: int
+    profile: MultipathProfile
+
+
+@dataclass(frozen=True)
+class TofEstimate:
+    """The estimator's output for one (or several averaged) sweeps.
+
+    Attributes:
+        tof_s: Calibrated time-of-flight in seconds.
+        raw_tof_s: Before calibration-bias subtraction.
+        groups: Per-band-group estimates (diagnostics, Fig. 7b data).
+        n_bands: Total bands that contributed.
+    """
+
+    tof_s: float
+    raw_tof_s: float
+    groups: tuple[GroupEstimate, ...]
+    n_bands: int
+    coarse_round_trip_s: float | None = None
+
+    @property
+    def distance_m(self) -> float:
+        """ToF converted to one-way distance."""
+        return self.tof_s * SPEED_OF_LIGHT
+
+    @property
+    def profile(self) -> MultipathProfile:
+        """The primary (widest-span) group's multipath profile.
+
+        Note the profile's delay axis is ``exponent × τ`` (2τ for the
+        reciprocity square, 8τ for the quirk workaround).
+        """
+        primary = max(self.groups, key=lambda g: g.span_hz)
+        return primary.profile
+
+    @property
+    def profile_exponent(self) -> int:
+        """Delay-axis scale of :attr:`profile`."""
+        primary = max(self.groups, key=lambda g: g.span_hz)
+        return primary.exponent
+
+
+class TofEstimator:
+    """Turns CSI sweeps into sub-nanosecond time-of-flight estimates."""
+
+    def __init__(
+        self,
+        config: TofEstimatorConfig | None = None,
+        calibration: LinkCalibration | None = None,
+    ):
+        self.config = config or TofEstimatorConfig()
+        self.calibration = calibration or LinkCalibration()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def estimate(self, sweep: CsiSweep) -> TofEstimate:
+        """Estimate ToF from one sweep."""
+        return self.estimate_many([sweep])
+
+    def estimate_many(self, sweeps: list[CsiSweep]) -> TofEstimate:
+        """Estimate ToF from several sweeps (products averaged per band).
+
+        Averaging across sweeps implements the paper's §7 observation (1):
+        the residual-CFO phase error is zero-mean across packets.
+        """
+        if not sweeps:
+            raise ValueError("need at least one sweep")
+        coarse_rt = self._coarse_round_trip(sweeps)
+        gate_2tau = None
+        if coarse_rt is not None:
+            gated = self.calibration.coarse_round_trip_to_raw_2tau(coarse_rt)
+            if gated is not None:
+                gate_2tau = max(0.0, gated - self.config.coarse_gate_margin_s)
+        groups: list[GroupEstimate] = []
+        for name, band_filter, power, exponent in self._group_specs():
+            collected = self._averaged_products(sweeps, band_filter, power)
+            if collected is None:
+                continue
+            freqs, products = collected
+            group_gate = None if gate_2tau is None else gate_2tau * exponent / 2.0
+            groups.append(
+                self._estimate_group(name, freqs, products, exponent, group_gate)
+            )
+        if not groups:
+            raise ValueError("no usable band group in the sweep")
+        raw = self._fuse(groups)
+        return TofEstimate(
+            tof_s=self.calibration.apply(raw),
+            raw_tof_s=raw,
+            groups=tuple(groups),
+            n_bands=sum(g.n_bands for g in groups),
+            coarse_round_trip_s=coarse_rt,
+        )
+
+    def estimate_from_products(
+        self, frequencies_hz: np.ndarray, products: np.ndarray, exponent: int = 2
+    ) -> TofEstimate:
+        """Estimate ToF from already-computed band products.
+
+        Used by unit tests and by benchmarks that replay the paper's
+        worked examples without simulating packets.
+        """
+        group = self._estimate_group(
+            "direct", np.asarray(frequencies_hz, float), np.asarray(products), exponent, None
+        )
+        raw = group.tof_s
+        return TofEstimate(
+            tof_s=self.calibration.apply(raw),
+            raw_tof_s=raw,
+            groups=(group,),
+            n_bands=group.n_bands,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _group_specs(self):
+        """(name, band filter, CSI power, profile exponent) per group."""
+        cfg = self.config
+        if cfg.quirk_2g4:
+            specs = []
+            if cfg.use_5g:
+                specs.append(("5g", lambda b: b.is_5g, 1, 2))
+            if cfg.use_2g4:
+                specs.append(("2g4", lambda b: b.is_2g4, 4, 8))
+            return specs
+        band_filter = None
+        if not cfg.use_2g4:
+            band_filter = lambda b: b.is_5g
+        elif not cfg.use_5g:
+            band_filter = lambda b: b.is_2g4
+        return [("all", band_filter, 1, 2)]
+
+    def _averaged_products(self, sweeps, band_filter, power):
+        """Average per-band products across sweeps; None if no bands."""
+        per_band: dict[float, list[complex]] = {}
+        for sweep in sweeps:
+            try:
+                freqs, products = band_products(sweep, power, band_filter)
+            except ValueError:
+                continue
+            for f, p in zip(freqs, products):
+                per_band.setdefault(float(f), []).append(p)
+        if len(per_band) < 2:
+            return None
+        freqs = np.array(sorted(per_band))
+        products = np.array([np.mean(per_band[f]) for f in freqs])
+        return freqs, products
+
+    def _coarse_round_trip(self, sweeps: list[CsiSweep]) -> float | None:
+        """Mean forward+reverse slope delay over non-quirked bands.
+
+        Detection delays are random per packet, so the mean over all
+        (band, packet) pairs concentrates at ``2τ + constant``; the
+        constant is captured by calibration.  2.4 GHz bands are skipped
+        in quirk mode (mod-π/2 phases have no usable slope).
+        """
+        from repro.core.interpolation import round_trip_slope_delay_s
+
+        values: list[float] = []
+        for sweep in sweeps:
+            for m in sweep:
+                if self.config.quirk_2g4 and m.band.is_2g4:
+                    continue
+                values.append(round_trip_slope_delay_s(m))
+        if not values:
+            return None
+        return float(np.mean(values))
+
+    def _estimate_group(
+        self,
+        name: str,
+        freqs: np.ndarray,
+        products: np.ndarray,
+        exponent: int,
+        gate_s: float | None,
+    ) -> GroupEstimate:
+        """Coarse sparse inversion + full-aperture off-grid refinement.
+
+        A delay grid coarse enough to be tractable cannot represent an
+        off-grid atom across a multi-GHz stitched aperture: the residual
+        sub-grid offset rotates the highest band by several radians and
+        the best on-grid explanation becomes a CRT pseudo-alias hundreds
+        of ns away.  The cure mirrors the CRT structure itself: solve
+        the sparse inversion on the widest *5-MHz-gridded* subgroup
+        (the 5 GHz bands — aperture 645 MHz, safely representable on a
+        0.5 ns grid), then refine the detected peaks off-grid against
+        **all** bands, gaining the full stitched-aperture resolution
+        without its grid pathology.
+        """
+        coarse_mask = self._coarse_mask(freqs)
+        coarse_freqs = freqs[coarse_mask]
+        coarse_products = products[coarse_mask]
+        window = min(
+            unambiguous_window_s(coarse_freqs), self.config.max_profile_delay_s
+        )
+        if self.config.method == "hybrid":
+            paths = extract_paths(
+                coarse_products, coarse_freqs, window, self.config.deflation
+            )
+            target_mean = None
+            if gate_s is not None:
+                # gate = coarse − margin; the pre-margin coarse value is
+                # the slope-derived weighted-mean target for tie-breaks.
+                target_mean = gate_s + self.config.coarse_gate_margin_s * exponent / 2.0
+            paths = prune_ghost_atoms(
+                paths,
+                coarse_products,
+                coarse_freqs,
+                ghost_shifts_s(coarse_freqs, window),
+                max_delay_s=window,
+                final_alpha_rel=self.config.deflation.final_alpha_rel,
+                target_mean_delay_s=target_mean,
+            )
+            if not coarse_mask.all():
+                paths = self._full_aperture_refit(paths, freqs, products)
+            delay = first_path_delay(
+                paths,
+                self.config.first_peak_amplitude_rel,
+                min_delay_s=gate_s or 0.0,
+                soft_window_s=25e-9 * exponent / 2.0,
+                soft_amplitude_rel=0.35,
+            )
+            profile = self._make_profile(
+                window, coarse_freqs, coarse_products, paths
+            )
+        else:
+            profile = self._ista_profile(window, coarse_freqs, coarse_products)
+            peaks = profile.peaks()
+            if gate_s is not None:
+                gated = [p for p in peaks if p.delay_s >= gate_s]
+                peaks = gated or peaks
+            if not peaks:
+                raise ValueError("profile has no usable peaks")
+            delay = peaks[0].delay_s
+            if self.config.refine:
+                delay = refine_first_peak(profile, products, freqs)
+                if gate_s is not None and delay < gate_s:
+                    delay = peaks[0].delay_s
+        span = float(freqs.max() - freqs.min())
+        return GroupEstimate(
+            name=name,
+            tof_s=delay / exponent,
+            span_hz=span,
+            n_bands=len(freqs),
+            exponent=exponent,
+            profile=profile,
+        )
+
+    def _ista_profile(
+        self, window: float, freqs: np.ndarray, products: np.ndarray
+    ) -> MultipathProfile:
+        """Algorithm 1's multipath profile on the coarse band set."""
+        grid = tau_grid(window, self.config.grid_step_s)
+        solution = invert_ndft(products, freqs, grid, self.config.sparse)
+        return MultipathProfile(
+            grid, solution, dominance_threshold_rel=self.config.peak_threshold_rel
+        )
+
+    def _make_profile(
+        self,
+        window: float,
+        freqs: np.ndarray,
+        products: np.ndarray,
+        paths: list[RefinedPath],
+    ) -> MultipathProfile:
+        """Diagnostic profile: Algorithm 1, or rasterized extracted paths."""
+        if self.config.compute_profile:
+            return self._ista_profile(window, freqs, products)
+        grid = tau_grid(window, self.config.grid_step_s)
+        amps = np.zeros(len(grid), dtype=complex)
+        for p in paths:
+            idx = int(np.argmin(np.abs(grid - p.delay_s)))
+            amps[idx] += p.amplitude
+        return MultipathProfile(
+            grid, amps, dominance_threshold_rel=self.config.peak_threshold_rel
+        )
+
+    def _full_aperture_refit(
+        self,
+        paths: list[RefinedPath],
+        freqs: np.ndarray,
+        products: np.ndarray,
+        polish_window_s: float = 0.2e-9,
+    ) -> list[RefinedPath]:
+        """Re-fit coarse-group paths against every band in the group.
+
+        The coarse extraction already pins each delay to a few tens of
+        picoseconds; polishing within a ±0.2 ns window against the full
+        stitched aperture (potentially several GHz) buys its resolution
+        without exposure to far pseudo-aliases.
+        """
+        if not paths:
+            return paths
+        delays = np.array([p.delay_s for p in paths])
+        for _ in range(2):
+            A = ndft_matrix(freqs, delays)
+            amps, *_ = np.linalg.lstsq(A, products, rcond=None)
+            for k in range(len(delays)):
+                others = np.delete(np.arange(len(delays)), k)
+                residual = products - ndft_matrix(freqs, delays[others]) @ amps[others]
+
+                def correlation(tau: float) -> float:
+                    steering = np.exp(-2.0j * np.pi * freqs * tau)
+                    return float(np.abs(np.vdot(steering, residual)))
+
+                lo = max(delays[k] - polish_window_s, 0.0)
+                hi = delays[k] + polish_window_s
+                scan = np.linspace(lo, hi, 17)
+                coarse = float(scan[int(np.argmax([correlation(t) for t in scan]))])
+                step = float(scan[1] - scan[0])
+                delays[k] = _golden_max(
+                    correlation, max(coarse - step, 0.0), coarse + step
+                )
+        A = ndft_matrix(freqs, delays)
+        amps = lasso_amplitudes(A, products, self.config.deflation.final_alpha_rel)
+        refit = [RefinedPath(float(d), complex(a)) for d, a in zip(delays, amps)]
+        refit.sort(key=lambda p: p.delay_s)
+        return refit
+
+    def _coarse_mask(self, freqs: np.ndarray) -> np.ndarray:
+        """Bands used for the coarse (on-grid) sparse inversion.
+
+        The sub-grid phase error across an aperture ``S`` is
+        ``2π·S·(grid_step/2)``; beyond ~1 radian the on-grid atoms stop
+        resembling the truth.  When the group's full aperture exceeds
+        that budget, fall back to the wider of the 2.4/5 GHz subgroups.
+        """
+        span = float(freqs.max() - freqs.min())
+        phase_budget_ok = (
+            2.0 * np.pi * span * (self.config.grid_step_s / 2.0) <= 1.0
+        )
+        if phase_budget_ok:
+            return np.ones(len(freqs), dtype=bool)
+        low = freqs < 3e9
+        high = ~low
+        if not low.any() or not high.any():
+            return np.ones(len(freqs), dtype=bool)
+        span_low = float(freqs[low].max() - freqs[low].min()) if low.sum() > 1 else 0.0
+        span_high = (
+            float(freqs[high].max() - freqs[high].min()) if high.sum() > 1 else 0.0
+        )
+        return high if span_high >= span_low else low
+
+    def _fuse(self, groups: list[GroupEstimate]) -> float:
+        """Span-weighted fusion with outlier rejection of narrow groups."""
+        primary = max(groups, key=lambda g: g.span_hz)
+        kept = [primary]
+        for g in groups:
+            if g is primary:
+                continue
+            if abs(g.tof_s - primary.tof_s) <= self.config.fuse_tolerance_s:
+                kept.append(g)
+        weights = np.array([g.span_hz for g in kept])
+        tofs = np.array([g.tof_s for g in kept])
+        return float(np.average(tofs, weights=weights))

@@ -1,0 +1,77 @@
+"""The paper's negative-feedback distance controller (§9).
+
+"This controller measures the current distance of the user's mobile
+device.  If the user is closer than expected, the drone takes a
+discrete step further away and vice-versa.  Such controllers are
+well-known to converge efficiently to stable solutions."
+
+Implemented as a proportional step on the range error along the
+drone→user line, with a step cap (discrete steps) and a dead-band so
+the drone does not chatter around the set-point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rf.geometry import Point
+
+
+@dataclass
+class DistanceController:
+    """Proportional stand-off-distance regulator.
+
+    Attributes:
+        target_distance_m: The stand-off distance to hold (1.4 m in the
+            paper's experiments — full-frame GoPro focus distance).
+        gain: Fraction of the range error corrected per step.
+        max_step_m: Cap on one discrete correction step.
+        dead_band_m: Errors below this are ignored (sensor noise floor).
+    """
+
+    target_distance_m: float = 1.4
+    gain: float = 0.8
+    max_step_m: float = 0.5
+    dead_band_m: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.target_distance_m <= 0:
+            raise ValueError(
+                f"target distance must be positive, got {self.target_distance_m}"
+            )
+        if not 0.0 < self.gain <= 1.0:
+            raise ValueError(f"gain must be in (0,1], got {self.gain}")
+        if self.max_step_m <= 0 or self.dead_band_m < 0:
+            raise ValueError("step cap must be positive, dead band non-negative")
+
+    def target_position(
+        self,
+        drone_position: Point,
+        user_position_estimate: Point,
+        measured_distance_m: float,
+    ) -> Point:
+        """Where the drone should step next.
+
+        Moves along the user→drone axis by a proportional fraction of
+        the range error: outward when too close, inward when too far.
+
+        Args:
+            drone_position: Current drone position.
+            user_position_estimate: Bearing reference (from localization
+                or the compass heading the paper uses).
+            measured_distance_m: Filtered Chronos range to the user.
+        """
+        if measured_distance_m < 0:
+            raise ValueError(
+                f"distance must be non-negative, got {measured_distance_m}"
+            )
+        error = measured_distance_m - self.target_distance_m
+        if abs(error) < self.dead_band_m:
+            return drone_position
+        step = max(-self.max_step_m, min(self.max_step_m, self.gain * error))
+        axis = drone_position - user_position_estimate
+        if axis.norm() < 1e-9:
+            axis = Point(1.0, 0.0)  # degenerate overlap: pick any direction
+        direction = axis.normalized()
+        # error > 0: too far -> step toward the user (negative along axis).
+        return drone_position - direction * step

@@ -1,0 +1,81 @@
+"""Planar quadrotor kinematics.
+
+The AscTec Hummingbird holds constant height in the experiments
+(§12.4), so horizontal kinematics suffice: a velocity-limited,
+acceleration-limited point mass.  Position-controller dynamics inside
+the autopilot are abstracted into the rate limits — the paper's
+feedback loop operates on commanded steps, not on motor torques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rf.geometry import Point
+
+
+@dataclass
+class Quadrotor:
+    """A velocity/acceleration-limited planar vehicle.
+
+    Attributes:
+        position: Current position, meters.
+        velocity: Current velocity, m/s.
+        max_speed_mps: Speed limit (indoor-safe).
+        max_accel_mps2: Acceleration limit.
+        velocity_gain_per_s: Proportional gain of the velocity command
+            (desired speed = gain × distance-to-target).  A finite gain
+            keeps the position loop well damped; commanding
+            ``distance/dt`` would be an effectively infinite gain that
+            bangs against the acceleration limit and oscillates.
+    """
+
+    position: Point
+    velocity: Point = Point(0.0, 0.0)
+    max_speed_mps: float = 1.5
+    max_accel_mps2: float = 2.5
+    velocity_gain_per_s: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.max_speed_mps <= 0 or self.max_accel_mps2 <= 0:
+            raise ValueError("speed and acceleration limits must be positive")
+        if self.velocity_gain_per_s <= 0:
+            raise ValueError(
+                f"velocity gain must be positive, got {self.velocity_gain_per_s}"
+            )
+
+    def step_toward(
+        self, target: Point, dt_s: float, feedforward: Point | None = None
+    ) -> None:
+        """Advance one control step toward ``target``.
+
+        A proportional velocity command toward the target — plus an
+        optional feedforward velocity (the target's own motion, so a
+        moving set-point is tracked without steady-state lag) — clipped
+        by the acceleration and speed limits, integrated over ``dt_s``.
+        """
+        if dt_s <= 0:
+            raise ValueError(f"time step must be positive, got {dt_s}")
+        error = target - self.position
+        distance = error.norm()
+        if distance < 1e-9:
+            desired = Point(0.0, 0.0)
+        else:
+            speed = min(self.max_speed_mps, self.velocity_gain_per_s * distance)
+            desired = error.normalized() * speed
+        if feedforward is not None:
+            desired = desired + feedforward
+        if desired.norm() > self.max_speed_mps:
+            desired = desired.normalized() * self.max_speed_mps
+        delta_v = desired - self.velocity
+        max_dv = self.max_accel_mps2 * dt_s
+        if delta_v.norm() > max_dv:
+            delta_v = delta_v.normalized() * max_dv
+        self.velocity = self.velocity + delta_v
+        if self.velocity.norm() > self.max_speed_mps:
+            self.velocity = self.velocity.normalized() * self.max_speed_mps
+        self.position = self.position + self.velocity * dt_s
+
+    def hover(self, dt_s: float) -> None:
+        """Bleed off velocity (station-keeping)."""
+        self.step_toward(self.position, dt_s)

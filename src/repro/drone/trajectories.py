@@ -1,0 +1,66 @@
+"""User walking trajectories for the follow experiments (§12.4).
+
+The paper's user "walks along a randomly chosen trajectory" inside a
+6 m × 5 m motion-capture room.  These helpers generate waypoint walks
+at pedestrian speed and sample them at the simulation rate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.rf.geometry import Point
+
+
+def random_waypoints(
+    n_waypoints: int,
+    rng: np.random.Generator,
+    room_width_m: float = 6.0,
+    room_height_m: float = 5.0,
+    margin_m: float = 0.8,
+) -> list[Point]:
+    """Random waypoints inside the motion-capture room, wall-clear."""
+    if n_waypoints < 2:
+        raise ValueError(f"need at least 2 waypoints, got {n_waypoints}")
+    if margin_m * 2 >= min(room_width_m, room_height_m):
+        raise ValueError("margin leaves no room for waypoints")
+    return [
+        Point(
+            rng.uniform(margin_m, room_width_m - margin_m),
+            rng.uniform(margin_m, room_height_m - margin_m),
+        )
+        for _ in range(n_waypoints)
+    ]
+
+
+def waypoint_walk(
+    waypoints: Sequence[Point],
+    speed_mps: float,
+    dt_s: float,
+) -> list[Point]:
+    """Positions of a constant-speed walk through ``waypoints``.
+
+    Returns one position per ``dt_s`` tick, starting at the first
+    waypoint and ending at the last.
+    """
+    if len(waypoints) < 2:
+        raise ValueError(f"need at least 2 waypoints, got {len(waypoints)}")
+    if speed_mps <= 0 or dt_s <= 0:
+        raise ValueError("speed and time step must be positive")
+    positions: list[Point] = [waypoints[0]]
+    current = waypoints[0]
+    for target in waypoints[1:]:
+        leg = target - current
+        leg_length = leg.norm()
+        if leg_length < 1e-9:
+            continue
+        direction = leg.normalized()
+        traveled = 0.0
+        while traveled + speed_mps * dt_s < leg_length:
+            traveled += speed_mps * dt_s
+            positions.append(current + direction * traveled)
+        current = target
+        positions.append(current)
+    return positions

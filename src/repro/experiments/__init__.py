@@ -1,0 +1,23 @@
+"""Experiment harness: the paper's testbed and one driver per figure.
+
+* :mod:`repro.experiments.testbed` — the 20 m × 20 m office floor of
+  Fig. 6 with its 30 candidate locations.
+* :mod:`repro.experiments.metrics` — CDFs, medians, percentiles.
+* :mod:`repro.experiments.runner` — reusable experiment drivers (ToF
+  accuracy, localization, traffic impact, drone following).
+* :mod:`repro.experiments.figures` — one entry point per paper figure,
+  returning structured results the benchmarks print and assert on.
+* :mod:`repro.experiments.report` — plain-text table rendering.
+"""
+
+from repro.experiments.testbed import Testbed, office_testbed
+from repro.experiments.metrics import cdf, median, percentile, summarize
+
+__all__ = [
+    "Testbed",
+    "office_testbed",
+    "cdf",
+    "median",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,381 @@
+"""One entry point per paper figure.
+
+Every function regenerates the data behind a figure of the paper's
+evaluation and returns a small results object whose fields are the
+numbers the paper quotes.  Benchmarks print these and assert the
+*shape* claims (orderings, rough factors); EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.crt import alignment_votes, crt_align
+from repro.core.ndft import tau_grid
+from repro.core.sparse import invert_ndft
+from repro.core.profile import MultipathProfile
+from repro.core.tof import TofEstimatorConfig
+from repro.drone.follow import FollowConfig, FollowSimulation
+from repro.experiments.metrics import Summary, summarize
+from repro.experiments.runner import (
+    run_detection_delay_experiment,
+    run_localization_experiment,
+    run_tof_experiment,
+)
+from repro.experiments.testbed import Testbed, office_testbed
+from repro.mac.hopping import HoppingConfig, HoppingProtocol
+from repro.net.tcp import TcpFlowSimulation, TcpTrace
+from repro.net.video import VideoStreamSimulation, VideoTrace
+from repro.rf.constants import SPEED_OF_LIGHT, distance_to_tof
+from repro.rf.channel import channel_at
+from repro.rf.paths import from_delays
+from repro.wifi.bands import US_BAND_PLAN
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 — the CRT alignment picture
+# ----------------------------------------------------------------------
+@dataclass
+class Fig3Result:
+    """Phase-alignment voting for the paper's 0.6 m example."""
+
+    true_tof_s: float
+    estimated_tof_s: float
+    grid_s: np.ndarray
+    votes: np.ndarray
+
+    @property
+    def error_s(self) -> float:
+        return abs(self.estimated_tof_s - self.true_tof_s)
+
+
+def figure_3(distance_m: float = 0.6) -> Fig3Result:
+    """Reproduce Fig. 3: five bands vote on a 2 ns time-of-flight."""
+    frequencies = [2.412e9, 2.462e9, 5.18e9, 5.3e9, 5.825e9]
+    tof = distance_to_tof(distance_m)
+    phases = [-2.0 * np.pi * f * tof for f in frequencies]
+    grid, votes = alignment_votes(phases, frequencies, max_delay_s=3.5e-9)
+    best = crt_align(phases, frequencies, max_delay_s=3.5e-9)
+    return Fig3Result(
+        true_tof_s=tof, estimated_tof_s=best, grid_s=grid, votes=votes
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 — multipath profile of the worked 3-path example
+# ----------------------------------------------------------------------
+@dataclass
+class Fig4Result:
+    """Sparse inverse-NDFT profile of the 5.2/10/16 ns example."""
+
+    profile: MultipathProfile
+    true_delays_s: tuple[float, ...]
+    recovered_delays_s: tuple[float, ...]
+
+    @property
+    def max_peak_error_s(self) -> float:
+        errors = [
+            min(abs(r - t) for r in self.recovered_delays_s)
+            for t in self.true_delays_s
+        ]
+        return max(errors)
+
+
+def figure_4() -> Fig4Result:
+    """Reproduce Fig. 4(b): three paths at 5.2, 10 and 16 ns."""
+    delays = (5.2e-9, 10e-9, 16e-9)
+    amplitudes = (1.0, 0.65, 0.45)
+    paths = from_delays(delays, amplitudes)
+    freqs = US_BAND_PLAN.subset_5g().center_frequencies_hz
+    channels = channel_at(paths, freqs)
+    grid = tau_grid(200e-9, 0.25e-9)
+    solution = invert_ndft(channels, freqs, grid)
+    profile = MultipathProfile(grid, solution, dominance_threshold_rel=0.05)
+    recovered = tuple(p.delay_s for p in profile.peaks()[:3])
+    return Fig4Result(
+        profile=profile, true_delays_s=delays, recovered_delays_s=recovered
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 7a — ToF error CDFs
+# ----------------------------------------------------------------------
+@dataclass
+class Fig7aResult:
+    """Time-of-flight accuracy, LOS and NLOS (ns summaries)."""
+
+    los_ns: Summary
+    nlos_ns: Summary
+    los_errors_ns: np.ndarray
+    nlos_errors_ns: np.ndarray
+
+
+def figure_7a(
+    n_pairs_per_condition: int = 30,
+    seed: int = 11,
+    testbed: Testbed | None = None,
+) -> Fig7aResult:
+    """Reproduce Fig. 7a: CDF of ToF error in LOS and NLOS."""
+    tb = testbed or office_testbed()
+    los = run_tof_experiment(
+        n_pairs_per_condition, seed=seed, line_of_sight=True, testbed=tb
+    )
+    nlos = run_tof_experiment(
+        n_pairs_per_condition, seed=seed + 1, line_of_sight=False, testbed=tb
+    )
+    los_ns = np.array([s.abs_error_s for s in los]) * 1e9
+    nlos_ns = np.array([s.abs_error_s for s in nlos]) * 1e9
+    return Fig7aResult(
+        los_ns=summarize(los_ns),
+        nlos_ns=summarize(nlos_ns),
+        los_errors_ns=los_ns,
+        nlos_errors_ns=nlos_ns,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 7b — representative multipath profiles + sparsity statistics
+# ----------------------------------------------------------------------
+@dataclass
+class Fig7bResult:
+    """Profiles and dominant-peak statistics (§12.1's sparsity claim)."""
+
+    los_profile: MultipathProfile
+    nlos_profile: MultipathProfile
+    mean_dominant_peaks: float
+    std_dominant_peaks: float
+    los_peaks: int
+    nlos_peaks: int
+
+
+def figure_7b(
+    n_pairs: int = 12, seed: int = 17, testbed: Testbed | None = None
+) -> Fig7bResult:
+    """Reproduce Fig. 7b: profile sparsity in LOS vs multipath settings."""
+    tb = testbed or office_testbed()
+    cfg = TofEstimatorConfig(compute_profile=True)
+    los = run_tof_experiment(
+        max(2, n_pairs // 2),
+        seed=seed,
+        line_of_sight=True,
+        testbed=tb,
+        estimator_config=cfg,
+    )
+    nlos = run_tof_experiment(
+        max(2, n_pairs // 2),
+        seed=seed + 1,
+        line_of_sight=False,
+        testbed=tb,
+        estimator_config=cfg,
+    )
+    counts = [
+        s.estimate.profile.dominant_peak_count() for s in los + nlos
+    ]
+    return Fig7bResult(
+        los_profile=los[0].estimate.profile,
+        nlos_profile=nlos[0].estimate.profile,
+        mean_dominant_peaks=float(np.mean(counts)),
+        std_dominant_peaks=float(np.std(counts)),
+        los_peaks=los[0].estimate.profile.dominant_peak_count(),
+        nlos_peaks=nlos[0].estimate.profile.dominant_peak_count(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 7c — detection delay vs propagation delay histograms
+# ----------------------------------------------------------------------
+@dataclass
+class Fig7cResult:
+    """Detection-delay and ToF distributions (ns summaries)."""
+
+    detection_ns: Summary
+    propagation_ns: Summary
+
+    @property
+    def delay_ratio(self) -> float:
+        """Median detection delay over median ToF (paper: ≈8×)."""
+        return self.detection_ns.median / self.propagation_ns.median
+
+
+def figure_7c(n_pairs: int = 10, seed: int = 31) -> Fig7cResult:
+    """Reproduce Fig. 7c: packet detection delay dwarfs time-of-flight."""
+    sample = run_detection_delay_experiment(n_pairs=n_pairs, seed=seed)
+    return Fig7cResult(
+        detection_ns=summarize(sample.detection_delays_s * 1e9),
+        propagation_ns=summarize(sample.propagation_delays_s * 1e9),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 8a — distance error versus range
+# ----------------------------------------------------------------------
+@dataclass
+class Fig8aResult:
+    """Distance error bucketed by true range."""
+
+    bucket_edges_m: tuple[tuple[float, float], ...]
+    los_median_cm: list[float]
+    nlos_median_cm: list[float]
+
+
+def figure_8a(
+    n_pairs_per_condition: int = 60,
+    seed: int = 41,
+    testbed: Testbed | None = None,
+) -> Fig8aResult:
+    """Reproduce Fig. 8a: error grows with distance (SNR falls)."""
+    tb = testbed or office_testbed()
+    buckets = ((0.0, 2.0), (2.0, 4.0), (4.0, 6.0), (6.0, 8.0), (8.0, 10.0), (10.0, 12.0), (12.0, 15.0))
+    los = run_tof_experiment(
+        n_pairs_per_condition, seed=seed, line_of_sight=True, testbed=tb
+    )
+    nlos = run_tof_experiment(
+        n_pairs_per_condition, seed=seed + 1, line_of_sight=False, testbed=tb
+    )
+
+    def bucket_medians(samples) -> list[float]:
+        out = []
+        for lo, hi in buckets:
+            vals = [
+                s.abs_error_m * 100.0 for s in samples if lo <= s.distance_m < hi
+            ]
+            out.append(float(np.median(vals)) if vals else float("nan"))
+        return out
+
+    return Fig8aResult(
+        bucket_edges_m=buckets,
+        los_median_cm=bucket_medians(los),
+        nlos_median_cm=bucket_medians(nlos),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 8b / 8c — localization CDFs at two antenna separations
+# ----------------------------------------------------------------------
+@dataclass
+class Fig8bcResult:
+    """Localization error summaries for one antenna separation."""
+
+    separation_m: float
+    los_cm: Summary
+    nlos_cm: Summary
+    los_errors_cm: np.ndarray
+    nlos_errors_cm: np.ndarray
+
+
+def figure_8b(
+    n_pairs_per_condition: int = 15,
+    seed: int = 43,
+    testbed: Testbed | None = None,
+) -> Fig8bcResult:
+    """Reproduce Fig. 8b: client-class 30 cm antenna separation."""
+    return _localization_figure(0.3, n_pairs_per_condition, seed, testbed)
+
+
+def figure_8c(
+    n_pairs_per_condition: int = 15,
+    seed: int = 47,
+    testbed: Testbed | None = None,
+) -> Fig8bcResult:
+    """Reproduce Fig. 8c: AP-class 100 cm antenna separation."""
+    return _localization_figure(1.0, n_pairs_per_condition, seed, testbed)
+
+
+def _localization_figure(
+    separation_m: float, n_pairs: int, seed: int, testbed: Testbed | None
+) -> Fig8bcResult:
+    tb = testbed or office_testbed()
+    los = run_localization_experiment(
+        n_pairs, separation_m, seed=seed, line_of_sight=True, testbed=tb
+    )
+    nlos = run_localization_experiment(
+        n_pairs, separation_m, seed=seed + 1, line_of_sight=False, testbed=tb
+    )
+    los_cm = np.array([s.error_m for s in los]) * 100.0
+    nlos_cm = np.array([s.error_m for s in nlos]) * 100.0
+    return Fig8bcResult(
+        separation_m=separation_m,
+        los_cm=summarize(los_cm),
+        nlos_cm=summarize(nlos_cm),
+        los_errors_cm=los_cm,
+        nlos_errors_cm=nlos_cm,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 9a — sweep (hopping) time CDF
+# ----------------------------------------------------------------------
+@dataclass
+class Fig9aResult:
+    """Band-hopping sweep durations."""
+
+    durations_ms: Summary
+    samples_ms: np.ndarray
+
+
+def figure_9a(n_sweeps: int = 200, seed: int = 53) -> Fig9aResult:
+    """Reproduce Fig. 9a: the 84 ms median sweep time."""
+    rng = np.random.default_rng(seed)
+    durations = HoppingProtocol().sweep_durations(n_sweeps, rng) * 1e3
+    return Fig9aResult(durations_ms=summarize(durations), samples_ms=durations)
+
+
+# ----------------------------------------------------------------------
+# Fig. 9b — video streaming across a localization request
+# ----------------------------------------------------------------------
+def figure_9b() -> VideoTrace:
+    """Reproduce Fig. 9b: buffered video rides out the 84 ms sweep."""
+    return VideoStreamSimulation().run()
+
+
+# ----------------------------------------------------------------------
+# Fig. 9c — TCP throughput across a localization request
+# ----------------------------------------------------------------------
+def figure_9c(seed: int = 59) -> TcpTrace:
+    """Reproduce Fig. 9c: the ~6.5 % TCP throughput dip."""
+    return TcpFlowSimulation().run(np.random.default_rng(seed))
+
+
+# ----------------------------------------------------------------------
+# Fig. 10a/b — the personal drone
+# ----------------------------------------------------------------------
+@dataclass
+class Fig10Result:
+    """Follow-loop accuracy and one representative trajectory."""
+
+    deviation_cm: Summary
+    rmse_per_run_cm: list[float]
+    raw_ranging_rmse_cm: float
+    user_track: list
+    drone_track: list
+    mean_track_distance_m: float
+
+
+def figure_10(n_runs: int = 8, seed: int = 61) -> Fig10Result:
+    """Reproduce Fig. 10a (deviation CDF) and 10b (trajectory)."""
+    deviations: list[float] = []
+    rmses: list[float] = []
+    raw_rmses: list[float] = []
+    last = None
+    for k in range(n_runs):
+        sim = FollowSimulation()
+        result = sim.run(np.random.default_rng(seed + k))
+        deviations.extend(result.deviations_m * 100.0)
+        rmses.append(result.rmse_m * 100.0)
+        raw_rmses.append(result.raw_ranging_rmse_m * 100.0)
+        last = result
+    assert last is not None
+    distances = [
+        d.distance_to(u) for d, u in zip(last.drone_track, last.user_track)
+    ]
+    return Fig10Result(
+        deviation_cm=summarize(deviations),
+        rmse_per_run_cm=rmses,
+        raw_ranging_rmse_cm=float(np.median(raw_rmses)),
+        user_track=last.user_track,
+        drone_track=last.drone_track,
+        mean_track_distance_m=float(np.mean(distances)),
+    )

@@ -1,0 +1,80 @@
+"""Statistics helpers shared by experiments and benchmarks.
+
+The paper reports medians, 95th percentiles and empirical CDFs; these
+helpers compute them in one consistent way so benchmark output matches
+EXPERIMENTS.md exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns ``(sorted values, P(X <= value))``."""
+    vals = np.sort(np.asarray(values, dtype=float))
+    if vals.size == 0:
+        raise ValueError("need at least one value")
+    probs = np.arange(1, len(vals) + 1) / len(vals)
+    return vals, probs
+
+
+def median(values) -> float:
+    """Median of the values."""
+    vals = np.asarray(values, dtype=float)
+    if vals.size == 0:
+        raise ValueError("need at least one value")
+    return float(np.median(vals))
+
+
+def percentile(values, q: float) -> float:
+    """The q-th percentile (0–100)."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0,100], got {q}")
+    vals = np.asarray(values, dtype=float)
+    if vals.size == 0:
+        raise ValueError("need at least one value")
+    return float(np.percentile(vals, q))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Distribution summary used across experiment reports."""
+
+    n: int
+    median: float
+    mean: float
+    std: float
+    p90: float
+    p95: float
+    maximum: float
+
+    def scaled(self, factor: float) -> "Summary":
+        """Unit-converted copy (e.g. seconds to nanoseconds)."""
+        return Summary(
+            n=self.n,
+            median=self.median * factor,
+            mean=self.mean * factor,
+            std=self.std * factor,
+            p90=self.p90 * factor,
+            p95=self.p95 * factor,
+            maximum=self.maximum * factor,
+        )
+
+
+def summarize(values) -> Summary:
+    """Summary statistics of a sample."""
+    vals = np.asarray(values, dtype=float)
+    if vals.size == 0:
+        raise ValueError("need at least one value")
+    return Summary(
+        n=int(vals.size),
+        median=float(np.median(vals)),
+        mean=float(np.mean(vals)),
+        std=float(np.std(vals)),
+        p90=float(np.percentile(vals, 90)),
+        p95=float(np.percentile(vals, 95)),
+        maximum=float(np.max(vals)),
+    )

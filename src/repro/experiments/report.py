@@ -1,0 +1,81 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks print these tables; EXPERIMENTS.md embeds them.  Everything
+is fixed-width text so diffs of re-runs are readable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.metrics import Summary, cdf
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Align a small table of strings/numbers for terminal output."""
+    if not headers:
+        raise ValueError("need at least one column")
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def summary_row(label: str, summary: Summary) -> list[object]:
+    """A standard [label, n, median, p90, p95, max] table row."""
+    return [
+        label,
+        summary.n,
+        summary.median,
+        summary.p90,
+        summary.p95,
+        summary.maximum,
+    ]
+
+
+def cdf_sketch(values, width: int = 50, points: int = 10) -> str:
+    """A coarse text CDF: quantile markers along a line.
+
+    Gives benchmark logs a visual cue of the distribution the paper
+    plots, without needing a plotting stack.
+    """
+    vals, probs = cdf(values)
+    qs = np.linspace(0.05, 0.95, points)
+    lines = []
+    vmax = vals[-1] if vals[-1] > 0 else 1.0
+    for q in qs:
+        v = float(np.interp(q, probs, vals))
+        pos = int(round((v / vmax) * (width - 1)))
+        line = [" "] * width
+        line[min(pos, width - 1)] = "*"
+        lines.append(f"P{int(q * 100):02d} |" + "".join(line) + f"| {v:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,256 @@
+"""Reusable experiment drivers behind the per-figure entry points.
+
+Each driver mirrors the paper's §12 "Method" paragraphs: pairs of
+devices at random testbed locations, a one-time free-space calibration
+per device pair (§7 observation 2), repeated CSI sweeps, and the
+estimator under test.  Figures call these with their own parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cfo import LinkCalibration
+from repro.core.localization import locate_transmitter
+from repro.core.pipeline import ChronosDevice, ChronosPair, triangle_array
+from repro.core.tof import TofEstimate, TofEstimator, TofEstimatorConfig
+from repro.experiments.testbed import Testbed, office_testbed
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.rf.environment import free_space
+from repro.rf.geometry import Point
+from repro.wifi.hardware import INTEL_5300, HardwareProfile
+from repro.wifi.radio import SimulatedLink
+
+
+@dataclass
+class TofSample:
+    """One ToF measurement outcome on the testbed."""
+
+    true_tof_s: float
+    estimated_tof_s: float
+    distance_m: float
+    line_of_sight: bool
+    estimate: TofEstimate
+
+    @property
+    def error_s(self) -> float:
+        """Signed ToF error."""
+        return self.estimated_tof_s - self.true_tof_s
+
+    @property
+    def abs_error_s(self) -> float:
+        """Absolute ToF error (the Fig. 7a statistic)."""
+        return abs(self.error_s)
+
+    @property
+    def abs_error_m(self) -> float:
+        """Absolute error as a distance."""
+        return self.abs_error_s * SPEED_OF_LIGHT
+
+
+def calibrate_pair(
+    tx_state,
+    rx_state,
+    estimator_config: TofEstimatorConfig,
+    rng: np.random.Generator,
+    reference_distance_m: float = 1.0,
+    n_sweeps: int = 2,
+    n_packets_per_band: int = 3,
+) -> LinkCalibration:
+    """§7's one-time known-distance calibration for a device pair."""
+    link = SimulatedLink(
+        environment=free_space(),
+        tx_position=Point(0.0, 0.0),
+        rx_position=Point(reference_distance_m, 0.0),
+        tx_state=tx_state,
+        rx_state=rx_state,
+        rng=rng,
+    )
+    estimator = TofEstimator(estimator_config)
+    sweeps = [link.sweep(n_packets_per_band) for _ in range(n_sweeps)]
+    estimate = estimator.estimate_many(sweeps)
+    return LinkCalibration.fit(
+        estimate.raw_tof_s, link.true_tof_s, estimate.coarse_round_trip_s
+    )
+
+
+def run_tof_experiment(
+    n_pairs: int,
+    seed: int = 11,
+    line_of_sight: bool | None = None,
+    testbed: Testbed | None = None,
+    profile: HardwareProfile = INTEL_5300,
+    estimator_config: TofEstimatorConfig | None = None,
+    n_packets_per_band: int = 3,
+    n_sweeps: int = 1,
+) -> list[TofSample]:
+    """The §12.1 accuracy experiment: ToF error across testbed pairs.
+
+    Args:
+        n_pairs: Device-pair placements to evaluate.
+        seed: Master seed (placements and hardware draws derive from it).
+        line_of_sight: Restrict to LOS (True), NLOS (False) or both.
+        testbed: The office floor; defaults to the Fig. 6 layout.
+        profile: Card model for both devices.
+        estimator_config: Estimator settings (profile computation is
+            disabled by default for speed — ToF-only here).
+        n_packets_per_band / n_sweeps: Acquisition depth.
+
+    Returns:
+        One :class:`TofSample` per evaluated pair.
+    """
+    tb = testbed or office_testbed()
+    cfg = estimator_config or TofEstimatorConfig(compute_profile=False)
+    rng = np.random.default_rng(seed)
+    pairs = tb.location_pairs(n_pairs, rng, line_of_sight=line_of_sight)
+    samples: list[TofSample] = []
+    for tx_pos, rx_pos in pairs:
+        tx_state = profile.sample_device_state(rng)
+        rx_state = profile.sample_device_state(rng)
+        calibration = calibrate_pair(tx_state, rx_state, cfg, rng)
+        estimator = TofEstimator(cfg, calibration)
+        link = SimulatedLink(
+            environment=tb.environment,
+            tx_position=tx_pos,
+            rx_position=rx_pos,
+            tx_state=tx_state,
+            rx_state=rx_state,
+            rng=rng,
+        )
+        sweeps = [link.sweep(n_packets_per_band) for _ in range(n_sweeps)]
+        estimate = estimator.estimate_many(sweeps)
+        samples.append(
+            TofSample(
+                true_tof_s=link.true_tof_s,
+                estimated_tof_s=estimate.tof_s,
+                distance_m=link.true_distance_m,
+                line_of_sight=link.line_of_sight,
+                estimate=estimate,
+            )
+        )
+    return samples
+
+
+@dataclass
+class LocalizationSample:
+    """One localization fix on the testbed."""
+
+    error_m: float
+    line_of_sight: bool
+    residual_m: float
+    n_anchors_used: int
+
+
+def run_localization_experiment(
+    n_pairs: int,
+    antenna_separation_m: float,
+    seed: int = 23,
+    line_of_sight: bool | None = None,
+    testbed: Testbed | None = None,
+    profile: HardwareProfile = INTEL_5300,
+    estimator_config: TofEstimatorConfig | None = None,
+    n_sweeps: int = 1,
+) -> list[LocalizationSample]:
+    """The §12.2 experiment: 3-antenna receiver localizes a transmitter.
+
+    ``antenna_separation_m`` is the §10/§12.2 knob: 0.3 m for a client
+    laptop, 1.0 m for an access point.
+    """
+    tb = testbed or office_testbed()
+    cfg = estimator_config or TofEstimatorConfig(compute_profile=False)
+    rng = np.random.default_rng(seed)
+    pairs = tb.location_pairs(n_pairs, rng, line_of_sight=line_of_sight)
+    samples: list[LocalizationSample] = []
+    for tx_pos, rx_pos in pairs:
+        # Both devices are 3-antenna laptops in §12.2; the pairwise
+        # distance strategy of §8 needs the transmit array too.
+        transmitter = ChronosDevice.create(
+            "tx",
+            tx_pos,
+            rng,
+            profile,
+            antenna_offsets=triangle_array(0.3),
+            heading_rad=rng.uniform(0, 2 * np.pi),
+        )
+        receiver = ChronosDevice.create(
+            "rx",
+            rx_pos,
+            rng,
+            profile,
+            antenna_offsets=triangle_array(antenna_separation_m),
+            heading_rad=rng.uniform(0, 2 * np.pi),
+        )
+        pair = ChronosPair(
+            tb.environment, receiver=receiver, transmitter=transmitter, rng=rng
+        )
+        pair.calibrate()
+        fix = pair.localize(n_sweeps=n_sweeps)
+        los = tb.environment.has_line_of_sight(tx_pos, rx_pos)
+        samples.append(
+            LocalizationSample(
+                error_m=fix.error_m,
+                line_of_sight=los,
+                residual_m=fix.result.residual_rms_m,
+                n_anchors_used=len(fix.result.used_indices),
+            )
+        )
+    return samples
+
+
+@dataclass
+class DetectionDelaySample:
+    """Per-packet detection delay vs propagation delay (Fig. 7c)."""
+
+    detection_delays_s: np.ndarray
+    propagation_delays_s: np.ndarray
+
+
+def run_detection_delay_experiment(
+    n_pairs: int = 10,
+    seed: int = 31,
+    testbed: Testbed | None = None,
+    profile: HardwareProfile = INTEL_5300,
+) -> DetectionDelaySample:
+    """Collect per-packet detection delays the way §12.1 does.
+
+    The paper computes detection delay from channel phase: the CSI
+    slope gives total group delay (τ + δ + chain); subtracting the
+    ToF estimate and the calibrated chain constant leaves δ.
+    """
+    from repro.core.interpolation import group_delay_s
+
+    tb = testbed or office_testbed()
+    rng = np.random.default_rng(seed)
+    pairs = tb.location_pairs(n_pairs, rng)
+    cfg = TofEstimatorConfig(compute_profile=False)
+    detection: list[float] = []
+    propagation: list[float] = []
+    for tx_pos, rx_pos in pairs:
+        tx_state = profile.sample_device_state(rng)
+        rx_state = profile.sample_device_state(rng)
+        link = SimulatedLink(
+            environment=tb.environment,
+            tx_position=tx_pos,
+            rx_position=rx_pos,
+            tx_state=tx_state,
+            rx_state=rx_state,
+            rng=rng,
+        )
+        calibration = calibrate_pair(tx_state, rx_state, cfg, rng)
+        estimator = TofEstimator(cfg, calibration)
+        sweep = link.sweep(3)
+        estimate = estimator.estimate_many([sweep])
+        chain_fwd = tx_state.tx_chain_delay_s + rx_state.rx_chain_delay_s
+        for m in sweep:
+            if m.band.is_2g4 and profile.phase_quirk_2g4:
+                continue
+            slope = group_delay_s(m.forward)
+            delta = slope - estimate.tof_s - chain_fwd
+            detection.append(delta)
+            propagation.append(link.true_tof_s)
+    return DetectionDelaySample(
+        detection_delays_s=np.array(detection),
+        propagation_delays_s=np.array(propagation),
+    )

@@ -1,0 +1,197 @@
+"""The paper's testbed: one floor of a large office building (Fig. 6).
+
+"The floor has multiple offices, a lounge area, conference rooms, metal
+cabinets, computers and furniture" — 20 m × 20 m, with 30 candidate
+device locations (the blue dots of Fig. 6) and device pairs up to 15 m
+apart, in both line-of-sight and non-line-of-sight.
+
+The layout below models that floor: brick outer walls, drywall offices
+around the perimeter, a central corridor pair, two conference-room
+partitions, a few metal cabinets.  Dense partitioning matters
+physically: long skew echoes cross several walls and die, which keeps
+every significant squared-channel component inside the 200 ns CRT
+window — the same property a real furnished office floor has (and the
+paper's 60 m unambiguity argument relies on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.rf.environment import Clutter, Environment, Wall, rectangular_room
+from repro.rf.geometry import Point, Segment
+from repro.rf.materials import BRICK, CONCRETE, DRYWALL, GLASS, METAL
+
+FLOOR_SIZE_M = 20.0
+"""Side length of the square office floor (Fig. 6)."""
+
+N_CANDIDATE_LOCATIONS = 30
+"""Number of candidate device locations (blue dots in Fig. 6)."""
+
+MAX_PAIR_DISTANCE_M = 15.0
+"""The paper evaluates pairs 'with their pairwise distance up to 15 m'."""
+
+
+def _office_walls() -> list[Wall]:
+    """The floorplan: perimeter offices, corridors, conference rooms."""
+
+    def wall(x1, y1, x2, y2, material=DRYWALL):
+        return Wall(Segment(Point(x1, y1), Point(x2, y2)), material)
+
+    walls: list[Wall] = []
+    # Perimeter office fronts (drywall) along the south and north edges,
+    # with door gaps between the segments.
+    walls += [
+        wall(0.0, 4.0, 3.4, 4.0),
+        wall(4.0, 4.0, 7.4, 4.0),
+        wall(8.0, 4.0, 11.4, 4.0),
+        wall(12.0, 4.0, 15.4, 4.0),
+        wall(16.0, 4.0, 20.0, 4.0),
+        wall(0.0, 16.0, 3.4, 16.0),
+        wall(4.0, 16.0, 7.4, 16.0),
+        wall(8.0, 16.0, 11.4, 16.0),
+        wall(12.0, 16.0, 15.4, 16.0),
+        wall(16.0, 16.0, 20.0, 16.0),
+    ]
+    # Office side walls (south row and north row).
+    for x in (4.0, 8.0, 12.0, 16.0):
+        walls.append(wall(x, 0.0, x, 4.0))
+        walls.append(wall(x, 16.0, x, 20.0))
+    # Conference rooms in the middle band, glass fronts.
+    walls += [
+        wall(2.0, 8.0, 6.0, 8.0, GLASS),
+        wall(2.0, 12.0, 6.0, 12.0, GLASS),
+        wall(2.0, 8.0, 2.0, 12.0),
+        wall(6.0, 8.0, 6.0, 10.2),
+        wall(14.0, 8.0, 18.0, 8.0, GLASS),
+        wall(14.0, 12.0, 18.0, 12.0, GLASS),
+        wall(18.0, 8.0, 18.0, 12.0),
+        wall(14.0, 9.8, 14.0, 12.0),
+    ]
+    # Lounge divider and a load-bearing concrete core column wall.
+    walls += [
+        wall(9.0, 9.0, 11.0, 9.0, CONCRETE),
+        wall(9.0, 11.0, 11.0, 11.0, CONCRETE),
+        wall(9.0, 9.0, 9.0, 11.0, CONCRETE),
+        wall(11.0, 9.0, 11.0, 11.0, CONCRETE),
+    ]
+    # Metal cabinets (strong reflectors, as the paper notes).
+    walls += [
+        wall(7.0, 5.2, 7.0, 6.8, METAL),
+        wall(13.0, 13.2, 13.0, 14.8, METAL),
+    ]
+    return walls
+
+
+@dataclass
+class Testbed:
+    """The office floor plus its candidate device locations.
+
+    Attributes:
+        environment: The ray-traced world.
+        locations: Candidate device positions (Fig. 6's blue dots).
+        rng_seed: Seed used to draw the locations (kept for provenance).
+    """
+
+    environment: Environment
+    locations: tuple[Point, ...]
+    rng_seed: int
+
+    def line_of_sight(self, a: Point, b: Point) -> bool:
+        """Whether two locations see each other directly."""
+        return self.environment.has_line_of_sight(a, b)
+
+    def location_pairs(
+        self,
+        n_pairs: int,
+        rng: np.random.Generator,
+        line_of_sight: bool | None = None,
+        min_distance_m: float = 1.0,
+        max_distance_m: float = MAX_PAIR_DISTANCE_M,
+    ) -> list[tuple[Point, Point]]:
+        """Random location pairs, optionally filtered by LOS condition.
+
+        Mirrors the paper's §12.1 method: devices placed at random
+        candidate locations with pairwise distance up to 15 m, in both
+        LOS and NLOS configurations.
+        """
+        if n_pairs < 1:
+            raise ValueError(f"need at least one pair, got {n_pairs}")
+        eligible: list[tuple[Point, Point]] = []
+        for i, a in enumerate(self.locations):
+            for b in self.locations[i + 1 :]:
+                d = a.distance_to(b)
+                if not min_distance_m <= d <= max_distance_m:
+                    continue
+                if line_of_sight is not None:
+                    if self.line_of_sight(a, b) != line_of_sight:
+                        continue
+                eligible.append((a, b))
+        if not eligible:
+            raise ValueError("no eligible location pairs under the constraints")
+        picks = rng.choice(len(eligible), size=min(n_pairs, len(eligible)), replace=False)
+        return [eligible[int(k)] for k in picks]
+
+    def classify_pairs(self) -> dict[str, int]:
+        """Count LOS vs NLOS pairs among all eligible pairs (diagnostics)."""
+        counts = {"los": 0, "nlos": 0}
+        for i, a in enumerate(self.locations):
+            for b in self.locations[i + 1 :]:
+                if not 1.0 <= a.distance_to(b) <= MAX_PAIR_DISTANCE_M:
+                    continue
+                key = "los" if self.line_of_sight(a, b) else "nlos"
+                counts[key] += 1
+        return counts
+
+
+def office_testbed(
+    seed: int = 7,
+    clutter: Clutter | None = None,
+    n_locations: int = N_CANDIDATE_LOCATIONS,
+) -> Testbed:
+    """Build the Fig. 6 office floor with ``n_locations`` candidate spots.
+
+    Locations are drawn away from walls (≥ 40 cm clearance) and
+    deterministically for a given seed, so experiments are reproducible.
+    """
+    if n_locations < 2:
+        raise ValueError(f"need at least 2 locations, got {n_locations}")
+    env = rectangular_room(
+        FLOOR_SIZE_M,
+        FLOOR_SIZE_M,
+        BRICK,
+        inner_walls=_office_walls(),
+        clutter=clutter if clutter is not None else Clutter(),
+    )
+    rng = np.random.default_rng(seed)
+    locations: list[Point] = []
+    attempts = 0
+    while len(locations) < n_locations and attempts < 10000:
+        attempts += 1
+        p = Point(rng.uniform(0.5, FLOOR_SIZE_M - 0.5), rng.uniform(0.5, FLOOR_SIZE_M - 0.5))
+        if _too_close_to_wall(p, env, 0.4):
+            continue
+        if any(p.distance_to(q) < 1.5 for q in locations):
+            continue
+        locations.append(p)
+    if len(locations) < n_locations:
+        raise RuntimeError("could not place the requested number of locations")
+    return Testbed(environment=env, locations=tuple(locations), rng_seed=seed)
+
+
+def _too_close_to_wall(p: Point, env: Environment, clearance_m: float) -> bool:
+    """True when ``p`` is within ``clearance_m`` of any wall segment."""
+    for wall in env.walls:
+        seg = wall.segment
+        d = seg.b - seg.a
+        denom = d.dot(d)
+        if denom <= 0:
+            continue
+        t = max(0.0, min(1.0, (p - seg.a).dot(d) / denom))
+        foot = seg.a + t * d
+        if p.distance_to(foot) < clearance_m:
+            return True
+    return False

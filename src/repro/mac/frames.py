@@ -1,0 +1,48 @@
+"""Frame types exchanged by the hopping protocol.
+
+The paper's protocol (§4) needs only two frame roles beyond data: a
+control packet advertising the next band, and the driver-injected
+acknowledgment (§11) that both confirms reception and signals the hop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FrameType(enum.Enum):
+    """What a frame means to the hopping state machine."""
+
+    CONTROL = "control"
+    """Transmitter → receiver: 'next band is X, measure me'."""
+
+    ACK = "ack"
+    """Receiver → transmitter: 'got it, hopping to X'."""
+
+    DATA = "data"
+    """Payload traffic (used by the §12.3 network-impact experiments)."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A transmitted frame.
+
+    Attributes:
+        frame_type: Role in the protocol.
+        channel: 802.11 channel the frame is sent on.
+        next_channel: For CONTROL/ACK: the advertised hop target.
+        duration_s: Airtime of the frame.
+    """
+
+    frame_type: FrameType
+    channel: int
+    next_channel: int | None = None
+    duration_s: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s}")
+        if self.frame_type in (FrameType.CONTROL, FrameType.ACK):
+            if self.next_channel is None:
+                raise ValueError(f"{self.frame_type.value} frames must carry next_channel")

@@ -1,0 +1,99 @@
+"""A minimal discrete-event simulation engine.
+
+Events are (time, action) pairs in a priority queue; the scheduler pops
+them in time order and runs the actions, which may schedule further
+events.  Deliberately tiny — just enough for the hopping protocol and
+the traffic models, with deterministic tie-breaking so simulations are
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled action.  Ordering: time, then insertion sequence."""
+
+    time_s: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Priority-queue event loop with deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay_s: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run ``delay_s`` seconds from now.
+
+        Returns the :class:`Event`, which the caller may cancel.
+        """
+        if delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {delay_s}")
+        event = Event(self._now + delay_s, next(self._counter), action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time_s: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at an absolute simulation time."""
+        if time_s < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time_s} < now {self._now}"
+            )
+        event = Event(time_s, next(self._counter), action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(
+        self,
+        until_s: float | None = None,
+        max_events: int = 1_000_000,
+    ) -> float:
+        """Run events until the queue drains, ``until_s``, or the cap.
+
+        Returns the simulation time when the loop stopped.
+        """
+        while self._queue and self._processed < max_events:
+            event = self._queue[0]
+            if until_s is not None and event.time_s > until_s:
+                self._now = until_s
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time_s
+            self._processed += 1
+            event.action()
+        else:
+            if until_s is not None and self._now < until_s:
+                self._now = until_s
+        return self._now
+
+    def pending(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,23 @@
+"""Traffic-impact substrate for §12.3.
+
+When an access point serving traffic is asked to localize a client, it
+leaves its serving channel for one sweep (~84 ms).  These models
+reproduce the two traces of Fig. 9:
+
+* :mod:`repro.net.video` — a buffered VLC-style stream: download stalls
+  during the sweep but playback continues from the buffer (Fig. 9b);
+* :mod:`repro.net.tcp` — a long-lived iperf-style TCP flow whose
+  windowed throughput dips a few percent around the sweep (Fig. 9c).
+"""
+
+from repro.net.tcp import TcpConfig, TcpFlowSimulation, TcpTrace
+from repro.net.video import VideoConfig, VideoStreamSimulation, VideoTrace
+
+__all__ = [
+    "TcpConfig",
+    "TcpFlowSimulation",
+    "TcpTrace",
+    "VideoConfig",
+    "VideoStreamSimulation",
+    "VideoTrace",
+]

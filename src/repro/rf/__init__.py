@@ -1,0 +1,51 @@
+"""Physical-layer substrate: geometry, multipath propagation and channels.
+
+This package simulates the over-the-air part of the Chronos paper: an
+indoor environment with reflecting walls, the image-method enumeration of
+propagation paths, and the frequency-domain channel
+
+    h(f) = sum_k a_k * exp(-j * 2 * pi * f * tau_k)
+
+that the paper's Eqn. 1 and Eqn. 7 describe.  Everything downstream
+(``repro.wifi``, ``repro.core``) consumes :class:`~repro.rf.paths.PathSet`
+objects produced here.
+"""
+
+from repro.rf.constants import SPEED_OF_LIGHT, distance_to_tof, tof_to_distance
+from repro.rf.geometry import Point, Segment, mirror_point, segments_intersect
+from repro.rf.materials import Material, CONCRETE, DRYWALL, GLASS, METAL
+from repro.rf.paths import PropagationPath, PathSet
+from repro.rf.environment import Environment, Wall, free_space
+from repro.rf.channel import channel_at, channel_matrix
+from repro.rf.noise import (
+    LinkBudget,
+    awgn,
+    noise_sigma_for_snr,
+    snr_from_distance,
+)
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "distance_to_tof",
+    "tof_to_distance",
+    "Point",
+    "Segment",
+    "mirror_point",
+    "segments_intersect",
+    "Material",
+    "CONCRETE",
+    "DRYWALL",
+    "GLASS",
+    "METAL",
+    "PropagationPath",
+    "PathSet",
+    "Environment",
+    "Wall",
+    "free_space",
+    "channel_at",
+    "channel_matrix",
+    "LinkBudget",
+    "awgn",
+    "noise_sigma_for_snr",
+    "snr_from_distance",
+]

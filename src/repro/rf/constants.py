@@ -1,0 +1,84 @@
+"""Physical constants and unit helpers used across the reproduction.
+
+The paper reasons in nanoseconds (time-of-flight), meters (distance) and
+Hertz (carrier frequency).  All public APIs in this repository use SI base
+units — seconds, meters, Hertz — and the helpers here convert between them.
+"""
+
+from __future__ import annotations
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum, m/s.  Indoor air is within 0.03 % of this."""
+
+BOLTZMANN = 1.380_649e-23
+"""Boltzmann constant, J/K, for thermal-noise floor computations."""
+
+ROOM_TEMPERATURE_K = 290.0
+"""Reference temperature for noise-figure math (IEEE convention)."""
+
+NANOSECOND = 1e-9
+"""One nanosecond in seconds; the paper's headline unit."""
+
+
+def distance_to_tof(distance_m: float) -> float:
+    """Return the one-way time-of-flight in seconds for ``distance_m`` meters.
+
+    >>> round(distance_to_tof(0.6) / NANOSECOND, 2)  # the paper's Fig. 3 example
+    2.0
+    """
+    if distance_m < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_m}")
+    return distance_m / SPEED_OF_LIGHT
+
+
+def tof_to_distance(tof_s: float) -> float:
+    """Return the distance in meters traveled in ``tof_s`` seconds.
+
+    >>> round(tof_to_distance(2e-9), 2)
+    0.6
+    """
+    return tof_s * SPEED_OF_LIGHT
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a power ratio from decibels to linear scale."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises ``ValueError`` for non-positive ratios, which have no dB
+    representation.
+    """
+    if ratio <= 0:
+        raise ValueError(f"power ratio must be positive, got {ratio}")
+    import math
+
+    return 10.0 * math.log10(ratio)
+
+
+def amplitude_db_to_linear(db: float) -> float:
+    """Convert an *amplitude* (field) gain in dB to linear scale.
+
+    Amplitude uses a factor 20 instead of 10: a -6 dB amplitude gain halves
+    the field strength and quarters the power.
+    """
+    return 10.0 ** (db / 20.0)
+
+
+def thermal_noise_power_dbm(bandwidth_hz: float, noise_figure_db: float = 0.0) -> float:
+    """Thermal noise power in dBm over ``bandwidth_hz`` at room temperature.
+
+    ``noise_figure_db`` models receiver front-end degradation (the Intel
+    5300 datasheet implies roughly 6 dB).
+
+    >>> round(thermal_noise_power_dbm(20e6), 1)  # 20 MHz Wi-Fi band
+    -101.0
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    import math
+
+    noise_w = BOLTZMANN * ROOM_TEMPERATURE_K * bandwidth_hz
+    return 10.0 * math.log10(noise_w * 1e3) + noise_figure_db

@@ -1,0 +1,171 @@
+"""Planar geometry primitives for the indoor ray tracer.
+
+The testbed in the paper (Fig. 6) is a single floor, so propagation is
+modeled in 2-D.  These primitives are deliberately small: points, line
+segments, mirror reflections (for the image method) and segment
+intersection tests (for wall-crossing / line-of-sight checks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point (or free vector) in the plane, in meters."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Point") -> float:
+        """Inner product with ``other``."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the 3-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def normalized(self) -> "Point":
+        """Unit vector in this direction.  Raises on the zero vector."""
+        n = self.norm()
+        if n < _EPS:
+            raise ValueError("cannot normalize the zero vector")
+        return Point(self.x / n, self.y / n)
+
+    def rotated(self, angle_rad: float) -> "Point":
+        """This vector rotated counter-clockwise by ``angle_rad``."""
+        c, s = math.cos(angle_rad), math.sin(angle_rad)
+        return Point(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A closed line segment between two points."""
+
+    a: Point
+    b: Point
+
+    def length(self) -> float:
+        """Segment length in meters."""
+        return self.a.distance_to(self.b)
+
+    def direction(self) -> Point:
+        """Unit vector from ``a`` to ``b``."""
+        return (self.b - self.a).normalized()
+
+    def midpoint(self) -> Point:
+        """The segment's midpoint."""
+        return Point((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+
+    def point_at(self, t: float) -> Point:
+        """Affine interpolation: ``t=0`` gives ``a``, ``t=1`` gives ``b``."""
+        return Point(
+            self.a.x + t * (self.b.x - self.a.x),
+            self.a.y + t * (self.b.y - self.a.y),
+        )
+
+    def contains_point(self, p: Point, tol: float = 1e-9) -> bool:
+        """True when ``p`` lies on the segment within ``tol`` meters."""
+        ab = self.b - self.a
+        ap = p - self.a
+        if abs(ab.cross(ap)) > tol * max(ab.norm(), 1.0):
+            return False
+        t = ap.dot(ab) / max(ab.dot(ab), _EPS)
+        return -tol <= t <= 1.0 + tol
+
+
+def mirror_point(p: Point, wall: Segment) -> Point:
+    """Reflect ``p`` across the infinite line through ``wall``.
+
+    This is the core of the image method: the reflected path from a source
+    ``p`` off ``wall`` to a receiver has the same length as the straight
+    line from the mirror image of ``p`` to the receiver.
+    """
+    d = wall.b - wall.a
+    denom = d.dot(d)
+    if denom < _EPS:
+        raise ValueError("wall segment is degenerate (zero length)")
+    t = (p - wall.a).dot(d) / denom
+    foot = wall.a + t * d
+    return foot + (foot - p)
+
+
+def segment_intersection(s1: Segment, s2: Segment) -> Optional[Point]:
+    """Return the intersection point of two segments, or ``None``.
+
+    Collinear overlapping segments return ``None`` (the ray tracer treats
+    a ray grazing along a wall as not crossing it, which is the physically
+    conservative choice).
+    """
+    p, r = s1.a, s1.b - s1.a
+    q, s = s2.a, s2.b - s2.a
+    denom = r.cross(s)
+    if abs(denom) < _EPS:
+        return None
+    qp = q - p
+    t = qp.cross(s) / denom
+    u = qp.cross(r) / denom
+    if -_EPS <= t <= 1.0 + _EPS and -_EPS <= u <= 1.0 + _EPS:
+        return s1.point_at(min(max(t, 0.0), 1.0))
+    return None
+
+
+def segments_intersect(s1: Segment, s2: Segment) -> bool:
+    """True when the two segments share at least one non-collinear point."""
+    return segment_intersection(s1, s2) is not None
+
+
+def crossing_parameter(path: Segment, wall: Segment) -> Optional[float]:
+    """Parameter ``t`` along ``path`` where it crosses ``wall``, else ``None``.
+
+    Endpoint grazes (t very close to 0 or 1) are excluded so that a path
+    *originating on* a wall — as reflected paths do — is not double-counted
+    as crossing it.
+    """
+    p, r = path.a, path.b - path.a
+    q, s = wall.a, wall.b - wall.a
+    denom = r.cross(s)
+    if abs(denom) < _EPS:
+        return None
+    qp = q - p
+    t = qp.cross(s) / denom
+    u = qp.cross(r) / denom
+    if 1e-9 < t < 1.0 - 1e-9 and -_EPS <= u <= 1.0 + _EPS:
+        return t
+    return None
+
+
+def polygon_walls(corners: Iterable[Point]) -> list[Segment]:
+    """Segments forming the closed polygon through ``corners`` in order."""
+    pts = list(corners)
+    if len(pts) < 3:
+        raise ValueError(f"a polygon needs at least 3 corners, got {len(pts)}")
+    return [Segment(pts[i], pts[(i + 1) % len(pts)]) for i in range(len(pts))]

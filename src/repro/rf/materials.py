@@ -1,0 +1,68 @@
+"""Building materials and their interaction with ~2.4/5 GHz signals.
+
+The image-method tracer needs two numbers per wall: how much *amplitude*
+survives a reflection off it, and how much survives transmission through
+it.  Published measurement campaigns (e.g. ITU-R P.2040, and the indoor
+measurements cited by the paper's multipath discussion) put typical
+reflection losses at 3–10 dB and through-wall losses at 3–15 dB depending
+on material; the constants below sit in those ranges.
+
+Values are stored as *power* losses in dB and converted to amplitude
+factors where needed, because the channel model of Eqn. 7 multiplies path
+amplitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rf.constants import amplitude_db_to_linear
+
+
+@dataclass(frozen=True)
+class Material:
+    """Radio-frequency behaviour of a wall material.
+
+    Attributes:
+        name: Human-readable material name.
+        reflection_loss_db: Power lost by a bounce off the surface, in dB.
+        transmission_loss_db: Power lost passing through the wall, in dB.
+    """
+
+    name: str
+    reflection_loss_db: float
+    transmission_loss_db: float
+
+    def __post_init__(self) -> None:
+        if self.reflection_loss_db < 0 or self.transmission_loss_db < 0:
+            raise ValueError(
+                f"losses must be non-negative dB values, got "
+                f"reflection={self.reflection_loss_db}, "
+                f"transmission={self.transmission_loss_db}"
+            )
+
+    @property
+    def reflection_amplitude(self) -> float:
+        """Linear amplitude factor applied per reflection (0..1]."""
+        return amplitude_db_to_linear(-self.reflection_loss_db)
+
+    @property
+    def transmission_amplitude(self) -> float:
+        """Linear amplitude factor applied per through-wall crossing (0..1]."""
+        return amplitude_db_to_linear(-self.transmission_loss_db)
+
+
+CONCRETE = Material("concrete", reflection_loss_db=5.0, transmission_loss_db=12.0)
+"""Load-bearing concrete: strong reflector, poor transmitter."""
+
+DRYWALL = Material("drywall", reflection_loss_db=9.0, transmission_loss_db=4.0)
+"""Office partition drywall: weak reflector, passes signal with modest loss."""
+
+GLASS = Material("glass", reflection_loss_db=9.0, transmission_loss_db=2.5)
+"""Interior glass: mostly transparent at Wi-Fi frequencies."""
+
+METAL = Material("metal", reflection_loss_db=2.0, transmission_loss_db=30.0)
+"""Metal cabinets (present in the paper's testbed): near-perfect mirrors."""
+
+BRICK = Material("brick", reflection_loss_db=6.5, transmission_loss_db=9.0)
+"""Exterior brick walls."""

@@ -1,0 +1,102 @@
+"""Noise and link-budget models.
+
+Chronos's accuracy degrades with distance because SNR drops (the paper's
+Fig. 8a attributes the growth in error at 12–15 m to "reduced
+signal-to-noise ratio").  This module provides:
+
+* a log-distance link budget mapping tx power and range to SNR, and
+* complex AWGN generation for CSI measurements at a given SNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rf.constants import thermal_noise_power_dbm
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Log-distance link budget for indoor Wi-Fi.
+
+    Attributes:
+        tx_power_dbm: Transmit power (Intel 5300 defaults to ~15 dBm).
+        path_loss_exponent: 2.0 in free space; ~2.5–3.5 indoors.
+        reference_loss_db: Path loss at 1 m (~40 dB at 2.4 GHz, ~46 at 5 GHz).
+        noise_figure_db: Receiver noise figure.
+        bandwidth_hz: Noise bandwidth (one 20 MHz Wi-Fi band).
+        nlos_penalty_db: Additional loss applied to NLOS links.
+    """
+
+    tx_power_dbm: float = 15.0
+    path_loss_exponent: float = 2.7
+    reference_loss_db: float = 43.0
+    noise_figure_db: float = 6.0
+    bandwidth_hz: float = 20e6
+    nlos_penalty_db: float = 8.0
+
+    def path_loss_db(self, distance_m: float) -> float:
+        """Log-distance path loss at ``distance_m`` meters."""
+        if distance_m <= 0:
+            raise ValueError(f"distance must be positive, got {distance_m}")
+        d = max(distance_m, 1.0)
+        return self.reference_loss_db + 10.0 * self.path_loss_exponent * np.log10(d)
+
+    def snr_db(self, distance_m: float, line_of_sight: bool = True) -> float:
+        """Received SNR in dB at the given range."""
+        noise_dbm = thermal_noise_power_dbm(self.bandwidth_hz, self.noise_figure_db)
+        rx_dbm = self.tx_power_dbm - self.path_loss_db(distance_m)
+        if not line_of_sight:
+            rx_dbm -= self.nlos_penalty_db
+        return rx_dbm - noise_dbm
+
+
+def snr_from_distance(
+    distance_m: float, line_of_sight: bool = True, budget: LinkBudget | None = None
+) -> float:
+    """SNR in dB for a link of ``distance_m`` meters under ``budget``."""
+    return (budget or LinkBudget()).snr_db(distance_m, line_of_sight)
+
+
+def noise_sigma_for_snr(snr_db: float, signal_power: float = 1.0) -> float:
+    """Per-component std-dev of complex AWGN for a target SNR.
+
+    The complex noise ``n = nr + j*ni`` has total power ``2*sigma**2``;
+    solving ``signal_power / (2*sigma**2) = snr`` gives sigma.
+    """
+    snr_linear = 10.0 ** (snr_db / 10.0)
+    if snr_linear <= 0:
+        raise ValueError(f"SNR must correspond to positive power, got {snr_db} dB")
+    return float(np.sqrt(signal_power / (2.0 * snr_linear)))
+
+
+def awgn(
+    values: np.ndarray,
+    snr_db: float,
+    rng: np.random.Generator,
+    reference_power: float | None = None,
+) -> np.ndarray:
+    """Add complex white Gaussian noise to ``values`` at ``snr_db``.
+
+    Args:
+        values: Complex array (any shape) of noiseless measurements.
+        snr_db: Target signal-to-noise ratio in dB.
+        rng: Random generator — callers own seeding for reproducibility.
+        reference_power: Signal power the SNR is relative to.  Defaults to
+            the mean power of ``values`` so that weak (NLOS) channels get
+            proportionally *more* noise relative to their structure, as a
+            fixed-noise-floor receiver would experience.
+
+    Returns:
+        A new array; the input is not modified.
+    """
+    vals = np.asarray(values, dtype=complex)
+    if reference_power is None:
+        reference_power = float(np.mean(np.abs(vals) ** 2))
+        if reference_power == 0.0:
+            reference_power = 1.0
+    sigma = noise_sigma_for_snr(snr_db, reference_power)
+    noise = rng.normal(0.0, sigma, vals.shape) + 1j * rng.normal(0.0, sigma, vals.shape)
+    return vals + noise

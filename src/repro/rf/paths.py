@@ -1,0 +1,194 @@
+"""Propagation paths: the sparse physical objects behind multipath profiles.
+
+A :class:`PropagationPath` is one term of the paper's Eqn. 7 — an
+amplitude ``a_k`` and a delay ``tau_k``.  A :class:`PathSet` is the whole
+sum, sorted by delay so that ``paths[0]`` is the *direct* (shortest) path
+whose delay is the time-of-flight Chronos is after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.rf.constants import SPEED_OF_LIGHT
+
+
+@dataclass(frozen=True)
+class PropagationPath:
+    """One physical path from transmitter to receiver.
+
+    Attributes:
+        delay_s: Propagation delay in seconds (path length / c).
+        amplitude: Linear field amplitude of the path (>= 0).
+        bounces: Number of wall reflections along the path (0 = direct).
+        through_walls: Number of walls the path passes through.
+    """
+
+    delay_s: float
+    amplitude: float
+    bounces: int = 0
+    through_walls: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError(f"delay must be non-negative, got {self.delay_s}")
+        if self.amplitude < 0:
+            raise ValueError(f"amplitude must be non-negative, got {self.amplitude}")
+
+    @property
+    def length_m(self) -> float:
+        """Geometric path length in meters."""
+        return self.delay_s * SPEED_OF_LIGHT
+
+    @property
+    def power(self) -> float:
+        """Path power (amplitude squared)."""
+        return self.amplitude**2
+
+    def is_direct(self) -> bool:
+        """True for the unobstructed-geometry path (no bounces)."""
+        return self.bounces == 0
+
+
+class PathSet:
+    """An ordered collection of propagation paths between two antennas.
+
+    Paths are kept sorted by increasing delay.  The set is immutable after
+    construction; derived sets (pruned, scaled) are new objects.
+    """
+
+    def __init__(self, paths: Iterable[PropagationPath]):
+        self._paths: tuple[PropagationPath, ...] = tuple(
+            sorted(paths, key=lambda p: p.delay_s)
+        )
+        if not self._paths:
+            raise ValueError("a PathSet needs at least one path")
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self) -> Iterator[PropagationPath]:
+        return iter(self._paths)
+
+    def __getitem__(self, idx: int) -> PropagationPath:
+        return self._paths[idx]
+
+    def __repr__(self) -> str:
+        direct = self.direct_path
+        return (
+            f"PathSet(n={len(self)}, direct={direct.delay_s * 1e9:.2f} ns, "
+            f"spread={self.delay_spread_s * 1e9:.2f} ns)"
+        )
+
+    @property
+    def direct_path(self) -> PropagationPath:
+        """The earliest-arriving path.  Its delay is the true time-of-flight."""
+        return self._paths[0]
+
+    @property
+    def true_tof_s(self) -> float:
+        """Ground-truth time-of-flight in seconds (delay of the first path)."""
+        return self._paths[0].delay_s
+
+    @property
+    def delays_s(self) -> np.ndarray:
+        """All path delays, seconds, ascending."""
+        return np.array([p.delay_s for p in self._paths])
+
+    @property
+    def amplitudes(self) -> np.ndarray:
+        """All path amplitudes, aligned with :attr:`delays_s`."""
+        return np.array([p.amplitude for p in self._paths])
+
+    @property
+    def total_power(self) -> float:
+        """Sum of per-path powers."""
+        return float(np.sum(self.amplitudes**2))
+
+    @property
+    def delay_spread_s(self) -> float:
+        """Difference between the last and first path delays, seconds."""
+        return self._paths[-1].delay_s - self._paths[0].delay_s
+
+    def dominant_paths(self, threshold_db: float = 20.0) -> "PathSet":
+        """Paths within ``threshold_db`` of the strongest path's power.
+
+        The paper's sparsity assumption (§6) is that a handful of paths
+        dominate; this selects them.
+        """
+        amps = self.amplitudes
+        cutoff = amps.max() * 10.0 ** (-threshold_db / 20.0)
+        kept = [p for p in self._paths if p.amplitude >= cutoff]
+        return PathSet(kept)
+
+    def strongest(self, n: int) -> "PathSet":
+        """The ``n`` highest-amplitude paths (delay order preserved)."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        ranked = sorted(self._paths, key=lambda p: -p.amplitude)[:n]
+        return PathSet(ranked)
+
+    def scaled(self, factor: float) -> "PathSet":
+        """A copy with every amplitude multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        return PathSet(
+            PropagationPath(p.delay_s, p.amplitude * factor, p.bounces, p.through_walls)
+            for p in self._paths
+        )
+
+    def direct_path_is_dominant(self, threshold_db: float = 20.0) -> bool:
+        """True when the direct path survives the dominance cut.
+
+        When it does not, Chronos (like all first-peak methods) will lock
+        onto a reflection and produce an outlier — the failure mode the
+        paper acknowledges in §6.
+        """
+        return any(p.is_direct() for p in self.dominant_paths(threshold_db))
+
+
+def two_ray(
+    distance_m: float,
+    excess_delay_s: float,
+    reflection_amplitude: float = 0.5,
+) -> PathSet:
+    """A minimal direct-plus-reflection channel, useful in tests.
+
+    Args:
+        distance_m: Direct-path length.
+        excess_delay_s: Extra delay of the reflected path over the direct.
+        reflection_amplitude: Reflected amplitude relative to direct (=1).
+    """
+    if excess_delay_s <= 0:
+        raise ValueError(f"excess delay must be positive, got {excess_delay_s}")
+    direct_delay = distance_m / SPEED_OF_LIGHT
+    return PathSet(
+        [
+            PropagationPath(direct_delay, 1.0, bounces=0),
+            PropagationPath(
+                direct_delay + excess_delay_s, reflection_amplitude, bounces=1
+            ),
+        ]
+    )
+
+
+def from_delays(
+    delays_s: Sequence[float], amplitudes: Sequence[float]
+) -> PathSet:
+    """Build a :class:`PathSet` directly from delay/amplitude arrays.
+
+    Used by benchmarks that replay the paper's worked examples (e.g. the
+    5.2/10/16 ns triple of Fig. 4).
+    """
+    if len(delays_s) != len(amplitudes):
+        raise ValueError(
+            f"got {len(delays_s)} delays but {len(amplitudes)} amplitudes"
+        )
+    order = np.argsort(delays_s)
+    return PathSet(
+        PropagationPath(float(delays_s[i]), float(amplitudes[i]), bounces=int(i != order[0]))
+        for i in order
+    )

@@ -1,0 +1,53 @@
+"""802.11n substrate: band plan, OFDM grid, CSI containers, hardware models.
+
+This package turns the physical channels of :mod:`repro.rf` into the
+*measured* channel state information (CSI) a commodity card reports —
+including every impairment the paper has to fight: packet detection
+delay (§5), carrier frequency offset and per-packet LO phase (§7), the
+device constant κ, receiver noise, and the Intel 5300's 2.4 GHz
+phase-quirk (§11, footnote 5).
+"""
+
+from repro.wifi.bands import (
+    Band,
+    BandPlan,
+    US_BAND_PLAN,
+    band_plan_2g4,
+    band_plan_5g,
+)
+from repro.wifi.ofdm import (
+    SUBCARRIER_SPACING_HZ,
+    INTEL5300_SUBCARRIERS_20MHZ,
+    subcarrier_frequencies,
+)
+from repro.wifi.csi import BandCsi, CsiSweep, LinkCsi
+from repro.wifi.hardware import (
+    DetectionDelayModel,
+    FrequencyOffsetModel,
+    HardwareProfile,
+    IDEAL_HARDWARE,
+    INTEL_5300,
+)
+from repro.wifi.radio import SimulatedLink, measure_band, measure_sweep
+
+__all__ = [
+    "Band",
+    "BandPlan",
+    "US_BAND_PLAN",
+    "band_plan_2g4",
+    "band_plan_5g",
+    "SUBCARRIER_SPACING_HZ",
+    "INTEL5300_SUBCARRIERS_20MHZ",
+    "subcarrier_frequencies",
+    "BandCsi",
+    "CsiSweep",
+    "LinkCsi",
+    "DetectionDelayModel",
+    "FrequencyOffsetModel",
+    "HardwareProfile",
+    "IDEAL_HARDWARE",
+    "INTEL_5300",
+    "SimulatedLink",
+    "measure_band",
+    "measure_sweep",
+]

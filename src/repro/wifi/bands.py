@@ -1,0 +1,180 @@
+"""The US Wi-Fi band plan that Chronos sweeps (paper Fig. 2 and §5).
+
+The paper counts **35 bands with independent center frequencies** in the
+US at 2.4 GHz and 5 GHz (including the DFS bands that 802.11h-capable
+radios such as the Intel 5300 support):
+
+* 2.4 GHz: channels 1–11, centers 2412–2462 MHz in 5 MHz steps (11 bands);
+* 5 GHz UNII-1/2: channels 36–64 in steps of 4, centers 5180–5320 MHz (8);
+* 5 GHz UNII-2e (DFS): channels 100–140, centers 5500–5700 MHz (11);
+* 5 GHz UNII-3: channels 149–165, centers 5745–5825 MHz (5).
+
+All centers sit on a 5 MHz grid, which is why time-of-flight recovered
+from their phases is unique modulo 1/(5 MHz) = 200 ns (~60 m) — the
+paper's §4 unambiguity claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+FREQUENCY_GRID_HZ = 5e6
+"""Greatest common divisor of all US Wi-Fi center frequencies."""
+
+DEFAULT_BANDWIDTH_HZ = 20e6
+"""Channel bandwidth used throughout (802.11n HT20)."""
+
+
+@dataclass(frozen=True)
+class Band:
+    """One Wi-Fi frequency band (a 20 MHz channel).
+
+    Attributes:
+        channel: 802.11 channel number (1–11 at 2.4 GHz, 36–165 at 5 GHz).
+        center_hz: Center (zero-subcarrier) frequency in Hz.
+        bandwidth_hz: Occupied bandwidth in Hz.
+        dfs: True for radar-protected (DFS) channels.
+    """
+
+    channel: int
+    center_hz: float
+    bandwidth_hz: float = DEFAULT_BANDWIDTH_HZ
+    dfs: bool = False
+
+    def __post_init__(self) -> None:
+        if self.center_hz <= 0:
+            raise ValueError(f"center frequency must be positive, got {self.center_hz}")
+        if self.bandwidth_hz <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_hz}")
+
+    @property
+    def is_2g4(self) -> bool:
+        """True for the 2.4 GHz ISM band."""
+        return self.center_hz < 3e9
+
+    @property
+    def is_5g(self) -> bool:
+        """True for the 5 GHz UNII bands."""
+        return self.center_hz >= 3e9
+
+    @property
+    def wavelength_m(self) -> float:
+        """Carrier wavelength in meters."""
+        from repro.rf.constants import SPEED_OF_LIGHT
+
+        return SPEED_OF_LIGHT / self.center_hz
+
+    def __repr__(self) -> str:
+        return f"Band(ch{self.channel}, {self.center_hz / 1e6:.0f} MHz)"
+
+
+class BandPlan:
+    """An ordered collection of bands a device can hop across."""
+
+    def __init__(self, bands: Sequence[Band]):
+        if not bands:
+            raise ValueError("a BandPlan needs at least one band")
+        ordered = sorted(bands, key=lambda b: b.center_hz)
+        centers = [b.center_hz for b in ordered]
+        if len(set(centers)) != len(centers):
+            raise ValueError("duplicate center frequencies in band plan")
+        self.bands: tuple[Band, ...] = tuple(ordered)
+
+    def __len__(self) -> int:
+        return len(self.bands)
+
+    def __iter__(self) -> Iterator[Band]:
+        return iter(self.bands)
+
+    def __getitem__(self, idx: int) -> Band:
+        return self.bands[idx]
+
+    def __repr__(self) -> str:
+        lo = self.bands[0].center_hz / 1e9
+        hi = self.bands[-1].center_hz / 1e9
+        return f"BandPlan(n={len(self)}, {lo:.3f}-{hi:.3f} GHz)"
+
+    @property
+    def center_frequencies_hz(self) -> np.ndarray:
+        """All center frequencies, ascending, as a float array."""
+        return np.array([b.center_hz for b in self.bands])
+
+    @property
+    def total_span_hz(self) -> float:
+        """Frequency span from lowest to highest center."""
+        return self.bands[-1].center_hz - self.bands[0].center_hz
+
+    def frequency_grid_hz(self) -> float:
+        """GCD of the center frequencies (Hz).
+
+        Determines the unambiguous delay window: profiles computed from
+        these centers repeat with period ``1 / grid``.
+        """
+        centers_khz = np.round(self.center_frequencies_hz / 1e3).astype(np.int64)
+        gcd_khz = np.gcd.reduce(centers_khz)
+        return float(gcd_khz) * 1e3
+
+    def unambiguous_delay_s(self) -> float:
+        """Largest delay resolvable without aliasing (the CRT/LCM window).
+
+        For the US plan this is 1/(5 MHz) = 200 ns, i.e. ~60 m — the
+        paper's §4 number.
+        """
+        return 1.0 / self.frequency_grid_hz()
+
+    def native_resolution_s(self) -> float:
+        """Fourier-limited delay resolution ``1 / span`` (no sparsity).
+
+        Chronos beats this via sparse recovery, but it sets the scale of
+        the stitched-bandwidth gain versus a single 20/40 MHz channel.
+        """
+        return 1.0 / self.total_span_hz
+
+    def subset_2g4(self) -> "BandPlan":
+        """Only the 2.4 GHz bands."""
+        return BandPlan([b for b in self.bands if b.is_2g4])
+
+    def subset_5g(self) -> "BandPlan":
+        """Only the 5 GHz bands."""
+        return BandPlan([b for b in self.bands if b.is_5g])
+
+    def without_dfs(self) -> "BandPlan":
+        """The plan with DFS (radar-protected) channels removed."""
+        kept = [b for b in self.bands if not b.dfs]
+        return BandPlan(kept)
+
+    def decimate(self, keep_every: int) -> "BandPlan":
+        """Every ``keep_every``-th band — used by the band-count ablation."""
+        if keep_every < 1:
+            raise ValueError(f"keep_every must be >= 1, got {keep_every}")
+        return BandPlan(self.bands[::keep_every])
+
+
+def band_plan_2g4() -> BandPlan:
+    """US 2.4 GHz channels 1–11 (2412–2462 MHz)."""
+    return BandPlan(
+        [Band(ch, (2412 + 5 * (ch - 1)) * 1e6) for ch in range(1, 12)]
+    )
+
+
+def band_plan_5g(include_dfs: bool = True) -> BandPlan:
+    """US 5 GHz channels (UNII-1/2, optional DFS UNII-2e, UNII-3)."""
+    channels: list[tuple[int, bool]] = [(ch, False) for ch in range(36, 65, 4)]
+    if include_dfs:
+        channels += [(ch, True) for ch in range(100, 141, 4)]
+    channels += [(ch, False) for ch in range(149, 166, 4)]
+    return BandPlan([Band(ch, (5000 + 5 * ch) * 1e6, dfs=dfs) for ch, dfs in channels])
+
+
+def _us_band_plan() -> BandPlan:
+    both = list(band_plan_2g4()) + list(band_plan_5g(include_dfs=True))
+    plan = BandPlan(both)
+    assert len(plan) == 35, f"US plan must have 35 bands, got {len(plan)}"
+    return plan
+
+
+US_BAND_PLAN = _us_band_plan()
+"""The 35-band US plan the paper sweeps (Fig. 2)."""

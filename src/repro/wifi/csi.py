@@ -1,0 +1,158 @@
+"""Containers for channel state information (CSI) measurements.
+
+Chronos's estimator consumes a *sweep*: for each of the 35 bands, the
+CSI measured in both directions (receiver measures the transmitter's
+packet; transmitter measures the receiver's ACK — §7 uses the pair to
+cancel frequency offsets).  These containers keep that structure explicit
+and carry the metadata (band, subcarrier indices, timestamps) that the
+algorithms need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.wifi.bands import Band
+from repro.wifi.ofdm import INTEL5300_SUBCARRIERS_20MHZ, subcarrier_frequencies
+
+
+@dataclass(frozen=True)
+class BandCsi:
+    """CSI for one packet on one band in one direction.
+
+    Attributes:
+        band: The Wi-Fi band the packet was received on.
+        csi: Complex CSI per reported subcarrier.
+        subcarriers: The subcarrier indices (Intel 5300 set by default).
+        timestamp_s: Receive time — forward/reverse pairs are microseconds
+            apart, and the residual CFO error grows with that separation.
+    """
+
+    band: Band
+    csi: np.ndarray
+    subcarriers: tuple[int, ...] = INTEL5300_SUBCARRIERS_20MHZ
+    timestamp_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        csi = np.asarray(self.csi)
+        if csi.ndim != 1:
+            raise ValueError(f"CSI must be 1-D, got shape {csi.shape}")
+        if len(csi) != len(self.subcarriers):
+            raise ValueError(
+                f"CSI has {len(csi)} entries but {len(self.subcarriers)} "
+                "subcarrier indices"
+            )
+        object.__setattr__(self, "csi", csi.astype(complex))
+
+    @property
+    def frequencies_hz(self) -> np.ndarray:
+        """Absolute RF frequency of each CSI entry."""
+        return subcarrier_frequencies(self.band.center_hz, self.subcarriers)
+
+    @property
+    def magnitudes(self) -> np.ndarray:
+        """Per-subcarrier CSI magnitude."""
+        return np.abs(self.csi)
+
+    @property
+    def phases(self) -> np.ndarray:
+        """Per-subcarrier CSI phase, wrapped to (-pi, pi]."""
+        return np.angle(self.csi)
+
+
+@dataclass(frozen=True)
+class LinkCsi:
+    """The forward/reverse CSI pair for one band (§7's ingredients).
+
+    ``forward`` is measured at the receiver from the transmitter's packet;
+    ``reverse`` is measured at the transmitter from the receiver's ACK.
+    """
+
+    forward: BandCsi
+    reverse: BandCsi
+
+    def __post_init__(self) -> None:
+        if self.forward.band.center_hz != self.reverse.band.center_hz:
+            raise ValueError(
+                "forward and reverse CSI must be on the same band, got "
+                f"{self.forward.band} and {self.reverse.band}"
+            )
+
+    @property
+    def band(self) -> Band:
+        """The band both measurements share."""
+        return self.forward.band
+
+    @property
+    def turnaround_s(self) -> float:
+        """Time between the forward and reverse measurements."""
+        return abs(self.reverse.timestamp_s - self.forward.timestamp_s)
+
+
+class CsiSweep:
+    """A full hop across the band plan.
+
+    This is the unit of input to the time-of-flight estimator — the
+    paper's sweep takes 84 ms and yields 35 forward/reverse pairs.  A
+    band may appear more than once when several packets were exchanged
+    during its dwell; the estimator averages those (§7, observation 1).
+    """
+
+    def __init__(self, measurements: Sequence[LinkCsi]):
+        if not measurements:
+            raise ValueError("a CsiSweep needs at least one band measurement")
+        ordered = sorted(
+            measurements, key=lambda m: (m.band.center_hz, m.forward.timestamp_s)
+        )
+        self._measurements: tuple[LinkCsi, ...] = tuple(ordered)
+
+    def __len__(self) -> int:
+        return len(self._measurements)
+
+    def __iter__(self) -> Iterator[LinkCsi]:
+        return iter(self._measurements)
+
+    def __getitem__(self, idx: int) -> LinkCsi:
+        return self._measurements[idx]
+
+    def __repr__(self) -> str:
+        return f"CsiSweep(n_bands={len(self)})"
+
+    @property
+    def bands(self) -> tuple[Band, ...]:
+        """Unique bands present in the sweep, ascending in frequency."""
+        seen: dict[float, Band] = {}
+        for m in self._measurements:
+            seen.setdefault(m.band.center_hz, m.band)
+        return tuple(seen[c] for c in sorted(seen))
+
+    @property
+    def center_frequencies_hz(self) -> np.ndarray:
+        """Center frequency of every unique band in the sweep."""
+        return np.array([b.center_hz for b in self.bands])
+
+    def by_band(self) -> dict[float, list[LinkCsi]]:
+        """Group measurements by band center frequency (ascending keys)."""
+        groups: dict[float, list[LinkCsi]] = {}
+        for m in self._measurements:
+            groups.setdefault(m.band.center_hz, []).append(m)
+        return {c: groups[c] for c in sorted(groups)}
+
+    def subset(self, predicate) -> "CsiSweep":
+        """A sweep containing only measurements whose band satisfies
+        ``predicate(band) -> bool``."""
+        kept = [m for m in self._measurements if predicate(m.band)]
+        if not kept:
+            raise ValueError("subset predicate removed every band")
+        return CsiSweep(kept)
+
+    def subset_2g4(self) -> "CsiSweep":
+        """Only the 2.4 GHz measurements."""
+        return self.subset(lambda b: b.is_2g4)
+
+    def subset_5g(self) -> "CsiSweep":
+        """Only the 5 GHz measurements."""
+        return self.subset(lambda b: b.is_5g)

@@ -1,0 +1,231 @@
+"""Hardware impairment models for commodity Wi-Fi cards.
+
+Everything Chronos must undo lives here:
+
+* **Packet detection delay** (§5): energy detection in baseband adds a
+  per-packet delay ``delta`` that is an order of magnitude larger than
+  time-of-flight.  The paper measures a median of 177 ns with a standard
+  deviation of 24.76 ns on the Intel 5300 (§12.1, Fig. 7c); our default
+  model reproduces those statistics with a truncated Gaussian.
+* **Carrier frequency offset** (§7): each card runs its own oscillator.
+  Cards correct the bulk CFO per packet from the preamble, but an unknown
+  LO phase and a small residual offset survive and differ per packet.
+  The reciprocity product of forward/reverse CSI cancels the
+  anti-symmetric part; what remains is the residual-CFO-times-turnaround
+  error the paper's §7 observation (1) describes.
+* **Device constant κ and chain delays** (§7): transmit/receive chains
+  contribute a constant complex factor and a constant group delay; both
+  are location-independent and calibratable.
+* **2.4 GHz phase quirk** (§11, footnote 5): the Intel 5300 firmware
+  reports 2.4 GHz CSI phase modulo π/2; the workaround raises the channel
+  to the 4th power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DetectionDelayModel:
+    """Truncated-Gaussian packet detection delay.
+
+    Attributes:
+        mean_s: Mean delay (paper: 177 ns median on the Intel 5300).
+        std_s: Standard deviation (paper: 24.76 ns).
+        min_s: Physical lower bound — a packet cannot be detected before
+            enough preamble samples have accumulated.
+    """
+
+    mean_s: float = 177e-9
+    std_s: float = 24.76e-9
+    min_s: float = 90e-9
+
+    def __post_init__(self) -> None:
+        if self.mean_s < 0 or self.std_s < 0 or self.min_s < 0:
+            raise ValueError("detection delay parameters must be non-negative")
+        if self.min_s > self.mean_s:
+            raise ValueError(
+                f"min delay {self.min_s} exceeds mean {self.mean_s}"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one per-packet detection delay in seconds."""
+        delay = rng.normal(self.mean_s, self.std_s)
+        while delay < self.min_s:
+            delay = rng.normal(self.mean_s, self.std_s)
+        return float(delay)
+
+
+@dataclass(frozen=True)
+class FrequencyOffsetModel:
+    """Residual CFO and per-packet phase behaviour after preamble correction.
+
+    Attributes:
+        oscillator_ppm: Oscillator tolerance; sets the *raw* CFO scale
+            (802.11 mandates ±20 ppm).  Raw CFO is corrected per packet
+            by the card; it is retained here for documentation and for
+            experiments that disable the correction.
+        residual_sigma_hz: Std-dev of the post-correction residual offset.
+        phase_jitter_rad: Per-measurement phase estimation noise that does
+            *not* cancel in the reciprocity product.
+    """
+
+    oscillator_ppm: float = 20.0
+    residual_sigma_hz: float = 150.0
+    phase_jitter_rad: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.oscillator_ppm < 0 or self.residual_sigma_hz < 0:
+            raise ValueError("offset parameters must be non-negative")
+        if self.phase_jitter_rad < 0:
+            raise ValueError("phase jitter must be non-negative")
+
+    def sample_lo_ppm(self, rng: np.random.Generator) -> float:
+        """Draw a device oscillator error in parts-per-million."""
+        return float(rng.uniform(-self.oscillator_ppm, self.oscillator_ppm))
+
+    def sample_residual_hz(self, rng: np.random.Generator) -> float:
+        """Draw a per-band-visit residual CFO after preamble correction."""
+        return float(rng.normal(0.0, self.residual_sigma_hz))
+
+    def sample_jitter_rad(self, rng: np.random.Generator) -> float:
+        """Draw one measurement's phase-estimation jitter."""
+        return float(rng.normal(0.0, self.phase_jitter_rad))
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """A card model: impairment distributions shared by devices of a type.
+
+    Per-device constants (chain delay, κ, oscillator error) are *drawn*
+    from this profile via :meth:`sample_device_state`.
+    """
+
+    name: str
+    detection_delay: DetectionDelayModel = field(default_factory=DetectionDelayModel)
+    frequency_offset: FrequencyOffsetModel = field(default_factory=FrequencyOffsetModel)
+    chain_delay_mean_s: float = 8e-9
+    chain_delay_std_s: float = 2e-9
+    chain_ripple_rad: float = 0.1
+    kappa_phase_uniform: bool = True
+    phase_quirk_2g4: bool = False
+
+    def sample_device_state(self, rng: np.random.Generator) -> "DeviceState":
+        """Draw the per-device constants for one physical card."""
+        tx_delay = max(0.0, rng.normal(self.chain_delay_mean_s, self.chain_delay_std_s))
+        rx_delay = max(0.0, rng.normal(self.chain_delay_mean_s, self.chain_delay_std_s))
+        if self.kappa_phase_uniform:
+            kappa_mag = float(np.exp(rng.normal(0.0, 0.1)))
+            kappa_phase = float(rng.uniform(-math.pi, math.pi))
+        else:
+            # Idealized chains: κ is exactly unity.
+            kappa_mag, kappa_phase = 1.0, 0.0
+        return DeviceState(
+            profile=self,
+            tx_chain_delay_s=float(tx_delay),
+            rx_chain_delay_s=float(rx_delay),
+            kappa=kappa_mag * complex(math.cos(kappa_phase), math.sin(kappa_phase)),
+            lo_ppm=self.frequency_offset.sample_lo_ppm(rng),
+            tx_ripple_seed=int(rng.integers(0, 2**20)),
+            rx_ripple_seed=int(rng.integers(0, 2**20)),
+        )
+
+
+@dataclass(frozen=True)
+class DeviceState:
+    """Sampled constants of one physical card.
+
+    Attributes:
+        profile: The card model this device was drawn from.
+        tx_chain_delay_s: Constant group delay of the transmit chain.
+        rx_chain_delay_s: Constant group delay of the receive chain.
+        kappa: The §7 constant complex factor of this device's chains.
+        lo_ppm: This device's oscillator error in ppm.
+    """
+
+    profile: HardwareProfile
+    tx_chain_delay_s: float
+    rx_chain_delay_s: float
+    kappa: complex
+    lo_ppm: float
+    tx_ripple_seed: int = 0
+    rx_ripple_seed: int = 0
+
+    @property
+    def round_trip_chain_delay_s(self) -> float:
+        """tx + rx chain delay — the constant ToF bias this device adds."""
+        return self.tx_chain_delay_s + self.rx_chain_delay_s
+
+    def tx_ripple_rad(self, channel: int) -> float:
+        """Per-band transmit-chain phase ripple (fixed for this device)."""
+        return chain_ripple_phase(
+            self.tx_ripple_seed, channel, self.profile.chain_ripple_rad
+        )
+
+    def rx_ripple_rad(self, channel: int) -> float:
+        """Per-band receive-chain phase ripple (fixed for this device)."""
+        return chain_ripple_phase(
+            self.rx_ripple_seed, channel, self.profile.chain_ripple_rad
+        )
+
+
+def chain_ripple_phase(seed: int, channel: int, sigma_rad: float) -> float:
+    """Deterministic per-(device-chain, band) phase deviation.
+
+    Real front-ends are not flat across 2.4–5.8 GHz: filters, matching
+    networks and antennas add a frequency-dependent phase on top of the
+    constant group delay.  A scalar ToF-bias calibration cannot remove
+    this ripple, which is why it sets part of the real system's error
+    floor.  The value is a fixed property of the hardware, so it is
+    derived deterministically from the chain's seed and the channel.
+    """
+    if sigma_rad == 0.0:
+        return 0.0
+    rng = np.random.default_rng(((seed & 0xFFFFF) << 16) + (channel & 0xFFFF))
+    return float(rng.normal(0.0, sigma_rad))
+
+
+def apply_phase_quirk(csi: np.ndarray) -> np.ndarray:
+    """Apply the Intel 5300 2.4 GHz firmware quirk: phase modulo π/2.
+
+    Magnitude is preserved; the reported phase is the true phase wrapped
+    into [0, π/2).  The workaround (see §11 footnote 5) is to use the 4th
+    power of the reported CSI, since ``4 * (θ mod π/2) ≡ 4θ (mod 2π)``.
+    """
+    csi = np.asarray(csi, dtype=complex)
+    mags = np.abs(csi)
+    phases = np.mod(np.angle(csi), math.pi / 2.0)
+    return mags * np.exp(1j * phases)
+
+
+IDEAL_HARDWARE = HardwareProfile(
+    name="ideal",
+    detection_delay=DetectionDelayModel(mean_s=0.0, std_s=0.0, min_s=0.0),
+    frequency_offset=FrequencyOffsetModel(
+        oscillator_ppm=0.0, residual_sigma_hz=0.0, phase_jitter_rad=0.0
+    ),
+    chain_delay_mean_s=0.0,
+    chain_delay_std_s=0.0,
+    chain_ripple_rad=0.0,
+    kappa_phase_uniform=False,
+    phase_quirk_2g4=False,
+)
+"""A fictional perfect card: no delay, no CFO, κ = 1.  For unit tests."""
+
+INTEL_5300 = HardwareProfile(
+    name="intel5300",
+    detection_delay=DetectionDelayModel(mean_s=177e-9, std_s=24.76e-9, min_s=90e-9),
+    frequency_offset=FrequencyOffsetModel(
+        oscillator_ppm=20.0, residual_sigma_hz=150.0, phase_jitter_rad=0.02
+    ),
+    chain_delay_mean_s=8e-9,
+    chain_delay_std_s=2e-9,
+    chain_ripple_rad=0.1,
+    kappa_phase_uniform=True,
+    phase_quirk_2g4=True,
+)
+"""The card the paper uses, with its documented quirks."""

@@ -1,0 +1,73 @@
+"""OFDM subcarrier layout for 802.11n HT20 and the Intel 5300 CSI grid.
+
+802.11n (20 MHz) uses a 64-point FFT with 312.5 kHz subcarrier spacing;
+56 subcarriers (±1..±28) carry data/pilots and subcarrier 0 (DC) is
+unused — which is exactly why the paper must *interpolate* the channel at
+subcarrier 0 rather than measure it (§5).
+
+The Intel 5300's CSI report (the 802.11 CSI Tool the paper uses) returns
+CSI on a fixed subset of 30 of those 56 subcarriers, defined by the
+802.11n-2009 "grouping" (Ng=2) rule.  We reproduce that exact index set
+so the interpolation code faces the same gaps as on real hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SUBCARRIER_SPACING_HZ = 312_500.0
+"""802.11n subcarrier spacing: 20 MHz / 64."""
+
+FFT_SIZE_20MHZ = 64
+"""HT20 FFT size."""
+
+DATA_SUBCARRIERS_20MHZ = tuple(k for k in range(-28, 29) if k != 0)
+"""The 56 populated subcarrier indices for HT20 (DC excluded)."""
+
+INTEL5300_SUBCARRIERS_20MHZ = (
+    -28, -26, -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -4, -2, -1,
+    1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 28,
+)
+"""The 30 subcarrier indices the Intel 5300 reports CSI for (Ng=2 grouping)."""
+
+
+def subcarrier_frequencies(
+    center_hz: float, indices: tuple[int, ...] = INTEL5300_SUBCARRIERS_20MHZ
+) -> np.ndarray:
+    """Absolute RF frequency of each subcarrier in a band.
+
+    Args:
+        center_hz: The band's center (zero-subcarrier) frequency.
+        indices: Subcarrier indices; defaults to the Intel 5300 set.
+
+    Returns:
+        Array of ``center_hz + k * 312.5 kHz`` for each index ``k``.
+    """
+    if center_hz <= 0:
+        raise ValueError(f"center frequency must be positive, got {center_hz}")
+    idx = np.asarray(indices, dtype=float)
+    return center_hz + idx * SUBCARRIER_SPACING_HZ
+
+
+def baseband_offsets(indices: tuple[int, ...] = INTEL5300_SUBCARRIERS_20MHZ) -> np.ndarray:
+    """Baseband frequency offsets ``f_{i,k} - f_{i,0}`` of each subcarrier.
+
+    These are the frequencies that packet-detection delay rotates CSI by
+    (§5 of the paper): the delay phase at subcarrier k is
+    ``-2*pi*(f_k - f_0)*delta`` and vanishes at k = 0.
+    """
+    return np.asarray(indices, dtype=float) * SUBCARRIER_SPACING_HZ
+
+
+def validate_indices(indices: tuple[int, ...]) -> None:
+    """Raise ``ValueError`` if ``indices`` is not a sane CSI subcarrier set."""
+    if len(indices) < 4:
+        raise ValueError(f"need at least 4 subcarriers to interpolate, got {len(indices)}")
+    if len(set(indices)) != len(indices):
+        raise ValueError("subcarrier indices contain duplicates")
+    if 0 in indices:
+        raise ValueError("subcarrier 0 (DC) is never measured on real hardware")
+    if list(indices) != sorted(indices):
+        raise ValueError("subcarrier indices must be ascending")
+    if min(indices) > 0 or max(indices) < 0:
+        raise ValueError("subcarrier set must straddle DC for interpolation at 0")

@@ -1,0 +1,261 @@
+"""End-to-end generation of measured CSI for a simulated link.
+
+This is the substitute for the Intel 5300 + 802.11 CSI Tool: given the
+physical environment and two antennas, it produces the *measured* CSI
+sweep that the estimator in :mod:`repro.core` consumes, applying every
+impairment in the order a real receive chain does:
+
+1. physical multipath channel at each subcarrier (Eqn. 7),
+2. constant transmit/receive chain group delays,
+3. packet detection delay — a phase ramp across *baseband* subcarrier
+   offsets, zero at the center frequency (§5),
+4. CFO phase: an unknown common phase per packet, equal and opposite in
+   the forward and reverse directions, plus a residual-offset drift over
+   the forward→reverse turnaround and per-packet jitter (§7),
+5. the device constant κ on the reverse direction (§7, Eqn. 12),
+6. receiver AWGN at the link-budget SNR,
+7. optionally the Intel 5300 2.4 GHz phase quirk (phase mod π/2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rf.channel import channel_at
+from repro.rf.environment import Environment
+from repro.rf.geometry import Point
+from repro.rf.noise import LinkBudget, awgn
+from repro.rf.paths import PathSet
+from repro.wifi.bands import Band, BandPlan, US_BAND_PLAN
+from repro.wifi.csi import BandCsi, CsiSweep, LinkCsi
+from repro.wifi.hardware import (
+    DeviceState,
+    HardwareProfile,
+    INTEL_5300,
+    apply_phase_quirk,
+)
+from repro.wifi.ofdm import (
+    INTEL5300_SUBCARRIERS_20MHZ,
+    baseband_offsets,
+    subcarrier_frequencies,
+)
+
+DEFAULT_TURNAROUND_MEAN_S = 25e-6
+"""Mean packet→ACK turnaround (driver-injected ACKs, §11)."""
+
+DEFAULT_TURNAROUND_JITTER_S = 8e-6
+"""Turnaround jitter; drives the residual-CFO phase error of §7."""
+
+MIN_TURNAROUND_S = 10e-6
+"""A turnaround can never beat SIFS plus the ACK airtime."""
+
+
+@dataclass
+class SimulatedLink:
+    """A tx-antenna → rx-antenna link inside an environment.
+
+    Generates :class:`~repro.wifi.csi.CsiSweep` objects — the measured,
+    impaired CSI in both directions on every band of the plan.
+
+    Args:
+        environment: The physical world (walls, reflections).
+        tx_position: Transmit antenna location, meters.
+        rx_position: Receive antenna location, meters.
+        tx_state: Sampled hardware constants of the transmitting card.
+        rx_state: Sampled hardware constants of the receiving card.
+        band_plan: Bands to sweep; the paper's 35-band US plan by default.
+        budget: Link budget mapping range to SNR.
+        rng: Random generator (callers own the seed).
+        subcarriers: Reported subcarrier indices (Intel 5300 set).
+    """
+
+    environment: Environment
+    tx_position: Point
+    rx_position: Point
+    tx_state: DeviceState
+    rx_state: DeviceState
+    band_plan: BandPlan = US_BAND_PLAN
+    budget: LinkBudget = field(default_factory=LinkBudget)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    subcarriers: tuple[int, ...] = INTEL5300_SUBCARRIERS_20MHZ
+
+    def __post_init__(self) -> None:
+        self._paths: PathSet = self.environment.trace(self.tx_position, self.rx_position)
+        self._los = self.environment.has_line_of_sight(self.tx_position, self.rx_position)
+        self._snr_db = self.budget.snr_db(
+            self.tx_position.distance_to(self.rx_position), self._los
+        )
+        # κ for this link: the product of both devices' chain constants.
+        self._kappa = self.tx_state.kappa * self.rx_state.kappa
+
+    @property
+    def paths(self) -> PathSet:
+        """Ground-truth propagation paths of this link."""
+        return self._paths
+
+    @property
+    def true_tof_s(self) -> float:
+        """Ground-truth time-of-flight (direct-path delay)."""
+        return self._paths.true_tof_s
+
+    @property
+    def true_distance_m(self) -> float:
+        """Ground-truth antenna separation in meters."""
+        return self.tx_position.distance_to(self.rx_position)
+
+    @property
+    def line_of_sight(self) -> bool:
+        """Whether the direct path is unobstructed."""
+        return self._los
+
+    @property
+    def snr_db(self) -> float:
+        """Link SNR from the budget (used for every band)."""
+        return self._snr_db
+
+    @property
+    def kappa(self) -> complex:
+        """The link's §7 constant κ — known here for calibration tests."""
+        return self._kappa
+
+    def sweep(self, n_packets_per_band: int = 3, start_time_s: float = 0.0) -> CsiSweep:
+        """Hop across the plan and measure CSI in both directions.
+
+        Args:
+            n_packets_per_band: Packet/ACK exchanges per band dwell; the
+                estimator averages them to suppress residual-CFO error.
+            start_time_s: Timestamp of the first packet.
+
+        Returns:
+            One :class:`CsiSweep` containing
+            ``len(band_plan) * n_packets_per_band`` forward/reverse pairs.
+        """
+        if n_packets_per_band < 1:
+            raise ValueError(f"need at least 1 packet per band, got {n_packets_per_band}")
+        measurements: list[LinkCsi] = []
+        t = start_time_s
+        for band in self.band_plan:
+            measurements.extend(self.measure_band(band, n_packets_per_band, t))
+            t += 2.4e-3  # nominal per-band dwell (35 bands -> 84 ms, §12.3)
+        return CsiSweep(measurements)
+
+    def measure_band(
+        self, band: Band, n_packets: int = 1, start_time_s: float = 0.0
+    ) -> list[LinkCsi]:
+        """Measure ``n_packets`` forward/reverse CSI pairs on one band."""
+        freqs = subcarrier_frequencies(band.center_hz, self.subcarriers)
+        offsets = baseband_offsets(self.subcarriers)
+        h_true = channel_at(self._paths, freqs)
+        fom = self.tx_state.profile.frequency_offset
+        # Residual CFO after per-packet preamble correction: redrawn per
+        # band visit (each retune re-acquires).
+        residual_hz = fom.sample_residual_hz(self.rng)
+        pairs: list[LinkCsi] = []
+        t = start_time_s
+        for _ in range(n_packets):
+            turnaround = max(
+                MIN_TURNAROUND_S,
+                self.rng.normal(DEFAULT_TURNAROUND_MEAN_S, DEFAULT_TURNAROUND_JITTER_S),
+            )
+            # Unknown LO phase difference at the forward packet's arrival.
+            lo_phase = self.rng.uniform(-math.pi, math.pi)
+            fwd = self._measure_one(
+                band=band,
+                freqs=freqs,
+                offsets=offsets,
+                h_true=h_true,
+                chain_delay=self.tx_state.tx_chain_delay_s + self.rx_state.rx_chain_delay_s,
+                chain_ripple_rad=(
+                    self.tx_state.tx_ripple_rad(band.channel)
+                    + self.rx_state.rx_ripple_rad(band.channel)
+                ),
+                delay_model=self.rx_state.profile.detection_delay,
+                cfo_phase=lo_phase + fom.sample_jitter_rad(self.rng),
+                kappa=1.0 + 0.0j,
+                timestamp_s=t,
+            )
+            rev_phase = -(lo_phase + 2.0 * math.pi * residual_hz * turnaround)
+            rev = self._measure_one(
+                band=band,
+                freqs=freqs,
+                offsets=offsets,
+                h_true=h_true,
+                chain_delay=self.rx_state.tx_chain_delay_s + self.tx_state.rx_chain_delay_s,
+                chain_ripple_rad=(
+                    self.rx_state.tx_ripple_rad(band.channel)
+                    + self.tx_state.rx_ripple_rad(band.channel)
+                ),
+                delay_model=self.tx_state.profile.detection_delay,
+                cfo_phase=rev_phase + fom.sample_jitter_rad(self.rng),
+                kappa=self._kappa,
+                timestamp_s=t + turnaround,
+            )
+            pairs.append(LinkCsi(forward=fwd, reverse=rev))
+            t += 400e-6  # inter-packet gap within the dwell
+        return pairs
+
+    def _measure_one(
+        self,
+        band: Band,
+        freqs: np.ndarray,
+        offsets: np.ndarray,
+        h_true: np.ndarray,
+        chain_delay: float,
+        chain_ripple_rad: float,
+        delay_model,
+        cfo_phase: float,
+        kappa: complex,
+        timestamp_s: float,
+    ) -> BandCsi:
+        """One direction's measured CSI for one packet."""
+        csi = h_true * np.exp(-2.0j * np.pi * freqs * chain_delay)
+        delta = delay_model.sample(self.rng)
+        csi = csi * np.exp(-2.0j * np.pi * offsets * delta)
+        csi = csi * kappa * np.exp(1j * (cfo_phase + chain_ripple_rad))
+        csi = awgn(csi, self._snr_db, self.rng)
+        quirked = (
+            band.is_2g4
+            and self.tx_state.profile.phase_quirk_2g4
+            and self.rx_state.profile.phase_quirk_2g4
+        )
+        if quirked:
+            csi = apply_phase_quirk(csi)
+        return BandCsi(
+            band=band, csi=csi, subcarriers=self.subcarriers, timestamp_s=timestamp_s
+        )
+
+
+def make_link(
+    environment: Environment,
+    tx_position: Point,
+    rx_position: Point,
+    profile: HardwareProfile = INTEL_5300,
+    band_plan: BandPlan = US_BAND_PLAN,
+    budget: LinkBudget | None = None,
+    rng: np.random.Generator | None = None,
+) -> SimulatedLink:
+    """Convenience constructor sampling both device states from one profile."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return SimulatedLink(
+        environment=environment,
+        tx_position=tx_position,
+        rx_position=rx_position,
+        tx_state=profile.sample_device_state(rng),
+        rx_state=profile.sample_device_state(rng),
+        band_plan=band_plan,
+        budget=budget or LinkBudget(),
+        rng=rng,
+    )
+
+
+def measure_band(link: SimulatedLink, band: Band, n_packets: int = 1) -> list[LinkCsi]:
+    """Module-level alias of :meth:`SimulatedLink.measure_band`."""
+    return link.measure_band(band, n_packets)
+
+
+def measure_sweep(link: SimulatedLink, n_packets_per_band: int = 3) -> CsiSweep:
+    """Module-level alias of :meth:`SimulatedLink.sweep`."""
+    return link.sweep(n_packets_per_band)

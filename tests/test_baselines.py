@@ -1,0 +1,109 @@
+"""Baselines: they must work — and be visibly worse than Chronos."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clock_toa import ClockToaBaseline, clock_quantized_tof
+from repro.baselines.matched_filter import matched_filter_profile, matched_filter_tof
+from repro.baselines.music import music_delays, music_tof
+from repro.baselines.single_band import single_band_tof
+from repro.core.ndft import steering_vector
+from repro.rf.channel import channel_at, single_path_phase
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.rf.paths import from_delays
+from repro.wifi.bands import Band, US_BAND_PLAN
+from repro.wifi.csi import BandCsi
+from repro.wifi.hardware import DetectionDelayModel
+from repro.wifi.ofdm import subcarrier_frequencies
+
+FREQS_5G = US_BAND_PLAN.subset_5g().center_frequencies_hz
+
+
+class TestClockToa:
+    def test_quantization_step(self):
+        assert clock_quantized_tof(17e-9, clock_hz=20e6) == pytest.approx(0.0)
+        assert clock_quantized_tof(30e-9, clock_hz=20e6) == pytest.approx(50e-9)
+
+    def test_includes_detection_delay(self):
+        got = clock_quantized_tof(10e-9, 20e6, detection_delay_s=180e-9)
+        assert got == pytest.approx(200e-9)
+
+    def test_calibrated_baseline_error_scale(self, rng):
+        """Even calibrated, clock ToA is stuck at meters (the §1 claim)."""
+        baseline = ClockToaBaseline(clock_hz=20e6)
+        baseline.calibrate(true_tof_s=10e-9, rng=rng)
+        errors = []
+        for d in np.linspace(2, 14, 13):
+            tof = d / SPEED_OF_LIGHT
+            err = abs(baseline.measure_tof(tof, rng) - tof) * SPEED_OF_LIGHT
+            errors.append(err)
+        assert np.median(errors) > 1.0  # meters, not centimeters
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clock_quantized_tof(1e-9, clock_hz=0.0)
+        with pytest.raises(ValueError):
+            clock_quantized_tof(-1e-9, clock_hz=20e6)
+
+
+class TestSingleBand:
+    def test_exact_with_perfect_prior(self):
+        tof = 23.7e-9
+        f = 5.5e9
+        h = np.exp(1j * single_path_phase(f, tof))
+        got = single_band_tof(h, f, coarse_prior_s=tof + 0.02e-9)
+        assert got == pytest.approx(tof, abs=1e-12)
+
+    def test_bad_prior_gives_period_error(self):
+        """Off by > half a period, the answer jumps — §4's ambiguity."""
+        tof = 23.7e-9
+        f = 5.5e9
+        h = np.exp(1j * single_path_phase(f, tof))
+        got = single_band_tof(h, f, coarse_prior_s=tof + 0.15e-9)
+        assert abs(got - tof) == pytest.approx(1.0 / f, abs=1e-12)
+
+    def test_prior_validation(self):
+        with pytest.raises(ValueError):
+            single_band_tof(1.0 + 0j, 5.5e9, coarse_prior_s=-1.0)
+
+
+class TestMatchedFilter:
+    def test_single_path_recovery(self):
+        tau = 35e-9
+        h = steering_vector(FREQS_5G, 2 * tau)
+        got = matched_filter_tof(h, FREQS_5G, exponent=2)
+        assert got == pytest.approx(tau, abs=0.5e-9)
+
+    def test_sidelobes_floor_is_high(self):
+        """Without sparsity the profile floor is tens of percent —
+        exactly why the paper needs Algorithm 1."""
+        h = steering_vector(FREQS_5G, 60e-9)
+        profile = matched_filter_profile(h, FREQS_5G)
+        power = profile.normalized_power()
+        away = power[np.abs(profile.taus_s - 60e-9) > 5e-9]
+        assert away.max() > 0.2
+
+
+class TestMusic:
+    def _band_csi(self, delays, amps, band=Band(36, 5.18e9)):
+        freqs = subcarrier_frequencies(band.center_hz)
+        h = channel_at(from_delays(delays, amps), freqs)
+        return BandCsi(band=band, csi=h)
+
+    def test_single_path_within_band_resolution(self):
+        csi = self._band_csi([80e-9], [1.0])
+        got = music_tof(csi, n_paths=2)
+        assert got == pytest.approx(80e-9, abs=15e-9)  # 20 MHz-class accuracy
+
+    def test_cannot_resolve_close_paths(self):
+        """5 ns separation is invisible to one 20 MHz band — the
+        bandwidth wall that motivates band stitching."""
+        csi = self._band_csi([40e-9, 45e-9], [1.0, 0.9])
+        delays = music_delays(csi, n_paths=2)
+        # The two estimates collapse toward a single effective path.
+        assert np.min(np.abs(delays - 40e-9)) < 25e-9
+
+    def test_validation(self):
+        csi = self._band_csi([40e-9], [1.0])
+        with pytest.raises(ValueError):
+            music_delays(csi, n_paths=0)

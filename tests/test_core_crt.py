@@ -1,0 +1,126 @@
+"""The §4 Chinese-remainder machinery."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.crt import (
+    alignment_votes,
+    crt_align,
+    integer_crt,
+    phase_tof_candidates,
+)
+from repro.rf.channel import single_path_phase
+from repro.rf.constants import distance_to_tof
+
+
+class TestIntegerCrt:
+    def test_textbook_example(self):
+        # x = 2 mod 3, 3 mod 5, 2 mod 7  ->  23 (Sunzi's classic).
+        assert integer_crt([2, 3, 2], [3, 5, 7]) == 23
+
+    def test_single_congruence(self):
+        assert integer_crt([4], [9]) == 4
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ValueError):
+            integer_crt([1, 2], [4, 6])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            integer_crt([1, 2], [3])
+
+    @settings(max_examples=50)
+    @given(x=st.integers(min_value=0, max_value=3 * 5 * 7 * 11 - 1))
+    def test_roundtrip_property(self, x):
+        """Any x is recovered from its residues — the theorem itself."""
+        moduli = [3, 5, 7, 11]
+        residues = [x % m for m in moduli]
+        assert integer_crt(residues, moduli) == x
+
+
+class TestPhaseCandidates:
+    def test_spacing_is_one_period(self):
+        c = phase_tof_candidates(0.0, 2.4e9, 5e-9)
+        assert np.allclose(np.diff(c), 1.0 / 2.4e9)
+
+    def test_true_tof_among_candidates(self):
+        tof = 2.35e-9
+        f = 5.18e9
+        phase = single_path_phase(f, tof)
+        c = phase_tof_candidates(phase, f, 10e-9)
+        assert np.min(np.abs(c - tof)) < 1e-13
+
+    def test_candidates_bounded(self):
+        c = phase_tof_candidates(1.0, 2.4e9, 3e-9)
+        assert np.all(c >= 0)
+        assert np.all(c < 3e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            phase_tof_candidates(0.0, -1.0, 1e-9)
+        with pytest.raises(ValueError):
+            phase_tof_candidates(0.0, 2.4e9, 0.0)
+
+
+class TestCrtAlign:
+    FREQS = [2.412e9, 2.462e9, 5.18e9, 5.3e9, 5.825e9]
+
+    def test_paper_fig3_example(self):
+        """A 0.6 m source (2 ns) is recovered from five band phases."""
+        tof = distance_to_tof(0.6)
+        phases = [single_path_phase(f, tof) for f in self.FREQS]
+        est = crt_align(phases, self.FREQS, max_delay_s=3.5e-9)
+        assert est == pytest.approx(tof, abs=0.05e-9)
+
+    def test_recovers_beyond_single_band_period(self):
+        """ToF far beyond 1/f is still unique — the CRT payoff."""
+        tof = 42.7e-9  # ~107 periods at 2.4 GHz
+        phases = [single_path_phase(f, tof) for f in self.FREQS]
+        est = crt_align(phases, self.FREQS, max_delay_s=60e-9)
+        assert est == pytest.approx(tof, abs=0.1e-9)
+
+    def test_tolerates_phase_noise(self, rng):
+        tof = 10e-9
+        phases = [
+            single_path_phase(f, tof) + rng.normal(0, 0.05) for f in self.FREQS
+        ]
+        est = crt_align(phases, self.FREQS, max_delay_s=20e-9)
+        assert est == pytest.approx(tof, abs=0.3e-9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            crt_align([0.1], [2.4e9])
+        with pytest.raises(ValueError):
+            crt_align([0.1, 0.2], [2.4e9])
+
+    @settings(max_examples=20, deadline=None)
+    @given(tof_ns=st.floats(min_value=0.5, max_value=45.0))
+    def test_alignment_property(self, tof_ns):
+        """Noise-free alignment always recovers the true delay."""
+        tof = tof_ns * 1e-9
+        phases = [single_path_phase(f, tof) for f in self.FREQS]
+        est = crt_align(phases, self.FREQS, max_delay_s=50e-9)
+        assert abs(est - tof) < 0.1e-9
+
+
+class TestAlignmentVotes:
+    def test_vote_peak_at_truth(self):
+        freqs = [2.412e9, 2.462e9, 5.18e9, 5.3e9, 5.825e9]
+        tof = 2e-9
+        phases = [single_path_phase(f, tof) for f in freqs]
+        grid, votes = alignment_votes(phases, freqs, max_delay_s=3.5e-9)
+        assert votes.max() == len(freqs)  # all bands align at the truth
+        best = grid[np.argmax(votes)]
+        assert best == pytest.approx(tof, abs=0.05e-9)
+
+    def test_partial_alignment_elsewhere(self):
+        freqs = [2.412e9, 2.462e9, 5.18e9, 5.3e9, 5.825e9]
+        phases = [single_path_phase(f, 2e-9) for f in freqs]
+        grid, votes = alignment_votes(phases, freqs, max_delay_s=3.5e-9)
+        # Away from the truth, only some bands coincide (Fig. 3's point).
+        truth_idx = np.argmax(votes)
+        others = np.delete(votes, range(max(0, truth_idx - 10), truth_idx + 10))
+        assert others.max() < len(freqs)

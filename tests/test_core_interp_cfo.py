@@ -1,0 +1,156 @@
+"""Zero-subcarrier interpolation (§5) and CFO reciprocity handling (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cfo import LinkCalibration, band_products
+from repro.core.interpolation import (
+    group_delay_s,
+    phase_slope_per_index,
+    round_trip_slope_delay_s,
+    zero_subcarrier_csi,
+    zero_subcarrier_product,
+)
+from repro.rf.channel import channel_at
+from repro.rf.paths import from_delays
+from repro.wifi.bands import Band
+from repro.wifi.csi import BandCsi, CsiSweep, LinkCsi
+from repro.wifi.ofdm import (
+    INTEL5300_SUBCARRIERS_20MHZ,
+    SUBCARRIER_SPACING_HZ,
+    subcarrier_frequencies,
+)
+
+BAND = Band(36, 5.18e9)
+IDX = np.array(INTEL5300_SUBCARRIERS_20MHZ, dtype=float)
+
+
+def csi_with_delay(total_delay_s: float, band: Band = BAND, paths=None) -> BandCsi:
+    """CSI of a (possibly multipath) channel plus a baseband delay ramp."""
+    freqs = subcarrier_frequencies(band.center_hz)
+    if paths is None:
+        paths = from_delays([20e-9], [1.0])
+    h = channel_at(paths, freqs)
+    ramp = np.exp(-2j * np.pi * IDX * SUBCARRIER_SPACING_HZ * total_delay_s)
+    return BandCsi(band=band, csi=h * ramp)
+
+
+class TestPhaseSlope:
+    def test_pure_ramp_slope(self):
+        delay = 180e-9
+        csi = csi_with_delay(delay, paths=from_delays([0.0], [1.0]))
+        slope = phase_slope_per_index(csi.csi, IDX)
+        measured = -slope / (2 * np.pi * SUBCARRIER_SPACING_HZ)
+        assert measured == pytest.approx(delay, rel=1e-6)
+
+    def test_handles_steep_ramps(self):
+        """A 400 ns ramp exceeds π per 2-subcarrier gap; the gap-1 anchor
+        pairs must still resolve it."""
+        delay = 400e-9
+        csi = csi_with_delay(delay, paths=from_delays([0.0], [1.0]))
+        slope = phase_slope_per_index(csi.csi, IDX)
+        measured = -slope / (2 * np.pi * SUBCARRIER_SPACING_HZ)
+        assert measured == pytest.approx(delay, rel=1e-3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            phase_slope_per_index(np.ones(5, complex), IDX)
+
+
+class TestZeroSubcarrier:
+    def test_detection_delay_removed_at_dc(self):
+        """The §5 claim: subcarrier 0 is delay-free."""
+        paths = from_delays([20e-9], [1.0])
+        clean = csi_with_delay(0.0, paths=paths)
+        delayed = csi_with_delay(200e-9, paths=paths)
+        v_clean = zero_subcarrier_csi(clean)
+        v_delayed = zero_subcarrier_csi(delayed)
+        assert v_delayed == pytest.approx(v_clean, rel=1e-3)
+
+    def test_matches_true_channel_at_center(self):
+        paths = from_delays([15e-9, 40e-9], [1.0, 0.4])
+        csi = csi_with_delay(180e-9, paths=paths)
+        truth = channel_at(paths, np.array([BAND.center_hz]))[0]
+        assert zero_subcarrier_csi(csi) == pytest.approx(truth, rel=0.02)
+
+    def test_fourth_power_mode(self):
+        paths = from_delays([10e-9], [1.0])
+        csi = csi_with_delay(150e-9, paths=paths)
+        truth = channel_at(paths, np.array([BAND.center_hz]))[0]
+        assert zero_subcarrier_csi(csi, power=4) == pytest.approx(truth**4, rel=0.05)
+
+    def test_power_validation(self):
+        csi = csi_with_delay(100e-9)
+        with pytest.raises(ValueError):
+            zero_subcarrier_csi(csi, power=0)
+
+
+class TestProductAndSlopes:
+    def make_pair(self, delay_f=150e-9, delay_r=200e-9, phi=1.1):
+        paths = from_delays([25e-9], [1.0])
+        fwd = csi_with_delay(delay_f, paths=paths)
+        fwd = BandCsi(band=BAND, csi=fwd.csi * np.exp(1j * phi))
+        rev = csi_with_delay(delay_r, paths=paths)
+        rev = BandCsi(band=BAND, csi=rev.csi * np.exp(-1j * phi))
+        return LinkCsi(forward=fwd, reverse=rev)
+
+    def test_product_cancels_antisymmetric_phase(self):
+        paths = from_delays([25e-9], [1.0])
+        truth = channel_at(paths, np.array([BAND.center_hz]))[0]
+        for phi in (0.0, 1.1, -2.5):
+            link = self.make_pair(phi=phi)
+            assert zero_subcarrier_product(link) == pytest.approx(truth**2, rel=0.02)
+
+    def test_round_trip_slope_sums_directions(self):
+        link = self.make_pair(delay_f=150e-9, delay_r=210e-9)
+        # Each direction: 25 ns ToF + its detection ramp.
+        expected = (150e-9 + 25e-9) + (210e-9 + 25e-9)
+        assert round_trip_slope_delay_s(link) == pytest.approx(expected, rel=1e-3)
+
+    def test_group_delay_includes_tof(self):
+        csi = csi_with_delay(100e-9, paths=from_delays([30e-9], [1.0]))
+        assert group_delay_s(csi) == pytest.approx(130e-9, rel=1e-3)
+
+
+class TestBandProducts:
+    def test_averages_packets_per_band(self):
+        link1 = TestProductAndSlopes().make_pair(phi=0.3)
+        link2 = TestProductAndSlopes().make_pair(phi=-0.9)
+        sweep = CsiSweep([link1, link2])
+        freqs, prods = band_products(sweep)
+        assert freqs.shape == (1,)
+        paths = from_delays([25e-9], [1.0])
+        truth = channel_at(paths, np.array([BAND.center_hz]))[0] ** 2
+        assert prods[0] == pytest.approx(truth, rel=0.02)
+
+    def test_band_filter(self):
+        link = TestProductAndSlopes().make_pair()
+        sweep = CsiSweep([link])
+        with pytest.raises(ValueError):
+            band_products(sweep, band_filter=lambda b: b.is_2g4)
+
+
+class TestLinkCalibration:
+    def test_bias_removed(self):
+        cal = LinkCalibration.fit(measured_tof_s=50e-9, true_tof_s=20e-9)
+        assert cal.apply(60e-9) == pytest.approx(30e-9)
+
+    def test_coarse_bias_in_raw_domain(self):
+        cal = LinkCalibration.fit(
+            measured_tof_s=50e-9, true_tof_s=20e-9, measured_coarse_rt_s=460e-9
+        )
+        # coarse bias = 460 - 2*50 = 360 ns.
+        assert cal.coarse_bias_s == pytest.approx(360e-9)
+        assert cal.coarse_round_trip_to_raw_2tau(480e-9) == pytest.approx(120e-9)
+
+    def test_no_coarse_calibration_returns_none(self):
+        cal = LinkCalibration.fit(50e-9, 20e-9)
+        assert cal.coarse_round_trip_to_raw_2tau(400e-9) is None
+
+    def test_fit_from_distance(self):
+        from repro.rf.constants import SPEED_OF_LIGHT
+
+        cal = LinkCalibration.fit_from_distance(40e-9, SPEED_OF_LIGHT * 10e-9)
+        assert cal.tof_bias_s == pytest.approx(30e-9)
+        with pytest.raises(ValueError):
+            LinkCalibration.fit_from_distance(40e-9, -1.0)

@@ -1,0 +1,198 @@
+"""Multipath profiles, peak logic, and greedy off-grid extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.deflation import (
+    DeflationConfig,
+    extract_paths,
+    first_path_delay,
+    ghost_shifts_s,
+    lasso_amplitudes,
+    prune_ghost_atoms,
+)
+from repro.core.ndft import ndft_matrix, steering_vector, tau_grid
+from repro.core.profile import (
+    MultipathProfile,
+    RefinedPath,
+    profile_from_paths,
+    refine_first_peak,
+    refine_paths,
+)
+from repro.core.sparse import invert_ndft
+from repro.wifi.bands import US_BAND_PLAN
+
+FREQS = US_BAND_PLAN.subset_5g().center_frequencies_hz
+
+
+def make_profile(delays, amps, grid_step=0.5e-9, window=200e-9):
+    grid = tau_grid(window, grid_step)
+    return profile_from_paths(grid, delays, amps)
+
+
+class TestMultipathProfile:
+    def test_peaks_sorted_by_delay(self):
+        prof = make_profile([50e-9, 20e-9, 80e-9], [0.5, 1.0, 0.7])
+        delays = [p.delay_s for p in prof.peaks()]
+        assert delays == sorted(delays)
+
+    def test_first_peak_is_earliest_dominant(self):
+        prof = make_profile([20e-9, 50e-9], [1.0, 0.8])
+        assert prof.first_peak().delay_s == pytest.approx(20e-9, abs=0.5e-9)
+
+    def test_weak_crumbs_filtered_by_cluster_power(self):
+        prof = make_profile([10e-9, 60e-9], [0.05, 1.0])
+        # 0.05 amplitude -> 0.25% power, far below the 5% threshold.
+        assert prof.first_peak().delay_s == pytest.approx(60e-9, abs=0.5e-9)
+
+    def test_strongest_peak(self):
+        prof = make_profile([20e-9, 50e-9], [0.6, 1.0])
+        assert prof.strongest_peak().delay_s == pytest.approx(50e-9, abs=0.5e-9)
+
+    def test_dominant_peak_count(self):
+        prof = make_profile([10e-9, 30e-9, 60e-9], [1.0, 0.8, 0.5])
+        assert prof.dominant_peak_count() == 3
+
+    def test_empty_profile_raises(self):
+        grid = tau_grid(100e-9, 1e-9)
+        prof = MultipathProfile(grid, np.zeros(len(grid)))
+        assert prof.peaks() == []
+        with pytest.raises(ValueError):
+            prof.first_peak()
+
+    def test_normalized_power_max_one(self):
+        prof = make_profile([30e-9], [2.5])
+        assert prof.normalized_power().max() == pytest.approx(1.0)
+
+    def test_validation(self):
+        grid = tau_grid(100e-9, 1e-9)
+        with pytest.raises(ValueError):
+            MultipathProfile(grid, np.zeros(len(grid) - 1))
+        with pytest.raises(ValueError):
+            MultipathProfile(grid, np.zeros(len(grid)), dominance_threshold_rel=0.0)
+
+
+class TestRefinement:
+    def test_refine_beats_grid_quantization(self):
+        tau = 40.27e-9  # deliberately off-grid
+        h = steering_vector(FREQS, tau)
+        grid = tau_grid(200e-9, 0.5e-9)
+        prof = MultipathProfile(grid, invert_ndft(h, FREQS, grid))
+        refined = refine_first_peak(prof, h, FREQS)
+        assert refined == pytest.approx(tau, abs=0.02e-9)
+
+    def test_refine_paths_returns_amplitudes(self):
+        h = steering_vector(FREQS, 30e-9) + 0.5 * steering_vector(FREQS, 70e-9)
+        grid = tau_grid(200e-9, 0.5e-9)
+        prof = MultipathProfile(grid, invert_ndft(h, FREQS, grid))
+        paths = refine_paths(prof, h, FREQS)
+        assert len(paths) >= 2
+        assert abs(paths[0].amplitude) == pytest.approx(1.0, abs=0.15)
+
+
+class TestExtractPaths:
+    def test_single_path(self):
+        tau = 47.3e-9
+        h = steering_vector(FREQS, tau)
+        paths = extract_paths(h, FREQS, 200e-9)
+        assert paths[0].delay_s == pytest.approx(tau, abs=0.02e-9)
+
+    def test_multiple_paths_recovered(self):
+        true = [(20e-9, 1.0), (35e-9, 0.7), (90e-9, 0.4)]
+        h = sum(a * steering_vector(FREQS, t) for t, a in true)
+        paths = extract_paths(h, FREQS, 200e-9)
+        for t, a in true:
+            nearest = min(paths, key=lambda p: abs(p.delay_s - t))
+            assert abs(nearest.delay_s - t) < 0.1e-9
+            assert abs(nearest.amplitude) == pytest.approx(a, abs=0.15)
+
+    def test_respects_max_paths(self):
+        h = steering_vector(FREQS, 20e-9)
+        paths = extract_paths(h, FREQS, 200e-9, DeflationConfig(max_paths=2))
+        assert len(paths) <= 2
+
+    def test_noise_only_returns_something(self, rng):
+        h = (rng.normal(size=len(FREQS)) + 1j * rng.normal(size=len(FREQS))) * 0.01
+        paths = extract_paths(h, FREQS, 200e-9)
+        assert len(paths) >= 1
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            extract_paths(np.ones(2), np.array([1e9, 2e9]), 100e-9)
+        with pytest.raises(ValueError):
+            extract_paths(np.ones(5), FREQS[:5], 0.0)
+
+
+class TestGhostLogic:
+    def test_ghost_shifts_for_5g_plan(self):
+        shifts = ghost_shifts_s(FREQS, 200e-9)
+        assert shifts[0] == pytest.approx(50e-9)  # 1/20 MHz
+        assert len(shifts) == 3
+
+    def test_prune_relocates_pure_ghost(self):
+        """An atom placed 50 ns early relocates to the true position."""
+        tau = 110e-9
+        h = steering_vector(FREQS, tau)
+        ghost = [
+            RefinedPath(tau - 50e-9, 0.8 + 0j),
+            RefinedPath(tau, 0.4 + 0j),
+        ]
+        pruned = prune_ghost_atoms(
+            ghost, h, FREQS, ghost_shifts_s(FREQS, 200e-9), 200e-9
+        )
+        assert all(abs(p.delay_s - tau) < 1e-9 for p in pruned)
+
+    def test_prune_keeps_genuine_early_path(self):
+        """A real early path survives: no shifted copy explains it."""
+        h = 0.5 * steering_vector(FREQS, 40e-9) + steering_vector(FREQS, 110e-9)
+        atoms = [RefinedPath(40e-9, 0.5 + 0j), RefinedPath(110e-9, 1.0 + 0j)]
+        pruned = prune_ghost_atoms(
+            atoms, h, FREQS, ghost_shifts_s(FREQS, 200e-9), 200e-9
+        )
+        assert any(abs(p.delay_s - 40e-9) < 1e-9 for p in pruned)
+
+
+class TestFirstPathDelay:
+    def test_skips_weak_leading_atom(self):
+        paths = [RefinedPath(10e-9, 0.05 + 0j), RefinedPath(50e-9, 1.0 + 0j)]
+        assert first_path_delay(paths) == pytest.approx(50e-9)
+
+    def test_keeps_valid_leading_atom(self):
+        paths = [RefinedPath(10e-9, 0.5 + 0j), RefinedPath(50e-9, 1.0 + 0j)]
+        assert first_path_delay(paths) == pytest.approx(10e-9)
+
+    def test_gate_excludes_early_atoms(self):
+        paths = [RefinedPath(10e-9, 1.0 + 0j), RefinedPath(50e-9, 0.9 + 0j)]
+        assert first_path_delay(paths, min_delay_s=30e-9) == pytest.approx(50e-9)
+
+    def test_soft_window_admits_strong_atom_below_gate(self):
+        paths = [RefinedPath(28e-9, 0.9 + 0j), RefinedPath(50e-9, 1.0 + 0j)]
+        got = first_path_delay(
+            paths, min_delay_s=30e-9, soft_window_s=5e-9, soft_amplitude_rel=0.5
+        )
+        assert got == pytest.approx(28e-9)
+
+    def test_overaggressive_gate_falls_back(self):
+        paths = [RefinedPath(10e-9, 1.0 + 0j)]
+        assert first_path_delay(paths, min_delay_s=100e-9) == pytest.approx(10e-9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            first_path_delay([])
+
+
+class TestLassoAmplitudes:
+    def test_matches_lstsq_when_alpha_zero(self):
+        delays = np.array([20e-9, 60e-9])
+        A = ndft_matrix(FREQS, delays)
+        h = A @ np.array([1.0, 0.5 + 0.2j])
+        x = lasso_amplitudes(A, h, alpha_rel=0.0)
+        assert np.allclose(x, [1.0, 0.5 + 0.2j], atol=1e-8)
+
+    def test_l1_shrinks_amplitudes(self):
+        delays = np.array([20e-9, 60e-9])
+        A = ndft_matrix(FREQS, delays)
+        h = A @ np.array([1.0, 0.5])
+        x = lasso_amplitudes(A, h, alpha_rel=0.2)
+        assert abs(x[0]) < 1.0
+        assert abs(x[1]) < 0.5

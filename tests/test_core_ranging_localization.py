@@ -1,0 +1,227 @@
+"""Ranging filters and §8 localization."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.localization import (
+    circle_intersections,
+    disambiguate_by_motion,
+    filter_geometry_consistent,
+    locate_transmitter,
+)
+from repro.core.ranging import RangingFilter, mad_outlier_mask, rmse
+from repro.rf.geometry import Point
+
+
+class TestMadMask:
+    def test_obvious_outlier_flagged(self):
+        vals = np.array([1.0, 1.01, 0.99, 1.02, 5.0])
+        mask = mad_outlier_mask(vals)
+        assert not mask[-1]
+        assert mask[:4].all()
+
+    def test_small_samples_all_inliers(self):
+        assert mad_outlier_mask(np.array([1.0, 99.0])).all()
+
+    def test_constant_values(self):
+        mask = mad_outlier_mask(np.array([2.0, 2.0, 2.0, 2.0]))
+        assert mask.all()
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=3, max_size=20))
+    def test_median_always_inlier(self, values):
+        vals = np.array(values)
+        mask = mad_outlier_mask(vals)
+        median = np.median(vals)
+        closest = np.argmin(np.abs(vals - median))
+        assert mask[closest]
+
+
+class TestRangingFilter:
+    def test_median_of_clean_values(self):
+        f = RangingFilter(window=5)
+        for v in (1.0, 1.1, 0.9, 1.05, 0.95):
+            f.add(v)
+        assert f.value() == pytest.approx(1.0, abs=0.06)
+
+    def test_rejects_outlier(self):
+        f = RangingFilter(window=8)
+        for v in (2.0, 2.02, 1.98, 2.01, 7.5, 1.99, 2.03, 2.0):
+            f.add(v)
+        assert f.value() == pytest.approx(2.0, abs=0.05)
+
+    def test_window_slides(self):
+        f = RangingFilter(window=3)
+        for v in (10.0, 10.0, 10.0, 1.0, 1.0, 1.0):
+            f.add(v)
+        assert f.value() == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RangingFilter().value()
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            RangingFilter().add(float("nan"))
+
+    def test_predicted_value_tracks_linear_motion(self):
+        """The Theil–Sen predictor removes the median's half-window lag."""
+        f = RangingFilter(window=10)
+        for i in range(10):
+            f.add(1.0 + 0.05 * i)  # target receding 5 cm per tick
+        assert f.predicted_value() == pytest.approx(1.45, abs=0.02)
+        assert f.value() < f.predicted_value()  # plain median lags
+
+    def test_predicted_value_robust_to_outlier(self):
+        f = RangingFilter(window=10)
+        for i in range(10):
+            f.add((1.0 + 0.05 * i) if i != 4 else 9.0)
+        assert f.predicted_value() == pytest.approx(1.45, abs=0.05)
+
+    def test_rmse_helper(self):
+        assert rmse(np.array([3.0, 4.0])) == pytest.approx(math.sqrt(12.5))
+        with pytest.raises(ValueError):
+            rmse(np.array([]))
+
+
+class TestCircleIntersections:
+    def test_two_intersections(self):
+        pts = circle_intersections(Point(0, 0), 5.0, Point(8, 0), 5.0)
+        assert len(pts) == 2
+        for p in pts:
+            assert p.distance_to(Point(0, 0)) == pytest.approx(5.0)
+            assert p.distance_to(Point(8, 0)) == pytest.approx(5.0)
+
+    def test_tangent_circles_single_point(self):
+        pts = circle_intersections(Point(0, 0), 2.0, Point(4, 0), 2.0)
+        assert len(pts) == 1
+        assert pts[0] == Point(2.0, 0.0)
+
+    def test_disjoint_circles(self):
+        assert circle_intersections(Point(0, 0), 1.0, Point(10, 0), 1.0) == []
+
+    def test_contained_circles(self):
+        assert circle_intersections(Point(0, 0), 5.0, Point(1, 0), 1.0) == []
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            circle_intersections(Point(0, 0), -1.0, Point(1, 0), 1.0)
+
+    @settings(max_examples=30)
+    @given(
+        x=st.floats(min_value=-5, max_value=5),
+        y=st.floats(min_value=-5, max_value=5),
+    )
+    def test_intersections_lie_on_both_circles(self, x, y):
+        c1, c2 = Point(0, 0), Point(6, 1)
+        target = Point(x, y)
+        r1, r2 = c1.distance_to(target), c2.distance_to(target)
+        if r1 < 1e-6 or r2 < 1e-6:
+            return
+        pts = circle_intersections(c1, r1, c2, r2)
+        assert pts  # the construction guarantees an intersection
+        assert min(p.distance_to(target) for p in pts) < 1e-6
+
+
+class TestGeometryFilter:
+    ANCHORS = [Point(0, 0), Point(1, 0), Point(0.5, 0.8)]
+
+    def test_consistent_distances_all_kept(self):
+        target = Point(3, 4)
+        dists = [a.distance_to(target) for a in self.ANCHORS]
+        assert filter_geometry_consistent(self.ANCHORS, dists) == [0, 1, 2]
+
+    def test_violating_distance_dropped(self):
+        target = Point(3, 4)
+        dists = [a.distance_to(target) for a in self.ANCHORS]
+        dists[1] += 30.0  # impossible: anchors are ~1 m apart
+        kept = filter_geometry_consistent(self.ANCHORS, dists, tolerance_m=0.3)
+        assert 1 not in kept
+        assert len(kept) == 2
+
+    def test_never_drops_below_two(self):
+        dists = [1.0, 50.0, 100.0]
+        kept = filter_geometry_consistent(self.ANCHORS, dists, tolerance_m=0.1)
+        assert len(kept) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            filter_geometry_consistent(self.ANCHORS, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            filter_geometry_consistent(self.ANCHORS, [1.0, -2.0, 3.0])
+
+
+class TestLocateTransmitter:
+    ANCHORS = [Point(0, 0), Point(1.0, 0), Point(0.5, 0.9)]
+
+    def test_exact_distances_exact_fix(self):
+        target = Point(4.0, 3.0)
+        dists = [a.distance_to(target) for a in self.ANCHORS]
+        result = locate_transmitter(self.ANCHORS, dists)
+        assert result.position.distance_to(target) < 1e-6
+        assert result.residual_rms_m < 1e-6
+
+    def test_noisy_distances_close_fix(self, rng):
+        target = Point(5.0, 2.0)
+        dists = [a.distance_to(target) + rng.normal(0, 0.05) for a in self.ANCHORS]
+        result = locate_transmitter(self.ANCHORS, dists)
+        assert result.position.distance_to(target) < 1.0
+
+    def test_two_anchor_ambiguity_exposed(self):
+        anchors = [Point(0, 0), Point(2, 0)]
+        target = Point(1.0, 1.5)
+        dists = [a.distance_to(target) for a in anchors]
+        result = locate_transmitter(anchors, dists)
+        assert len(result.candidates) == 2
+        # The mirror candidate is at (1, -1.5).
+        ys = sorted(c.y for c in result.candidates)
+        assert ys[0] == pytest.approx(-1.5, abs=1e-6)
+        assert ys[1] == pytest.approx(1.5, abs=1e-6)
+
+    def test_hint_resolves_ambiguity(self):
+        anchors = [Point(0, 0), Point(2, 0)]
+        target = Point(1.0, 1.5)
+        dists = [a.distance_to(target) for a in anchors]
+        result = locate_transmitter(anchors, dists, position_hint=Point(1, 1))
+        assert result.position.y > 0
+
+    def test_outlier_distance_rejected_via_geometry(self):
+        target = Point(3, 3)
+        dists = [a.distance_to(target) for a in self.ANCHORS]
+        dists[2] += 20.0
+        result = locate_transmitter(self.ANCHORS, dists, tolerance_m=0.3)
+        assert 2 not in result.used_indices
+        assert result.position.distance_to(target) < 0.5
+
+    def test_single_anchor_rejected(self):
+        with pytest.raises(ValueError):
+            locate_transmitter([Point(0, 0)], [1.0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        x=st.floats(min_value=-8, max_value=8),
+        y=st.floats(min_value=0.5, max_value=8),
+    )
+    def test_exact_recovery_property(self, x, y):
+        """Noise-free three-anchor localization is exact."""
+        target = Point(x, y)
+        dists = [a.distance_to(target) for a in self.ANCHORS]
+        result = locate_transmitter(self.ANCHORS, dists)
+        assert result.position.distance_to(target) < 1e-4
+
+
+class TestMotionDisambiguation:
+    def test_picks_consistent_candidate(self):
+        candidates = [Point(0, 2), Point(0, -2)]
+        # We moved to (0, 1); the measured new distance is 1 -> true is (0,2).
+        chosen = disambiguate_by_motion(
+            candidates, Point(0, 0), Point(0, 1), new_distance_m=1.0
+        )
+        assert chosen == Point(0, 2)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            disambiguate_by_motion([], Point(0, 0), Point(0, 1), 1.0)

@@ -1,0 +1,104 @@
+"""Testbed construction, metrics and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import Summary, cdf, median, percentile, summarize
+from repro.experiments.report import cdf_sketch, format_table, summary_row
+from repro.experiments.testbed import (
+    MAX_PAIR_DISTANCE_M,
+    Testbed,
+    office_testbed,
+)
+
+
+class TestTestbed:
+    @pytest.fixture(scope="class")
+    def tb(self):
+        return office_testbed()
+
+    def test_thirty_locations(self, tb):
+        assert len(tb.locations) == 30
+
+    def test_locations_inside_floor(self, tb):
+        for p in tb.locations:
+            assert 0 < p.x < 20
+            assert 0 < p.y < 20
+
+    def test_both_los_and_nlos_pairs_exist(self, tb):
+        counts = tb.classify_pairs()
+        assert counts["los"] > 10
+        assert counts["nlos"] > 10
+
+    def test_pair_sampling_respects_distance(self, tb, rng):
+        pairs = tb.location_pairs(20, rng)
+        for a, b in pairs:
+            assert 1.0 <= a.distance_to(b) <= MAX_PAIR_DISTANCE_M
+
+    def test_los_filter_respected(self, tb, rng):
+        pairs = tb.location_pairs(10, rng, line_of_sight=True)
+        for a, b in pairs:
+            assert tb.line_of_sight(a, b)
+
+    def test_deterministic_for_seed(self):
+        a = office_testbed(seed=3)
+        b = office_testbed(seed=3)
+        assert a.locations == b.locations
+
+    def test_validation(self, tb, rng):
+        with pytest.raises(ValueError):
+            tb.location_pairs(0, rng)
+        with pytest.raises(ValueError):
+            office_testbed(n_locations=1)
+
+
+class TestMetrics:
+    def test_cdf_monotone(self):
+        vals, probs = cdf([3.0, 1.0, 2.0])
+        assert list(vals) == [1.0, 2.0, 3.0]
+        assert probs[-1] == 1.0
+        assert np.all(np.diff(probs) > 0)
+
+    def test_median_and_percentile(self):
+        data = list(range(1, 101))
+        assert median(data) == pytest.approx(50.5)
+        assert percentile(data, 95) == pytest.approx(95.05)
+
+    def test_summarize_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.median == pytest.approx(2.5)
+        assert s.maximum == 4.0
+
+    def test_summary_scaled(self):
+        s = summarize([1.0, 2.0]).scaled(100.0)
+        assert s.median == pytest.approx(150.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            percentile([1.0], 150.0)
+
+
+class TestReport:
+    def test_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = table.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_summary_row(self):
+        s = summarize([1.0, 2.0, 3.0])
+        row = summary_row("x", s)
+        assert row[0] == "x"
+        assert row[1] == 3
+
+    def test_cdf_sketch_contains_quantiles(self):
+        sketch = cdf_sketch(np.linspace(0, 10, 100))
+        assert "P05" in sketch
+        assert "P95" in sketch

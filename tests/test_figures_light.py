@@ -1,0 +1,78 @@
+"""Light figure drivers: fast enough to gate in the unit suite.
+
+The heavy Monte-Carlo figures (7a, 8a–c, 10) are exercised by the
+benchmarks; here we pin down the cheap ones and the result-object
+invariants the benchmarks rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    figure_3,
+    figure_4,
+    figure_9a,
+    figure_9b,
+    figure_9c,
+)
+
+
+class TestFigure3:
+    def test_alignment_is_exact_noise_free(self):
+        r = figure_3()
+        assert r.error_s < 0.05e-9
+
+    def test_votes_cover_grid(self):
+        r = figure_3()
+        assert len(r.grid_s) == len(r.votes)
+        assert r.votes.max() == 5
+
+    def test_different_distance(self):
+        r = figure_3(distance_m=0.9)
+        assert r.error_s < 0.05e-9
+        assert r.true_tof_s == pytest.approx(3e-9, rel=1e-2)
+
+
+class TestFigure4:
+    def test_three_paths_power_ordered(self):
+        r = figure_4()
+        peaks = r.profile.peaks()[:3]
+        assert len(peaks) == 3
+        assert peaks[0].power > peaks[1].power > peaks[2].power
+
+    def test_delays_match_paper_example(self):
+        r = figure_4()
+        for true, got in zip(r.true_delays_s, r.recovered_delays_s):
+            assert got == pytest.approx(true, abs=0.3e-9)
+
+
+class TestFigure9a:
+    def test_median_near_84ms(self):
+        r = figure_9a(n_sweeps=30)
+        assert r.durations_ms.median == pytest.approx(84.0, rel=0.08)
+
+    def test_samples_match_summary(self):
+        r = figure_9a(n_sweeps=30)
+        assert r.durations_ms.n == 30
+        assert np.median(r.samples_ms) == pytest.approx(r.durations_ms.median)
+
+
+class TestFigure9b:
+    def test_no_stall(self):
+        trace = figure_9b()
+        assert not trace.stalled()
+
+    def test_buffer_positive_through_blackout(self):
+        trace = figure_9b()
+        assert trace.min_buffer_during_blackout_kb() > 0
+
+
+class TestFigure9c:
+    def test_dip_bounded(self):
+        trace = figure_9c()
+        assert 0.0 < trace.dip_fraction() < 0.3
+
+    def test_deterministic_for_seed(self):
+        a = figure_9c(seed=3)
+        b = figure_9c(seed=3)
+        assert np.allclose(a.throughput_mbps, b.throughput_mbps)

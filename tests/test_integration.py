@@ -1,0 +1,109 @@
+"""Integration tests: the paper's claims, end to end (light settings)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clock_toa import ClockToaBaseline
+from repro.core.cfo import LinkCalibration
+from repro.core.tof import TofEstimator, TofEstimatorConfig
+from repro.experiments.figures import figure_3, figure_4, figure_9a
+from repro.experiments.runner import calibrate_pair, run_tof_experiment
+from repro.experiments.testbed import office_testbed
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.rf.environment import free_space
+from repro.rf.geometry import Point
+from repro.wifi.hardware import INTEL_5300
+from repro.wifi.radio import SimulatedLink
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return office_testbed()
+
+
+class TestHeadlineClaims:
+    def test_sub_nanosecond_tof_on_testbed(self, testbed):
+        """The paper's title claim, on the simulated office floor."""
+        samples = run_tof_experiment(
+            10, seed=11, line_of_sight=True, testbed=testbed
+        )
+        errors_ns = [s.abs_error_s * 1e9 for s in samples]
+        assert np.median(errors_ns) < 1.0
+
+    def test_chronos_beats_clock_toa_by_orders_of_magnitude(self, testbed):
+        samples = run_tof_experiment(6, seed=78, testbed=testbed)
+        chronos_med = np.median([s.abs_error_m for s in samples])
+
+        rng = np.random.default_rng(78)
+        baseline = ClockToaBaseline()
+        baseline.calibrate(10e-9, rng)
+        clock_errors = [
+            abs(baseline.measure_distance(s.distance_m, rng) - s.distance_m)
+            for s in samples
+        ]
+        assert chronos_med < np.median(clock_errors) / 10.0
+
+    def test_figure3_exact_alignment(self):
+        r = figure_3()
+        assert r.error_s < 0.05e-9
+
+    def test_figure4_recovers_all_three_paths(self):
+        r = figure_4()
+        assert len(r.recovered_delays_s) == 3
+        assert r.max_peak_error_s < 0.3e-9
+
+    def test_sweep_time_near_84ms(self):
+        r = figure_9a(n_sweeps=40)
+        assert r.durations_ms.median == pytest.approx(84.0, rel=0.07)
+
+
+class TestCompensationNecessity:
+    """Ablation-style integration checks: each fix earns its keep."""
+
+    def _calibrated_pair(self, rng):
+        tx = INTEL_5300.sample_device_state(rng)
+        rx = INTEL_5300.sample_device_state(rng)
+        cfg = TofEstimatorConfig(compute_profile=False)
+        cal = calibrate_pair(tx, rx, cfg, rng)
+        return tx, rx, cfg, cal
+
+    def test_detection_delay_would_dominate_raw_toa(self, rng):
+        """Uncompensated detection delay is ~8x ToF (§12.1)."""
+        tx, rx, cfg, cal = self._calibrated_pair(rng)
+        link = SimulatedLink(
+            environment=free_space(),
+            tx_position=Point(0, 0),
+            rx_position=Point(6, 0),
+            tx_state=tx,
+            rx_state=rx,
+            rng=rng,
+        )
+        est = TofEstimator(cfg, cal).estimate(link.sweep(2))
+        # The coarse (slope) round trip carries both detection delays...
+        assert est.coarse_round_trip_s > 2 * link.true_tof_s + 250e-9
+        # ...while the final estimate does not.
+        assert abs(est.tof_s - link.true_tof_s) < 1e-9
+
+    def test_distance_accuracy_centimeters_free_space(self, rng):
+        tx, rx, cfg, cal = self._calibrated_pair(rng)
+        for d in (3.0, 8.0, 13.0):
+            link = SimulatedLink(
+                environment=free_space(),
+                tx_position=Point(0, 0),
+                rx_position=Point(d, 0),
+                tx_state=tx,
+                rx_state=rx,
+                rng=rng,
+            )
+            est = TofEstimator(cfg, cal).estimate(link.sweep(3))
+            assert abs(est.distance_m - d) < 0.15
+
+
+class TestNlosVersusLos:
+    def test_nlos_error_not_smaller_than_los(self, testbed):
+        """Fig. 7a ordering (on medians, small-sample tolerant)."""
+        los = run_tof_experiment(8, seed=91, line_of_sight=True, testbed=testbed)
+        nlos = run_tof_experiment(8, seed=92, line_of_sight=False, testbed=testbed)
+        med_los = np.median([s.abs_error_s for s in los])
+        med_nlos = np.median([s.abs_error_s for s in nlos])
+        assert med_nlos >= med_los * 0.5  # NLOS is never dramatically better

@@ -1,0 +1,126 @@
+"""Discrete-event engine and the hopping protocol."""
+
+import numpy as np
+import pytest
+
+from repro.mac.frames import Frame, FrameType
+from repro.mac.hopping import HoppingConfig, HoppingProtocol
+from repro.mac.sim import EventScheduler
+from repro.wifi.bands import US_BAND_PLAN
+
+
+class TestEventScheduler:
+    def test_events_run_in_time_order(self):
+        sched = EventScheduler()
+        log = []
+        sched.schedule(2.0, lambda: log.append("b"))
+        sched.schedule(1.0, lambda: log.append("a"))
+        sched.schedule(3.0, lambda: log.append("c"))
+        sched.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sched = EventScheduler()
+        log = []
+        sched.schedule(1.0, lambda: log.append(1))
+        sched.schedule(1.0, lambda: log.append(2))
+        sched.run()
+        assert log == [1, 2]
+
+    def test_cancelled_event_skipped(self):
+        sched = EventScheduler()
+        log = []
+        ev = sched.schedule(1.0, lambda: log.append("x"))
+        ev.cancel()
+        sched.run()
+        assert log == []
+
+    def test_run_until_stops_clock(self):
+        sched = EventScheduler()
+        sched.schedule(5.0, lambda: None)
+        t = sched.run(until_s=2.0)
+        assert t == 2.0
+        assert sched.pending() == 1
+
+    def test_actions_can_schedule_more(self):
+        sched = EventScheduler()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 3:
+                sched.schedule(1.0, lambda: chain(n + 1))
+
+        sched.schedule(0.0, lambda: chain(0))
+        sched.run()
+        assert log == [0, 1, 2, 3]
+        assert sched.now_s == pytest.approx(3.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sched = EventScheduler()
+        sched.schedule(1.0, lambda: None)
+        sched.run()
+        with pytest.raises(ValueError):
+            sched.schedule_at(0.5, lambda: None)
+
+
+class TestFrames:
+    def test_control_requires_next_channel(self):
+        with pytest.raises(ValueError):
+            Frame(FrameType.CONTROL, channel=36)
+
+    def test_data_frame_fine_without_next(self):
+        Frame(FrameType.DATA, channel=36)
+
+    def test_duration_positive(self):
+        with pytest.raises(ValueError):
+            Frame(FrameType.DATA, channel=36, duration_s=0.0)
+
+
+class TestHoppingProtocol:
+    def test_sweep_visits_every_band(self, rng):
+        stats = HoppingProtocol().run_sweep(rng)
+        assert stats.n_bands == len(US_BAND_PLAN)
+
+    def test_median_sweep_near_84ms(self):
+        """The Fig. 9a headline number."""
+        rng = np.random.default_rng(7)
+        durations = HoppingProtocol().sweep_durations(60, rng)
+        assert np.median(durations) == pytest.approx(84e-3, rel=0.06)
+
+    def test_lossless_channel_is_faster(self):
+        rng = np.random.default_rng(7)
+        clean = HoppingProtocol(HoppingConfig(loss_probability=0.0))
+        lossy = HoppingProtocol(HoppingConfig(loss_probability=0.15))
+        t_clean = np.median(clean.sweep_durations(20, rng))
+        t_lossy = np.median(lossy.sweep_durations(20, np.random.default_rng(7)))
+        assert t_lossy > t_clean
+
+    def test_retransmissions_counted(self):
+        rng = np.random.default_rng(3)
+        stats = HoppingProtocol(HoppingConfig(loss_probability=0.3)).run_sweep(rng)
+        assert stats.retransmissions > 0
+
+    def test_failsafe_triggers_under_heavy_loss(self):
+        rng = np.random.default_rng(3)
+        cfg = HoppingConfig(loss_probability=0.7, max_retries=1)
+        stats = HoppingProtocol(cfg).run_sweep(rng)
+        assert stats.failsafe_events > 0
+        assert stats.n_bands == len(US_BAND_PLAN)  # still completes
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HoppingConfig(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            HoppingConfig(n_packets_per_band=0)
+        with pytest.raises(ValueError):
+            HoppingProtocol().sweep_durations(0, np.random.default_rng(0))
+
+    def test_per_band_durations_recorded(self, rng):
+        stats = HoppingProtocol().run_sweep(rng)
+        assert all(d > 0 for d in stats.band_durations_s.values())
+        assert sum(stats.band_durations_s.values()) <= stats.total_duration_s + 1e-9

@@ -1,0 +1,77 @@
+"""Traffic-impact models behind Fig. 9b/9c."""
+
+import numpy as np
+import pytest
+
+from repro.net.tcp import TcpConfig, TcpFlowSimulation
+from repro.net.video import VideoConfig, VideoStreamSimulation
+
+
+class TestTcp:
+    def test_throughput_dip_in_paper_range(self):
+        trace = TcpFlowSimulation().run(np.random.default_rng(59))
+        assert 0.02 < trace.dip_fraction() < 0.2  # paper: ~6.5 %
+
+    def test_throughput_recovers(self):
+        trace = TcpFlowSimulation().run(np.random.default_rng(59))
+        assert trace.recovered_mbps() > 0.9 * trace.steady_state_mbps()
+
+    def test_no_blackout_no_dip(self):
+        cfg = TcpConfig(blackout_duration_s=0.0, loss_rate_per_s=0.0)
+        trace = TcpFlowSimulation(cfg).run(np.random.default_rng(1))
+        assert trace.dip_fraction() < 0.02
+
+    def test_longer_blackout_bigger_dip(self):
+        short = TcpConfig(blackout_duration_s=84e-3, loss_rate_per_s=0.0)
+        long = TcpConfig(blackout_duration_s=400e-3, loss_rate_per_s=0.0)
+        t_short = TcpFlowSimulation(short).run(np.random.default_rng(1))
+        t_long = TcpFlowSimulation(long).run(np.random.default_rng(1))
+        assert t_long.dip_fraction() > t_short.dip_fraction()
+
+    def test_rate_never_exceeds_capacity(self):
+        trace = TcpFlowSimulation().run(np.random.default_rng(2))
+        assert trace.throughput_mbps.max() <= TcpConfig().capacity_mbps + 1e-9
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TcpConfig(capacity_mbps=0.0)
+        with pytest.raises(ValueError):
+            TcpConfig(window_s=1e-3, time_step_s=1e-3)
+
+
+class TestVideo:
+    def test_default_stream_never_stalls(self):
+        """Fig. 9b's claim: the buffer cushions the sweep."""
+        trace = VideoStreamSimulation().run()
+        assert not trace.stalled()
+        assert trace.min_buffer_during_blackout_kb() > 0
+
+    def test_download_pauses_during_blackout(self):
+        trace = VideoStreamSimulation().run()
+        t = trace.times_s
+        in_blackout = (t >= 6.0) & (t < 6.0 + 84e-3)
+        idx = np.where(in_blackout)[0]
+        assert trace.downloaded_kb[idx[-1]] == pytest.approx(
+            trace.downloaded_kb[idx[0]], abs=30.0
+        )
+
+    def test_no_preroll_and_long_blackout_stalls(self):
+        """Sanity: the model *can* stall when the buffer cannot build."""
+        cfg = VideoConfig(
+            preroll_s=0.0,
+            download_kbps=2000.0,  # no headroom over the bitrate
+            blackout_duration_s=2.0,
+        )
+        trace = VideoStreamSimulation(cfg).run()
+        assert trace.stalled()
+
+    def test_playback_monotone_and_bounded(self):
+        trace = VideoStreamSimulation().run()
+        assert np.all(np.diff(trace.played_kb) >= -1e-9)
+        assert np.all(trace.played_kb <= trace.downloaded_kb + 1e-9)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            VideoConfig(bitrate_kbps=0.0)
+        with pytest.raises(ValueError):
+            VideoConfig(preroll_s=-1.0)

@@ -1,0 +1,75 @@
+"""Unit conversions and material models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rf.constants import (
+    NANOSECOND,
+    SPEED_OF_LIGHT,
+    amplitude_db_to_linear,
+    db_to_linear,
+    distance_to_tof,
+    linear_to_db,
+    thermal_noise_power_dbm,
+    tof_to_distance,
+)
+from repro.rf.materials import CONCRETE, DRYWALL, GLASS, METAL, Material
+
+
+class TestConversions:
+    def test_paper_example_0_6m_is_2ns(self):
+        assert distance_to_tof(0.6) == pytest.approx(2.0 * NANOSECOND, rel=1e-3)
+
+    def test_roundtrip(self):
+        assert tof_to_distance(distance_to_tof(12.34)) == pytest.approx(12.34)
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ValueError):
+            distance_to_tof(-1.0)
+
+    def test_db_linear_roundtrip(self):
+        assert linear_to_db(db_to_linear(7.3)) == pytest.approx(7.3)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+    def test_amplitude_db_factor_of_20(self):
+        # -6 dB amplitude halves the field strength.
+        assert amplitude_db_to_linear(-6.0) == pytest.approx(0.501, abs=1e-3)
+
+    def test_thermal_noise_20mhz(self):
+        # kTB over 20 MHz at 290 K is about -101 dBm.
+        assert thermal_noise_power_dbm(20e6) == pytest.approx(-101.0, abs=0.2)
+
+    def test_thermal_noise_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            thermal_noise_power_dbm(0.0)
+
+    @given(st.floats(min_value=1e-12, max_value=1e-3))
+    def test_tof_distance_inverse_property(self, tof):
+        assert distance_to_tof(tof_to_distance(tof)) == pytest.approx(tof, rel=1e-12)
+
+
+class TestMaterials:
+    def test_reflection_amplitude_below_one(self):
+        for m in (CONCRETE, DRYWALL, GLASS, METAL):
+            assert 0.0 < m.reflection_amplitude <= 1.0
+            assert 0.0 < m.transmission_amplitude <= 1.0
+
+    def test_metal_reflects_better_than_drywall(self):
+        assert METAL.reflection_amplitude > DRYWALL.reflection_amplitude
+
+    def test_glass_transmits_better_than_concrete(self):
+        assert GLASS.transmission_amplitude > CONCRETE.transmission_amplitude
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError):
+            Material("bogus", reflection_loss_db=-1.0, transmission_loss_db=3.0)
+
+    def test_amplitude_matches_db_definition(self):
+        m = Material("test", reflection_loss_db=6.0, transmission_loss_db=20.0)
+        assert m.reflection_amplitude == pytest.approx(10 ** (-6.0 / 20.0))
+        assert m.transmission_amplitude == pytest.approx(0.1)

@@ -1,0 +1,152 @@
+"""Image-method ray tracing: the physics the testbed rests on."""
+
+import numpy as np
+import pytest
+
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.rf.environment import (
+    Clutter,
+    Environment,
+    Wall,
+    free_space,
+    partition,
+    rectangular_room,
+)
+from repro.rf.geometry import Point, Segment
+from repro.rf.materials import CONCRETE, DRYWALL, METAL
+
+
+class TestFreeSpace:
+    def test_single_direct_path(self):
+        ps = free_space().trace(Point(0, 0), Point(5, 0))
+        assert len(ps) == 1
+        assert ps.direct_path.is_direct()
+        assert ps.true_tof_s == pytest.approx(5.0 / SPEED_OF_LIGHT)
+
+    def test_colocated_antennas_rejected(self):
+        with pytest.raises(ValueError):
+            free_space().trace(Point(1, 1), Point(1, 1))
+
+    def test_amplitude_follows_inverse_distance(self):
+        env = free_space()
+        a2 = env.trace(Point(0, 0), Point(2, 0)).direct_path.amplitude
+        a8 = env.trace(Point(0, 0), Point(8, 0)).direct_path.amplitude
+        assert a2 / a8 == pytest.approx(4.0)
+
+
+class TestReflections:
+    def test_one_wall_adds_one_reflection(self):
+        wall = Wall(Segment(Point(-10, 2), Point(10, 2)), CONCRETE)
+        env = Environment([wall], max_reflections=1)
+        ps = env.trace(Point(-1, 0), Point(1, 0))
+        assert len(ps) == 2
+        reflected = [p for p in ps if p.bounces == 1][0]
+        # Image geometry: path length = |(-1,0) -> (1,4)| mirrored = sqrt(4+16).
+        assert reflected.length_m == pytest.approx(np.sqrt(20.0), rel=1e-6)
+
+    def test_reflection_never_earlier_than_direct(self):
+        env = rectangular_room(8.0, 6.0)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            a = Point(rng.uniform(1, 7), rng.uniform(1, 5))
+            b = Point(rng.uniform(1, 7), rng.uniform(1, 5))
+            if a.distance_to(b) < 0.5:
+                continue
+            ps = env.trace(a, b)
+            direct = min(p.delay_s for p in ps if p.bounces == 0)
+            for p in ps:
+                assert p.delay_s >= direct - 1e-15
+
+    def test_same_side_rule_blocks_phantom_reflection(self):
+        # tx and rx on opposite sides of a wall: no reflection off it.
+        wall = Wall(Segment(Point(0, -10), Point(0, 10)), CONCRETE)
+        env = Environment([wall], max_reflections=1)
+        ps = env.trace(Point(-2, 0), Point(2, 0))
+        assert all(p.bounces == 0 for p in ps)
+
+    def test_second_order_paths_exist_in_room(self):
+        env = rectangular_room(10.0, 8.0, CONCRETE, max_reflections=2)
+        # Disable amplitude pruning to check pure enumeration.
+        env.min_relative_amplitude = 0.0
+        env.scattering_loss_db = 0.0
+        env.max_paths = 50
+        ps = env.trace(Point(2, 2), Point(8, 6))
+        assert any(p.bounces == 2 for p in ps)
+
+    def test_metal_reflection_stronger_than_drywall(self):
+        def reflected_amp(material):
+            wall = Wall(Segment(Point(-10, 2), Point(10, 2)), material)
+            env = Environment([wall], max_reflections=1, scattering_loss_db=0.0)
+            ps = env.trace(Point(-1, 0), Point(1, 0))
+            return [p for p in ps if p.bounces == 1][0].amplitude
+
+        assert reflected_amp(METAL) > reflected_amp(DRYWALL)
+
+
+class TestObstruction:
+    def test_wall_between_attenuates_direct(self):
+        wall = partition(0, -5, 0, 5, DRYWALL)
+        env = Environment([wall], max_reflections=0)
+        blocked = env.trace(Point(-2, 0), Point(2, 0)).direct_path
+        clear = free_space().trace(Point(-2, 0), Point(2, 0)).direct_path
+        assert blocked.amplitude < clear.amplitude
+        assert blocked.through_walls == 1
+
+    def test_line_of_sight_detection(self):
+        wall = partition(0, -5, 0, 5, DRYWALL)
+        env = Environment([wall])
+        assert not env.has_line_of_sight(Point(-2, 0), Point(2, 0))
+        assert env.has_line_of_sight(Point(1, 0), Point(2, 0))
+
+
+class TestPruning:
+    def test_max_paths_cap(self):
+        env = rectangular_room(10.0, 10.0, CONCRETE)
+        ps = env.trace(Point(3, 3), Point(7, 7))
+        assert len(ps) <= env.max_paths + 1  # +1 for the protected direct
+
+    def test_direct_path_never_pruned(self):
+        # Heavy obstruction: direct is weak but must survive.
+        walls = [partition(0, -5, 0, 5, CONCRETE), partition(1, -5, 1, 5, CONCRETE)]
+        env = Environment(walls, max_reflections=1)
+        ps = env.trace(Point(-3, 0), Point(3, 0))
+        assert any(p.bounces == 0 for p in ps)
+
+
+class TestClutter:
+    def test_clutter_adds_paths_after_direct(self):
+        env = Environment([], max_reflections=0, clutter=Clutter(n_scatterers=3))
+        ps = env.trace(Point(0, 0), Point(4, 0))
+        assert len(ps) == 4
+        direct = ps.direct_path
+        for p in ps:
+            if p is not direct:
+                assert p.delay_s > direct.delay_s
+                assert p.amplitude <= 0.3 * direct.amplitude + 1e-12
+
+    def test_clutter_is_deterministic_per_placement(self):
+        env = Environment([], max_reflections=0, clutter=Clutter())
+        ps1 = env.trace(Point(0, 0), Point(4, 0))
+        ps2 = env.trace(Point(0, 0), Point(4, 0))
+        assert np.allclose(ps1.delays_s, ps2.delays_s)
+        assert np.allclose(ps1.amplitudes, ps2.amplitudes)
+
+    def test_clutter_validation(self):
+        with pytest.raises(ValueError):
+            Clutter(min_excess_s=5e-9, max_excess_s=1e-9)
+        with pytest.raises(ValueError):
+            Clutter(amplitude_rel=1.5)
+
+
+class TestValidation:
+    def test_bad_reflection_order(self):
+        with pytest.raises(ValueError):
+            Environment([], max_reflections=3)
+
+    def test_bad_pruning_threshold(self):
+        with pytest.raises(ValueError):
+            Environment([], min_relative_amplitude=1.0)
+
+    def test_room_dimensions(self):
+        with pytest.raises(ValueError):
+            rectangular_room(0.0, 5.0)

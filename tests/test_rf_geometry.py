@@ -1,0 +1,143 @@
+"""Geometry primitives: the foundation the ray tracer stands on."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rf.geometry import (
+    Point,
+    Segment,
+    crossing_parameter,
+    mirror_point,
+    polygon_walls,
+    segment_intersection,
+    segments_intersect,
+)
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+class TestPoint:
+    def test_add_subtract_roundtrip(self):
+        p, q = Point(1.0, 2.0), Point(-3.0, 0.5)
+        assert (p + q) - q == p
+
+    def test_scalar_multiplication_commutes(self):
+        p = Point(2.0, -4.0)
+        assert 0.5 * p == p * 0.5 == Point(1.0, -2.0)
+
+    def test_dot_orthogonal_is_zero(self):
+        assert Point(1.0, 0.0).dot(Point(0.0, 5.0)) == 0.0
+
+    def test_cross_sign_encodes_orientation(self):
+        assert Point(1.0, 0.0).cross(Point(0.0, 1.0)) > 0
+        assert Point(0.0, 1.0).cross(Point(1.0, 0.0)) < 0
+
+    def test_distance_is_symmetric(self):
+        p, q = Point(0.0, 0.0), Point(3.0, 4.0)
+        assert p.distance_to(q) == q.distance_to(p) == 5.0
+
+    def test_normalized_unit_length(self):
+        assert Point(3.0, 4.0).normalized().norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            Point(0.0, 0.0).normalized()
+
+    def test_rotation_quarter_turn(self):
+        r = Point(1.0, 0.0).rotated(math.pi / 2.0)
+        assert r.x == pytest.approx(0.0, abs=1e-12)
+        assert r.y == pytest.approx(1.0)
+
+    @given(coords, coords, st.floats(min_value=-math.pi, max_value=math.pi))
+    def test_rotation_preserves_norm(self, x, y, angle):
+        p = Point(x, y)
+        assert p.rotated(angle).norm() == pytest.approx(p.norm(), abs=1e-9)
+
+
+class TestSegment:
+    def test_length_and_midpoint(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        assert s.length() == 4.0
+        assert s.midpoint() == Point(2.0, 0.0)
+
+    def test_point_at_endpoints(self):
+        s = Segment(Point(1, 1), Point(3, 5))
+        assert s.point_at(0.0) == s.a
+        assert s.point_at(1.0) == s.b
+
+    def test_contains_point_on_and_off(self):
+        s = Segment(Point(0, 0), Point(2, 2))
+        assert s.contains_point(Point(1, 1))
+        assert not s.contains_point(Point(1, 0))
+
+
+class TestMirror:
+    def test_mirror_across_x_axis(self):
+        wall = Segment(Point(-1, 0), Point(1, 0))
+        assert mirror_point(Point(0.5, 2.0), wall) == Point(0.5, -2.0)
+
+    def test_mirror_is_involution(self):
+        wall = Segment(Point(0, -1), Point(3, 5))
+        p = Point(2.0, 0.3)
+        back = mirror_point(mirror_point(p, wall), wall)
+        assert back.distance_to(p) < 1e-9
+
+    def test_point_on_wall_is_fixed(self):
+        wall = Segment(Point(0, 0), Point(4, 0))
+        assert mirror_point(Point(2, 0), wall).distance_to(Point(2, 0)) < 1e-12
+
+    def test_degenerate_wall_raises(self):
+        with pytest.raises(ValueError):
+            mirror_point(Point(1, 1), Segment(Point(0, 0), Point(0, 0)))
+
+    @given(coords, coords)
+    def test_mirror_preserves_distance_to_wall_line(self, x, y):
+        wall = Segment(Point(0, 0), Point(1, 0))
+        m = mirror_point(Point(x, y), wall)
+        assert abs(m.y) == pytest.approx(abs(y), abs=1e-9)
+
+
+class TestIntersection:
+    def test_crossing_segments(self):
+        s1 = Segment(Point(0, 0), Point(2, 2))
+        s2 = Segment(Point(0, 2), Point(2, 0))
+        p = segment_intersection(s1, s2)
+        assert p is not None
+        assert p.distance_to(Point(1, 1)) < 1e-9
+
+    def test_parallel_segments_do_not_intersect(self):
+        s1 = Segment(Point(0, 0), Point(2, 0))
+        s2 = Segment(Point(0, 1), Point(2, 1))
+        assert segment_intersection(s1, s2) is None
+
+    def test_disjoint_segments(self):
+        s1 = Segment(Point(0, 0), Point(1, 0))
+        s2 = Segment(Point(2, 1), Point(3, 1))
+        assert not segments_intersect(s1, s2)
+
+    def test_crossing_parameter_midpoint(self):
+        path = Segment(Point(0, -1), Point(0, 1))
+        wall = Segment(Point(-1, 0), Point(1, 0))
+        t = crossing_parameter(path, wall)
+        assert t == pytest.approx(0.5)
+
+    def test_crossing_parameter_excludes_endpoint_graze(self):
+        # A path that *starts* on the wall does not count as crossing it.
+        path = Segment(Point(0, 0), Point(0, 1))
+        wall = Segment(Point(-1, 0), Point(1, 0))
+        assert crossing_parameter(path, wall) is None
+
+
+class TestPolygon:
+    def test_square_has_four_walls(self):
+        walls = polygon_walls(
+            [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        )
+        assert len(walls) == 4
+        assert walls[-1].b == Point(0, 0)  # closed
+
+    def test_too_few_corners_raises(self):
+        with pytest.raises(ValueError):
+            polygon_walls([Point(0, 0), Point(1, 1)])

@@ -1,0 +1,57 @@
+"""Link budget and AWGN generation."""
+
+import numpy as np
+import pytest
+
+from repro.rf.noise import LinkBudget, awgn, noise_sigma_for_snr, snr_from_distance
+
+
+class TestLinkBudget:
+    def test_snr_decreases_with_distance(self):
+        b = LinkBudget()
+        assert b.snr_db(2.0) > b.snr_db(10.0) > b.snr_db(15.0)
+
+    def test_nlos_penalty(self):
+        b = LinkBudget()
+        assert b.snr_db(5.0, line_of_sight=True) - b.snr_db(
+            5.0, line_of_sight=False
+        ) == pytest.approx(b.nlos_penalty_db)
+
+    def test_path_loss_positive_distance_required(self):
+        with pytest.raises(ValueError):
+            LinkBudget().path_loss_db(0.0)
+
+    def test_reference_loss_at_1m(self):
+        b = LinkBudget(reference_loss_db=40.0)
+        assert b.path_loss_db(1.0) == pytest.approx(40.0)
+
+    def test_snr_from_distance_helper(self):
+        assert snr_from_distance(3.0) == LinkBudget().snr_db(3.0)
+
+
+class TestAwgn:
+    def test_sigma_formula(self):
+        # At 0 dB SNR with unit signal power, total noise power is 1.
+        sigma = noise_sigma_for_snr(0.0, 1.0)
+        assert 2 * sigma**2 == pytest.approx(1.0)
+
+    def test_high_snr_barely_perturbs(self, rng):
+        x = np.ones(1000, dtype=complex)
+        y = awgn(x, 60.0, rng)
+        assert np.max(np.abs(y - x)) < 0.02
+
+    def test_measured_snr_matches_request(self, rng):
+        x = np.exp(1j * np.linspace(0, 10, 20000))
+        y = awgn(x, 10.0, rng)
+        noise_power = np.mean(np.abs(y - x) ** 2)
+        snr = 10 * np.log10(1.0 / noise_power)
+        assert snr == pytest.approx(10.0, abs=0.3)
+
+    def test_input_not_modified(self, rng):
+        x = np.ones(10, dtype=complex)
+        awgn(x, 5.0, rng)
+        assert np.allclose(x, 1.0)
+
+    def test_zero_signal_does_not_crash(self, rng):
+        y = awgn(np.zeros(5, dtype=complex), 20.0, rng)
+        assert y.shape == (5,)

@@ -1,0 +1,111 @@
+"""PathSet invariants and channel synthesis (the Eqn. 7 forward model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rf.channel import channel_at, channel_matrix, single_path_phase
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.rf.paths import PathSet, PropagationPath, from_delays, two_ray
+
+
+class TestPropagationPath:
+    def test_length_matches_delay(self):
+        p = PropagationPath(delay_s=10e-9, amplitude=1.0)
+        assert p.length_m == pytest.approx(10e-9 * SPEED_OF_LIGHT)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            PropagationPath(delay_s=-1e-9, amplitude=1.0)
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            PropagationPath(delay_s=1e-9, amplitude=-0.1)
+
+    def test_direct_flag(self):
+        assert PropagationPath(1e-9, 1.0, bounces=0).is_direct()
+        assert not PropagationPath(1e-9, 1.0, bounces=1).is_direct()
+
+
+class TestPathSet:
+    def test_sorted_by_delay(self):
+        ps = from_delays([30e-9, 10e-9, 20e-9], [0.1, 1.0, 0.5])
+        assert list(ps.delays_s) == sorted(ps.delays_s)
+        assert ps.true_tof_s == pytest.approx(10e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PathSet([])
+
+    def test_direct_path_is_earliest_not_strongest(self):
+        ps = from_delays([10e-9, 20e-9], [0.2, 1.0])
+        assert ps.direct_path.delay_s == pytest.approx(10e-9)
+        assert ps.direct_path.amplitude == pytest.approx(0.2)
+
+    def test_dominant_paths_threshold(self):
+        ps = from_delays([1e-9, 2e-9, 3e-9], [1.0, 0.5, 0.001])
+        dom = ps.dominant_paths(threshold_db=20.0)
+        assert len(dom) == 2
+
+    def test_strongest_subset(self):
+        ps = from_delays([1e-9, 2e-9, 3e-9], [0.3, 1.0, 0.5])
+        top2 = ps.strongest(2)
+        assert len(top2) == 2
+        assert top2.delays_s[0] == pytest.approx(2e-9)  # still delay-ordered
+
+    def test_scaled_preserves_structure(self):
+        ps = two_ray(3.0, 5e-9)
+        scaled = ps.scaled(0.5)
+        assert scaled.total_power == pytest.approx(ps.total_power * 0.25)
+        assert scaled.true_tof_s == ps.true_tof_s
+
+    def test_delay_spread(self):
+        ps = from_delays([10e-9, 25e-9], [1.0, 0.5])
+        assert ps.delay_spread_s == pytest.approx(15e-9)
+
+    def test_two_ray_validation(self):
+        with pytest.raises(ValueError):
+            two_ray(3.0, excess_delay_s=0.0)
+
+
+class TestChannelSynthesis:
+    def test_single_path_phase_matches_eqn2(self):
+        f, tau = 5.2e9, 7e-9
+        phase = single_path_phase(f, tau)
+        expected = np.angle(np.exp(-2j * np.pi * f * tau))
+        assert phase == pytest.approx(expected)
+
+    def test_channel_magnitude_single_path(self):
+        ps = from_delays([10e-9], [0.7])
+        h = channel_at(ps, np.array([2.4e9, 5.8e9]))
+        assert np.allclose(np.abs(h), 0.7)
+
+    def test_channel_linearity_in_paths(self):
+        freqs = np.array([5.18e9, 5.2e9, 5.24e9])
+        p1 = from_delays([10e-9], [1.0])
+        p2 = from_delays([17e-9], [0.5])
+        both = from_delays([10e-9, 17e-9], [1.0, 0.5])
+        assert np.allclose(
+            channel_at(both, freqs), channel_at(p1, freqs) + channel_at(p2, freqs)
+        )
+
+    def test_channel_matrix_shape(self):
+        freqs = np.linspace(5.18e9, 5.3e9, 7)
+        sets = [two_ray(2.0, 5e-9), two_ray(4.0, 8e-9)]
+        m = channel_matrix(sets, freqs)
+        assert m.shape == (2, 7)
+
+    def test_channel_rejects_2d_frequencies(self):
+        with pytest.raises(ValueError):
+            channel_at(two_ray(2.0, 5e-9), np.ones((2, 2)))
+
+    @settings(max_examples=25)
+    @given(
+        tau=st.floats(min_value=1e-9, max_value=100e-9),
+        f=st.floats(min_value=2.4e9, max_value=5.9e9),
+    )
+    def test_phase_consistency_property(self, tau, f):
+        """channel_at and single_path_phase agree for unit amplitude."""
+        ps = from_delays([tau], [1.0])
+        h = channel_at(ps, np.array([f]))[0]
+        assert np.angle(h) == pytest.approx(single_path_phase(f, tau), abs=1e-9)

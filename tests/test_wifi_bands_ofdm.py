@@ -1,0 +1,117 @@
+"""The 35-band US plan (Fig. 2) and the OFDM/Intel-5300 subcarrier grid."""
+
+import numpy as np
+import pytest
+
+from repro.wifi.bands import (
+    Band,
+    BandPlan,
+    US_BAND_PLAN,
+    band_plan_2g4,
+    band_plan_5g,
+)
+from repro.wifi.ofdm import (
+    DATA_SUBCARRIERS_20MHZ,
+    INTEL5300_SUBCARRIERS_20MHZ,
+    SUBCARRIER_SPACING_HZ,
+    baseband_offsets,
+    subcarrier_frequencies,
+    validate_indices,
+)
+
+
+class TestBandPlan:
+    def test_us_plan_has_35_bands(self):
+        """The §5 claim: 35 US bands with independent centers."""
+        assert len(US_BAND_PLAN) == 35
+
+    def test_2g4_channels_1_to_11(self):
+        plan = band_plan_2g4()
+        assert len(plan) == 11
+        assert plan[0].center_hz == pytest.approx(2.412e9)
+        assert plan[-1].center_hz == pytest.approx(2.462e9)
+
+    def test_5g_band_count(self):
+        assert len(band_plan_5g(include_dfs=True)) == 24
+        assert len(band_plan_5g(include_dfs=False)) == 13
+
+    def test_dfs_flags(self):
+        dfs = [b for b in US_BAND_PLAN if b.dfs]
+        assert len(dfs) == 11  # channels 100-140
+        assert all(5.5e9 <= b.center_hz <= 5.7e9 for b in dfs)
+
+    def test_channel_to_frequency_formula(self):
+        ch36 = next(b for b in US_BAND_PLAN if b.channel == 36)
+        assert ch36.center_hz == pytest.approx(5.18e9)
+        ch165 = next(b for b in US_BAND_PLAN if b.channel == 165)
+        assert ch165.center_hz == pytest.approx(5.825e9)
+
+    def test_frequency_grid_is_5mhz_for_5g(self):
+        assert US_BAND_PLAN.subset_5g().frequency_grid_hz() == pytest.approx(5e6)
+
+    def test_unambiguous_window_200ns(self):
+        """The §4 claim: delays unique modulo ~200 ns."""
+        assert US_BAND_PLAN.subset_5g().unambiguous_delay_s() == pytest.approx(200e-9)
+
+    def test_total_span(self):
+        assert US_BAND_PLAN.total_span_hz == pytest.approx(5.825e9 - 2.412e9)
+
+    def test_subsets_partition_plan(self):
+        assert len(US_BAND_PLAN.subset_2g4()) + len(US_BAND_PLAN.subset_5g()) == 35
+
+    def test_decimate(self):
+        assert len(US_BAND_PLAN.decimate(5)) == 7
+
+    def test_duplicate_centers_rejected(self):
+        with pytest.raises(ValueError):
+            BandPlan([Band(1, 2.412e9), Band(1, 2.412e9)])
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError):
+            BandPlan([])
+
+    def test_band_classification(self):
+        assert Band(6, 2.437e9).is_2g4
+        assert Band(44, 5.22e9).is_5g
+
+
+class TestOfdm:
+    def test_spacing_is_20mhz_over_64(self):
+        assert SUBCARRIER_SPACING_HZ == pytest.approx(20e6 / 64)
+
+    def test_intel_grid_has_30_subcarriers(self):
+        """The §5 claim: 802.11n reports channels on 30 subcarriers."""
+        assert len(INTEL5300_SUBCARRIERS_20MHZ) == 30
+
+    def test_intel_grid_subset_of_data_subcarriers(self):
+        assert set(INTEL5300_SUBCARRIERS_20MHZ) <= set(DATA_SUBCARRIERS_20MHZ)
+
+    def test_dc_is_never_reported(self):
+        """The zero subcarrier carries no data — §5's whole problem."""
+        assert 0 not in INTEL5300_SUBCARRIERS_20MHZ
+        assert 0 not in DATA_SUBCARRIERS_20MHZ
+
+    def test_subcarrier_frequencies_centered(self):
+        freqs = subcarrier_frequencies(5.18e9)
+        assert freqs.min() == pytest.approx(5.18e9 - 28 * SUBCARRIER_SPACING_HZ)
+        assert freqs.max() == pytest.approx(5.18e9 + 28 * SUBCARRIER_SPACING_HZ)
+
+    def test_baseband_offsets_zero_free(self):
+        offsets = baseband_offsets()
+        assert 0.0 not in offsets
+        assert offsets[0] == pytest.approx(-28 * SUBCARRIER_SPACING_HZ)
+
+    def test_validate_accepts_intel_grid(self):
+        validate_indices(INTEL5300_SUBCARRIERS_20MHZ)
+
+    def test_validate_rejects_dc(self):
+        with pytest.raises(ValueError):
+            validate_indices((-2, -1, 0, 1, 2))
+
+    def test_validate_rejects_one_sided(self):
+        with pytest.raises(ValueError):
+            validate_indices((1, 2, 3, 4, 5))
+
+    def test_validate_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            validate_indices((1, -1, 2, -2))

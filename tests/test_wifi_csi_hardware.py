@@ -1,0 +1,156 @@
+"""CSI containers and hardware impairment models."""
+
+import numpy as np
+import pytest
+
+from repro.wifi.bands import Band
+from repro.wifi.csi import BandCsi, CsiSweep, LinkCsi
+from repro.wifi.hardware import (
+    DetectionDelayModel,
+    FrequencyOffsetModel,
+    IDEAL_HARDWARE,
+    INTEL_5300,
+    apply_phase_quirk,
+    chain_ripple_phase,
+)
+
+BAND = Band(36, 5.18e9)
+
+
+def make_band_csi(band=BAND, value=1.0 + 0j, t=0.0):
+    csi = np.full(30, value, dtype=complex)
+    return BandCsi(band=band, csi=csi, timestamp_s=t)
+
+
+class TestBandCsi:
+    def test_length_must_match_subcarriers(self):
+        with pytest.raises(ValueError):
+            BandCsi(band=BAND, csi=np.ones(7))
+
+    def test_frequencies_span_band(self):
+        bc = make_band_csi()
+        assert bc.frequencies_hz.shape == (30,)
+        # The Intel grid is slightly asymmetric; mean sits within one
+        # subcarrier of the center frequency.
+        assert abs(bc.frequencies_hz.mean() - BAND.center_hz) < 312.5e3
+
+    def test_magnitude_and_phase(self):
+        bc = make_band_csi(value=2.0 * np.exp(1j * 0.5))
+        assert np.allclose(bc.magnitudes, 2.0)
+        assert np.allclose(bc.phases, 0.5)
+
+
+class TestLinkCsi:
+    def test_band_mismatch_rejected(self):
+        fwd = make_band_csi(Band(36, 5.18e9))
+        rev = make_band_csi(Band(40, 5.2e9))
+        with pytest.raises(ValueError):
+            LinkCsi(forward=fwd, reverse=rev)
+
+    def test_turnaround(self):
+        link = LinkCsi(make_band_csi(t=1.0), make_band_csi(t=1.0 + 30e-6))
+        assert link.turnaround_s == pytest.approx(30e-6)
+
+
+class TestCsiSweep:
+    def test_orders_and_groups_by_band(self):
+        b1, b2 = Band(36, 5.18e9), Band(40, 5.2e9)
+        sweep = CsiSweep(
+            [
+                LinkCsi(make_band_csi(b2), make_band_csi(b2)),
+                LinkCsi(make_band_csi(b1), make_band_csi(b1)),
+                LinkCsi(make_band_csi(b1, t=1e-3), make_band_csi(b1, t=1e-3)),
+            ]
+        )
+        assert len(sweep) == 3
+        assert [b.channel for b in sweep.bands] == [36, 40]
+        groups = sweep.by_band()
+        assert len(groups[5.18e9]) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CsiSweep([])
+
+    def test_subset_filters(self):
+        b24, b5 = Band(1, 2.412e9), Band(36, 5.18e9)
+        sweep = CsiSweep(
+            [
+                LinkCsi(make_band_csi(b24), make_band_csi(b24)),
+                LinkCsi(make_band_csi(b5), make_band_csi(b5)),
+            ]
+        )
+        assert len(sweep.subset_2g4()) == 1
+        assert len(sweep.subset_5g()) == 1
+        with pytest.raises(ValueError):
+            sweep.subset(lambda b: False)
+
+
+class TestDetectionDelay:
+    def test_truncation_at_minimum(self, rng):
+        model = DetectionDelayModel(mean_s=100e-9, std_s=50e-9, min_s=90e-9)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert min(samples) >= 90e-9
+
+    def test_statistics_match_paper(self, rng):
+        model = INTEL_5300.detection_delay
+        samples = np.array([model.sample(rng) for _ in range(4000)])
+        assert np.median(samples) == pytest.approx(177e-9, rel=0.05)
+        assert np.std(samples) == pytest.approx(24.76e-9, rel=0.15)
+
+    def test_ideal_hardware_has_zero_delay(self, rng):
+        assert IDEAL_HARDWARE.detection_delay.sample(rng) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DetectionDelayModel(mean_s=50e-9, std_s=1e-9, min_s=100e-9)
+
+
+class TestFrequencyOffset:
+    def test_lo_ppm_bounded(self, rng):
+        model = FrequencyOffsetModel(oscillator_ppm=20.0)
+        for _ in range(100):
+            assert abs(model.sample_lo_ppm(rng)) <= 20.0
+
+    def test_zero_model_is_silent(self, rng):
+        model = FrequencyOffsetModel(0.0, 0.0, 0.0)
+        assert model.sample_residual_hz(rng) == 0.0
+        assert model.sample_jitter_rad(rng) == 0.0
+
+
+class TestQuirk:
+    def test_phase_wrapped_to_quarter_circle(self):
+        csi = np.exp(1j * np.array([0.1, 1.0, 2.0, 3.0, -2.0]))
+        quirked = apply_phase_quirk(csi)
+        phases = np.angle(quirked)
+        assert np.all(phases >= 0.0)
+        assert np.all(phases < np.pi / 2.0 + 1e-12)
+
+    def test_magnitude_preserved(self):
+        csi = 3.0 * np.exp(1j * np.linspace(-3, 3, 10))
+        assert np.allclose(np.abs(apply_phase_quirk(csi)), 3.0)
+
+    def test_fourth_power_workaround(self):
+        """The §11 footnote: (θ mod π/2) × 4 ≡ 4θ (mod 2π)."""
+        csi = np.exp(1j * np.linspace(-np.pi, np.pi, 50, endpoint=False))
+        assert np.allclose(apply_phase_quirk(csi) ** 4, csi**4, atol=1e-9)
+
+
+class TestDeviceState:
+    def test_sampled_constants_reasonable(self, rng):
+        state = INTEL_5300.sample_device_state(rng)
+        assert state.tx_chain_delay_s >= 0
+        assert state.rx_chain_delay_s >= 0
+        assert abs(state.kappa) > 0
+        assert abs(state.lo_ppm) <= 20.0
+
+    def test_ripple_deterministic_per_channel(self, rng):
+        state = INTEL_5300.sample_device_state(rng)
+        assert state.tx_ripple_rad(36) == state.tx_ripple_rad(36)
+        assert state.tx_ripple_rad(36) != state.tx_ripple_rad(40)
+
+    def test_ideal_has_no_ripple(self, rng):
+        state = IDEAL_HARDWARE.sample_device_state(rng)
+        assert state.tx_ripple_rad(36) == 0.0
+
+    def test_ripple_zero_sigma(self):
+        assert chain_ripple_phase(5, 36, 0.0) == 0.0

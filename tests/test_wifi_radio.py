@@ -1,0 +1,129 @@
+"""The measured-CSI generator: impairments enter exactly as modeled."""
+
+import numpy as np
+import pytest
+
+from repro.rf.channel import channel_at
+from repro.rf.environment import free_space
+from repro.rf.geometry import Point
+from repro.wifi.bands import US_BAND_PLAN
+from repro.wifi.hardware import IDEAL_HARDWARE, INTEL_5300
+from repro.wifi.radio import SimulatedLink, make_link
+
+
+class TestSweepStructure:
+    def test_sweep_covers_plan(self, ideal_link, small_plan):
+        ideal_link.band_plan = small_plan
+        sweep = ideal_link.sweep(n_packets_per_band=2)
+        assert len(sweep) == len(small_plan) * 2
+        assert len(sweep.bands) == len(small_plan)
+
+    def test_packet_count_validation(self, ideal_link):
+        with pytest.raises(ValueError):
+            ideal_link.sweep(n_packets_per_band=0)
+
+    def test_link_properties(self, ideal_link):
+        assert ideal_link.true_distance_m == pytest.approx(3.0)
+        assert ideal_link.line_of_sight
+        assert ideal_link.snr_db > 20
+
+
+class TestIdealMeasurement:
+    def test_ideal_forward_csi_matches_channel_up_to_lo_phase(
+        self, ideal_link, small_plan
+    ):
+        """No impairments: measured CSI is the channel times one unknown
+        per-packet phase (even perfect radios are not phase-locked)."""
+        band = small_plan[0]
+        pair = ideal_link.measure_band(band)[0]
+        freqs = pair.forward.frequencies_hz
+        expected = channel_at(ideal_link.paths, freqs)
+        assert np.allclose(np.abs(pair.forward.csi), np.abs(expected), rtol=0.05)
+        # Remove the common phase and compare exactly.
+        rotation = np.angle(np.vdot(expected, pair.forward.csi))
+        derotated = pair.forward.csi * np.exp(-1j * rotation)
+        assert np.allclose(derotated, expected, rtol=0.05, atol=1e-3)
+
+    def test_reciprocity_ideal(self, ideal_link, small_plan):
+        """κ = 1, no CFO: the fwd×rev product equals the channel squared
+        (the LO phases are equal and opposite — §7's identity)."""
+        pair = ideal_link.measure_band(small_plan[0])[0]
+        freqs = pair.forward.frequencies_hz
+        expected_sq = channel_at(ideal_link.paths, freqs) ** 2
+        product = pair.forward.csi * pair.reverse.csi
+        assert np.allclose(product, expected_sq, rtol=0.1, atol=1e-4)
+
+
+class TestImpairments:
+    def test_detection_delay_rotates_edges_not_center(self, rng):
+        """Detection delay tilts the phase across subcarriers (§5)."""
+        link = SimulatedLink(
+            environment=free_space(),
+            tx_position=Point(0, 0),
+            rx_position=Point(3, 0),
+            tx_state=INTEL_5300.sample_device_state(rng),
+            rx_state=INTEL_5300.sample_device_state(rng),
+            rng=rng,
+        )
+        band = US_BAND_PLAN.subset_5g()[0]
+        pair = link.measure_band(band)[0]
+        phases = np.unwrap(pair.forward.phases)
+        slope = np.polyfit(np.array(pair.forward.subcarriers, float), phases, 1)[0]
+        # Slope encodes tau + delta + chain: definitely > 100 ns here.
+        delay = -slope / (2 * np.pi * 312.5e3)
+        assert delay > 100e-9
+
+    def test_cfo_phase_cancels_in_product(self, rng):
+        """fwd×rev at the same subcarrier must drop the unknown LO phase."""
+        link = SimulatedLink(
+            environment=free_space(),
+            tx_position=Point(0, 0),
+            rx_position=Point(2, 0),
+            tx_state=INTEL_5300.sample_device_state(rng),
+            rx_state=INTEL_5300.sample_device_state(rng),
+            rng=rng,
+        )
+        band = US_BAND_PLAN.subset_5g()[0]
+        pairs = link.measure_band(band, n_packets=6)
+        # Forward phases alone are uniformly random across packets...
+        fwd_phases = [np.angle(p.forward.csi[15]) for p in pairs]
+        assert np.std(fwd_phases) > 0.5
+        # ...but the product phase is stable packet to packet.
+        prod_phases = [np.angle(p.forward.csi[15] * p.reverse.csi[15]) for p in pairs]
+        spread = np.std(np.angle(np.exp(1j * (np.array(prod_phases) - prod_phases[0]))))
+        assert spread < 0.3
+
+    def test_quirk_applied_only_at_2g4(self, rng):
+        link = SimulatedLink(
+            environment=free_space(),
+            tx_position=Point(0, 0),
+            rx_position=Point(2, 0),
+            tx_state=INTEL_5300.sample_device_state(rng),
+            rx_state=INTEL_5300.sample_device_state(rng),
+            rng=rng,
+        )
+        b24 = US_BAND_PLAN.subset_2g4()[0]
+        pair = link.measure_band(b24)[0]
+        assert np.all(np.angle(pair.forward.csi) >= 0)
+        assert np.all(np.angle(pair.forward.csi) < np.pi / 2 + 1e-9)
+
+    def test_kappa_on_reverse_only(self, rng):
+        """κ multiplies the ACK-direction CSI (§7 Eqn. 12)."""
+        state_a = INTEL_5300.sample_device_state(rng)
+        state_b = INTEL_5300.sample_device_state(rng)
+        link = SimulatedLink(
+            environment=free_space(),
+            tx_position=Point(0, 0),
+            rx_position=Point(2, 0),
+            tx_state=state_a,
+            rx_state=state_b,
+            rng=rng,
+        )
+        assert link.kappa == state_a.kappa * state_b.kappa
+
+
+class TestMakeLink:
+    def test_factory_produces_working_link(self, rng):
+        link = make_link(free_space(), Point(0, 0), Point(4, 0), rng=rng)
+        sweep = link.sweep(1)
+        assert len(sweep.bands) == 35

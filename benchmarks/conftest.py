@@ -8,9 +8,25 @@ pytest-benchmark records is the figure's end-to-end regeneration cost.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.testbed import office_testbed
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every test under ``benchmarks/`` as ``bench``.
+
+    The CI test matrix runs ``-m "not bench and not slow"``; the nightly
+    benchmark job runs ``-m bench`` and uploads the throughput JSON.
+    (This hook sees the whole session's items, so filter by location —
+    a root-level run must not mark the unit tests.)
+    """
+    bench_dir = Path(__file__).resolve().parent
+    for item in items:
+        if Path(item.path).is_relative_to(bench_dir):
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

@@ -12,14 +12,29 @@ Sub-modules map one-to-one onto the paper's sections:
 * :mod:`repro.core.cfo` — §7, forward×reverse reciprocity cancellation
   and the one-time constant-bias calibration.
 * :mod:`repro.core.tof` — the full estimator pipeline.
+* :mod:`repro.core.batch` — the batched N-link ranging engine over the
+  cached NDFT operators.
 * :mod:`repro.core.localization` — §8, distances → position.
 * :mod:`repro.core.pipeline` — the device-to-device facade.
 """
 
+from repro.core.batch import BatchTofEngine
 from repro.core.crt import crt_align, integer_crt, phase_tof_candidates
 from repro.core.interpolation import zero_subcarrier_csi
-from repro.core.ndft import ndft_matrix, tau_grid
-from repro.core.sparse import SparseSolverConfig, invert_ndft, soft_threshold
+from repro.core.ndft import (
+    NdftOperator,
+    capped_window_s,
+    get_grid_operator,
+    get_operator,
+    ndft_matrix,
+    tau_grid,
+)
+from repro.core.sparse import (
+    SparseSolverConfig,
+    invert_ndft,
+    invert_ndft_batch,
+    soft_threshold,
+)
 from repro.core.profile import MultipathProfile, refine_first_peak
 from repro.core.cfo import LinkCalibration, band_products
 from repro.core.tof import TofEstimate, TofEstimator, TofEstimatorConfig
@@ -33,14 +48,20 @@ from repro.core.localization import (
 from repro.core.pipeline import ChronosDevice, ChronosPair
 
 __all__ = [
+    "BatchTofEngine",
     "crt_align",
     "integer_crt",
     "phase_tof_candidates",
     "zero_subcarrier_csi",
+    "NdftOperator",
+    "capped_window_s",
+    "get_grid_operator",
+    "get_operator",
     "ndft_matrix",
     "tau_grid",
     "SparseSolverConfig",
     "invert_ndft",
+    "invert_ndft_batch",
     "soft_threshold",
     "MultipathProfile",
     "refine_first_peak",

@@ -27,8 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.ndft import ndft_matrix, steering_vector
-from repro.core.profile import RefinedPath, _golden_max
+from repro.core.ndft import get_operator, ndft_matrix, steering_vector
+from repro.core.profile import RefinedPath, _golden_max, scan_correlations
 
 
 @dataclass(frozen=True)
@@ -114,7 +114,9 @@ def extract_paths(
         raise ValueError("frequencies must not be all identical")
     grid_step = cfg.phase_budget_rad / (np.pi * span)
     grid = np.arange(0.0, max_delay_s, grid_step)
-    F = ndft_matrix(freqs, grid)
+    # The grid is a pure function of (frequencies, window, phase budget),
+    # so a batch of links sharing a band plan reuses one cached matrix.
+    F = get_operator(freqs, grid).F
 
     total_power = float(np.vdot(h, h).real)
     if total_power == 0.0:
@@ -373,6 +375,6 @@ def _polish(
     lo = max(tau0 - half_window_s, 0.0)
     hi = tau0 + half_window_s
     scan = np.linspace(lo, hi, 17)
-    coarse = float(scan[int(np.argmax([correlation(t) for t in scan]))])
+    coarse = float(scan[int(np.argmax(scan_correlations(residual, freqs, scan)))])
     step = float(scan[1] - scan[0])
     return _golden_max(correlation, max(coarse - step, 0.0), coarse + step)

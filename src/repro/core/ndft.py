@@ -15,6 +15,9 @@ window (:func:`unambiguous_window_s`).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
 import numpy as np
 
 DEFAULT_GRID_STEP_S = 0.5e-9
@@ -51,6 +54,19 @@ def unambiguous_window_s(frequencies_hz: np.ndarray) -> float:
         return float("inf")
     gcd_khz = np.gcd.reduce(diffs)
     return 1.0 / (float(gcd_khz) * 1e3)
+
+
+def capped_window_s(frequencies_hz: np.ndarray, cap_s: float) -> float:
+    """The alias-free delay window, explicitly capped to a finite bound.
+
+    :func:`unambiguous_window_s` returns ``inf`` for a single frequency
+    (no differences to alias against); a grid built from that would be
+    unbounded.  Every grid construction must therefore go through this
+    cap — ``min(window, cap)`` — which is always finite and positive.
+    """
+    if not np.isfinite(cap_s) or cap_s <= 0:
+        raise ValueError(f"cap must be finite and positive, got {cap_s}")
+    return min(unambiguous_window_s(frequencies_hz), cap_s)
 
 
 def tau_grid(
@@ -125,3 +141,128 @@ def matched_filter(
         )
     F = ndft_matrix(freqs, np.asarray(taus_s, dtype=float))
     return np.abs(F.conj().T @ h)
+
+
+# ----------------------------------------------------------------------
+# Cached NDFT operators
+# ----------------------------------------------------------------------
+@dataclass
+class NdftOperator:
+    """A precomputed NDFT operator for one (frequencies, delay grid) pair.
+
+    Building ``F`` costs one complex exponential per matrix entry, and
+    the Lipschitz constant of the LASSO gradient (``||F||²``, a full
+    SVD) dominates every scalar :func:`repro.core.sparse.invert_ndft`
+    call.  Both are pure functions of the frequency set and delay grid,
+    so a batch of links sharing a band plan can reuse a single operator
+    — that reuse is what makes the batched engine fast.
+
+    Attributes:
+        frequencies_hz: The (ascending) measurement frequencies.
+        taus_s: The candidate-delay grid.
+        F: The forward matrix ``exp(-j 2π f_i τ_k)``.
+    """
+
+    frequencies_hz: np.ndarray
+    taus_s: np.ndarray
+    F: np.ndarray = field(init=False)
+    _adjoint: np.ndarray | None = field(default=None, init=False, repr=False)
+    _lipschitz: float | None = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        # Private copies: cached operators outlive their callers, and a
+        # caller mutating a shared frequency array must not corrupt them.
+        self.frequencies_hz = np.array(self.frequencies_hz, dtype=float)
+        self.taus_s = np.array(self.taus_s, dtype=float)
+        self.frequencies_hz.setflags(write=False)
+        self.taus_s.setflags(write=False)
+        self.F = ndft_matrix(self.frequencies_hz, self.taus_s)
+        self.F.setflags(write=False)
+
+    @property
+    def n_frequencies(self) -> int:
+        """Number of measurement frequencies (rows of F)."""
+        return self.F.shape[0]
+
+    @property
+    def n_taus(self) -> int:
+        """Number of candidate delays (columns of F)."""
+        return self.F.shape[1]
+
+    @property
+    def adjoint(self) -> np.ndarray:
+        """``Fᴴ``, materialized once (the gradient uses it every step)."""
+        if self._adjoint is None:
+            adj = np.ascontiguousarray(self.F.conj().T)
+            adj.setflags(write=False)
+            self._adjoint = adj
+        return self._adjoint
+
+    @property
+    def lipschitz(self) -> float:
+        """``||F||²`` — the FISTA step-size constant, computed once."""
+        if self._lipschitz is None:
+            self._lipschitz = float(np.linalg.norm(self.F, 2) ** 2)
+        return self._lipschitz
+
+
+_OPERATOR_CACHE: OrderedDict[tuple[bytes, bytes], NdftOperator] = OrderedDict()
+_OPERATOR_CACHE_MAXSIZE = 32
+_cache_hits = 0
+_cache_misses = 0
+
+
+def get_operator(frequencies_hz: np.ndarray, taus_s: np.ndarray) -> NdftOperator:
+    """The cached NDFT operator for a (frequencies, delay grid) pair.
+
+    Keyed by the exact float values of both arrays, LRU-evicted beyond
+    :data:`_OPERATOR_CACHE_MAXSIZE` entries.  Callers must treat the
+    returned operator's arrays as read-only (they are shared).
+    """
+    global _cache_hits, _cache_misses
+    freqs = np.ascontiguousarray(frequencies_hz, dtype=float)
+    taus = np.ascontiguousarray(taus_s, dtype=float)
+    key = (freqs.tobytes(), taus.tobytes())
+    cached = _OPERATOR_CACHE.get(key)
+    if cached is not None:
+        _OPERATOR_CACHE.move_to_end(key)
+        _cache_hits += 1
+        return cached
+    _cache_misses += 1
+    operator = NdftOperator(freqs, taus)
+    _OPERATOR_CACHE[key] = operator
+    while len(_OPERATOR_CACHE) > _OPERATOR_CACHE_MAXSIZE:
+        _OPERATOR_CACHE.popitem(last=False)
+    return operator
+
+
+def get_grid_operator(
+    frequencies_hz: np.ndarray,
+    max_delay_s: float,
+    step_s: float = DEFAULT_GRID_STEP_S,
+) -> NdftOperator:
+    """Cached operator over a :func:`tau_grid` — the batch-engine key.
+
+    This is the (band plan, grid step, window) keying of the batched
+    ranging engine: the grid is derived deterministically from the
+    window and step, so two calls with equal parameters hit the same
+    cache entry.
+    """
+    return get_operator(frequencies_hz, tau_grid(max_delay_s, step_s))
+
+
+def operator_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters (observability + cache tests)."""
+    return {
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "size": len(_OPERATOR_CACHE),
+    }
+
+
+def clear_operator_cache() -> None:
+    """Drop every cached operator and reset the counters."""
+    global _cache_hits, _cache_misses
+    _OPERATOR_CACHE.clear()
+    _cache_hits = 0
+    _cache_misses = 0

@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.batch import BatchTofEngine
 from repro.core.cfo import LinkCalibration
 from repro.core.localization import LocalizationResult, locate_transmitter
 from repro.core.tof import TofEstimate, TofEstimator, TofEstimatorConfig
@@ -265,6 +266,30 @@ class ChronosPair:
         """Calibrated distance (ToF × c) between one antenna pair."""
         return self.measure_tof(tx_antenna, rx_antenna, n_sweeps).distance_m
 
+    def measure_tof_batch(
+        self,
+        antenna_pairs: Sequence[tuple[int, int]],
+        n_sweeps: int = 1,
+    ) -> list[TofEstimate]:
+        """Calibrated ToF for many ``(tx_antenna, rx_antenna)`` pairs at once.
+
+        Sweeps are acquired pair by pair (the radio still hops channels
+        sequentially — same RNG stream as repeated :meth:`measure_tof`
+        calls), but every estimate runs through the batched engine, so
+        the sparse inversions of all pairs share cached operators and
+        batched solves.
+        """
+        sweeps_per_link = []
+        calibrations = []
+        for tx_antenna, rx_antenna in antenna_pairs:
+            link = self.link(tx_antenna, rx_antenna)
+            sweeps_per_link.append(
+                [link.sweep(self.n_packets_per_band) for _ in range(n_sweeps)]
+            )
+            calibrations.append(self.calibration_for(tx_antenna, rx_antenna))
+        engine = BatchTofEngine(self.estimator_config)
+        return engine.estimate_sweeps_batch(sweeps_per_link, calibrations)
+
     # ------------------------------------------------------------------
     # Localization (§8)
     # ------------------------------------------------------------------
@@ -274,6 +299,7 @@ class ChronosPair:
         tx_antenna: int | None = None,
         position_hint: Point | None = None,
         tolerance_m: float = 0.3,
+        batched: bool = True,
     ) -> PairFix:
         """Locate the transmitter from per-rx-antenna distances.
 
@@ -286,16 +312,34 @@ class ChronosPair:
         distance to the transmitter's center.  With a specific
         ``tx_antenna``, only that antenna transmits (the phone-class
         single-antenna case).
+
+        ``batched=True`` (default) routes all antenna-pair links through
+        the batched ranging engine in one submission; ``False`` keeps
+        the sequential per-pair path (the two agree to floating-point
+        noise).
         """
         use_pairwise = tx_antenna is None and self.transmitter.n_antennas > 1
         tx_indices = (
             range(self.transmitter.n_antennas) if use_pairwise else [tx_antenna or 0]
         )
+        pairs = [
+            (t, rx_idx)
+            for rx_idx in range(self.receiver.n_antennas)
+            for t in tx_indices
+        ]
+        if batched:
+            estimates = self.measure_tof_batch(pairs, n_sweeps=n_sweeps)
+            pair_distance = {
+                pair: est.distance_m for pair, est in zip(pairs, estimates)
+            }
+        else:
+            pair_distance = {
+                pair: self.measure_distance(pair[0], pair[1], n_sweeps)
+                for pair in pairs
+            }
         distances = []
         for rx_idx in range(self.receiver.n_antennas):
-            per_tx = [
-                self.measure_distance(t, rx_idx, n_sweeps) for t in tx_indices
-            ]
+            per_tx = [pair_distance[(t, rx_idx)] for t in tx_indices]
             distances.append(float(np.median(per_tx)))
         distances = tuple(distances)
         anchors = self.receiver.antenna_positions()

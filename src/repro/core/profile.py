@@ -271,8 +271,21 @@ def _polish_single_delay(
     hi = delays[index] + half_window_s
     scan = np.linspace(lo, hi, 49)
     scan_step = scan[1] - scan[0]
-    coarse = scan[int(np.argmax([correlation(t) for t in scan]))]
+    coarse = scan[int(np.argmax(scan_correlations(residual, freqs, scan)))]
     return _golden_max(correlation, max(coarse - scan_step, 0.0), coarse + scan_step)
+
+
+def scan_correlations(
+    residual: np.ndarray, freqs: np.ndarray, taus_s: np.ndarray
+) -> np.ndarray:
+    """``|⟨a(τ), r⟩|`` for every scan delay in one matrix product.
+
+    One GEMV instead of one steering-vector build plus one vdot per
+    scan point — the dense scans inside the per-path polish loops are
+    the hot tail of every estimate, so this matters for throughput.
+    """
+    phases = np.exp(2.0j * np.pi * np.outer(taus_s, freqs))
+    return np.abs(phases @ residual)
 
 
 def _golden_max(fn, lo: float, hi: float, tol: float = 1e-13) -> float:

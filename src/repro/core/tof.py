@@ -32,7 +32,12 @@ from repro.core.deflation import (
     lasso_amplitudes,
     prune_ghost_atoms,
 )
-from repro.core.ndft import ndft_matrix, tau_grid, unambiguous_window_s
+from repro.core.ndft import (
+    capped_window_s,
+    get_grid_operator,
+    ndft_matrix,
+    tau_grid,
+)
 from repro.core.profile import (
     MultipathProfile,
     RefinedPath,
@@ -203,22 +208,11 @@ class TofEstimator:
         """
         if not sweeps:
             raise ValueError("need at least one sweep")
-        coarse_rt = self._coarse_round_trip(sweeps)
-        gate_2tau = None
-        if coarse_rt is not None:
-            gated = self.calibration.coarse_round_trip_to_raw_2tau(coarse_rt)
-            if gated is not None:
-                gate_2tau = max(0.0, gated - self.config.coarse_gate_margin_s)
-        groups: list[GroupEstimate] = []
-        for name, band_filter, power, exponent in self._group_specs():
-            collected = self._averaged_products(sweeps, band_filter, power)
-            if collected is None:
-                continue
-            freqs, products = collected
-            group_gate = None if gate_2tau is None else gate_2tau * exponent / 2.0
-            groups.append(
-                self._estimate_group(name, freqs, products, exponent, group_gate)
-            )
+        coarse_rt, jobs = self._link_jobs(sweeps, self.calibration)
+        groups = [
+            self._estimate_group(name, freqs, products, exponent, gate)
+            for name, freqs, products, exponent, gate in jobs
+        ]
         if not groups:
             raise ValueError("no usable band group in the sweep")
         raw = self._fuse(groups)
@@ -268,6 +262,36 @@ class TofEstimator:
         elif not cfg.use_5g:
             band_filter = lambda b: b.is_2g4
         return [("all", band_filter, 1, 2)]
+
+    def _link_jobs(
+        self, sweeps: list[CsiSweep], calibration: LinkCalibration
+    ) -> tuple[float | None, list[tuple[str, np.ndarray, np.ndarray, int, float | None]]]:
+        """Per-link preprocessing: coarse gate + per-group products.
+
+        Returns ``(coarse_round_trip_s, jobs)`` where each job is
+        ``(group name, frequencies, products, exponent, gate_s)``.
+        This is the single source of the gating/grouping semantics —
+        :meth:`estimate_many` runs the jobs through the scalar group
+        estimator, while the batched engine stacks the jobs of many
+        links and solves each frequency set in one shot.  Keeping one
+        implementation is what keeps the two paths estimate-for-
+        estimate identical.
+        """
+        coarse_rt = self._coarse_round_trip(sweeps)
+        gate_2tau = None
+        if coarse_rt is not None:
+            gated = calibration.coarse_round_trip_to_raw_2tau(coarse_rt)
+            if gated is not None:
+                gate_2tau = max(0.0, gated - self.config.coarse_gate_margin_s)
+        jobs = []
+        for name, band_filter, power, exponent in self._group_specs():
+            collected = self._averaged_products(sweeps, band_filter, power)
+            if collected is None:
+                continue
+            freqs, products = collected
+            gate = None if gate_2tau is None else gate_2tau * exponent / 2.0
+            jobs.append((name, freqs, products, exponent, gate))
+        return coarse_rt, jobs
 
     def _averaged_products(self, sweeps, band_filter, power):
         """Average per-band products across sweeps; None if no bands."""
@@ -329,9 +353,7 @@ class TofEstimator:
         coarse_mask = self._coarse_mask(freqs)
         coarse_freqs = freqs[coarse_mask]
         coarse_products = products[coarse_mask]
-        window = min(
-            unambiguous_window_s(coarse_freqs), self.config.max_profile_delay_s
-        )
+        window = capped_window_s(coarse_freqs, self.config.max_profile_delay_s)
         if self.config.method == "hybrid":
             paths = extract_paths(
                 coarse_products, coarse_freqs, window, self.config.deflation
@@ -364,17 +386,7 @@ class TofEstimator:
             )
         else:
             profile = self._ista_profile(window, coarse_freqs, coarse_products)
-            peaks = profile.peaks()
-            if gate_s is not None:
-                gated = [p for p in peaks if p.delay_s >= gate_s]
-                peaks = gated or peaks
-            if not peaks:
-                raise ValueError("profile has no usable peaks")
-            delay = peaks[0].delay_s
-            if self.config.refine:
-                delay = refine_first_peak(profile, products, freqs)
-                if gate_s is not None and delay < gate_s:
-                    delay = peaks[0].delay_s
+            delay = self._ista_delay(profile, freqs, products, gate_s)
         span = float(freqs.max() - freqs.min())
         return GroupEstimate(
             name=name,
@@ -389,11 +401,41 @@ class TofEstimator:
         self, window: float, freqs: np.ndarray, products: np.ndarray
     ) -> MultipathProfile:
         """Algorithm 1's multipath profile on the coarse band set."""
-        grid = tau_grid(window, self.config.grid_step_s)
-        solution = invert_ndft(products, freqs, grid, self.config.sparse)
-        return MultipathProfile(
-            grid, solution, dominance_threshold_rel=self.config.peak_threshold_rel
+        op = get_grid_operator(freqs, window, self.config.grid_step_s)
+        solution = invert_ndft(
+            products, freqs, op.taus_s, self.config.sparse, operator=op
         )
+        return MultipathProfile(
+            op.taus_s,
+            solution,
+            dominance_threshold_rel=self.config.peak_threshold_rel,
+        )
+
+    def _ista_delay(
+        self,
+        profile: MultipathProfile,
+        freqs: np.ndarray,
+        products: np.ndarray,
+        gate_s: float | None,
+    ) -> float:
+        """First-peak selection + refinement on an Algorithm 1 profile.
+
+        Shared by the scalar path and the batched engine (which computes
+        the profiles of many links in one solver run, then applies this
+        per link) so the two stay estimate-for-estimate identical.
+        """
+        peaks = profile.peaks()
+        if gate_s is not None:
+            gated = [p for p in peaks if p.delay_s >= gate_s]
+            peaks = gated or peaks
+        if not peaks:
+            raise ValueError("profile has no usable peaks")
+        delay = peaks[0].delay_s
+        if self.config.refine:
+            delay = refine_first_peak(profile, products, freqs)
+            if gate_s is not None and delay < gate_s:
+                delay = peaks[0].delay_s
+        return delay
 
     def _make_profile(
         self,

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.batch import BatchTofEngine
 from repro.core.cfo import LinkCalibration
 from repro.core.localization import locate_transmitter
 from repro.core.pipeline import ChronosDevice, ChronosPair, triangle_array
@@ -85,6 +86,7 @@ def run_tof_experiment(
     estimator_config: TofEstimatorConfig | None = None,
     n_packets_per_band: int = 3,
     n_sweeps: int = 1,
+    batched: bool = False,
 ) -> list[TofSample]:
     """The §12.1 accuracy experiment: ToF error across testbed pairs.
 
@@ -97,6 +99,10 @@ def run_tof_experiment(
         estimator_config: Estimator settings (profile computation is
             disabled by default for speed — ToF-only here).
         n_packets_per_band / n_sweeps: Acquisition depth.
+        batched: Estimate every pair in one batched-engine submission
+            instead of a scalar loop.  Acquisition order (and therefore
+            the RNG stream and the measured CSI) is identical either
+            way, so the two paths agree to floating-point noise.
 
     Returns:
         One :class:`TofSample` per evaluated pair.
@@ -105,12 +111,13 @@ def run_tof_experiment(
     cfg = estimator_config or TofEstimatorConfig(compute_profile=False)
     rng = np.random.default_rng(seed)
     pairs = tb.location_pairs(n_pairs, rng, line_of_sight=line_of_sight)
-    samples: list[TofSample] = []
+    links: list[SimulatedLink] = []
+    calibrations: list[LinkCalibration] = []
+    sweeps_per_link: list[list] = []
     for tx_pos, rx_pos in pairs:
         tx_state = profile.sample_device_state(rng)
         rx_state = profile.sample_device_state(rng)
-        calibration = calibrate_pair(tx_state, rx_state, cfg, rng)
-        estimator = TofEstimator(cfg, calibration)
+        calibrations.append(calibrate_pair(tx_state, rx_state, cfg, rng))
         link = SimulatedLink(
             environment=tb.environment,
             tx_position=tx_pos,
@@ -119,18 +126,29 @@ def run_tof_experiment(
             rx_state=rx_state,
             rng=rng,
         )
-        sweeps = [link.sweep(n_packets_per_band) for _ in range(n_sweeps)]
-        estimate = estimator.estimate_many(sweeps)
-        samples.append(
-            TofSample(
-                true_tof_s=link.true_tof_s,
-                estimated_tof_s=estimate.tof_s,
-                distance_m=link.true_distance_m,
-                line_of_sight=link.line_of_sight,
-                estimate=estimate,
-            )
+        links.append(link)
+        sweeps_per_link.append(
+            [link.sweep(n_packets_per_band) for _ in range(n_sweeps)]
         )
-    return samples
+    if batched:
+        estimates = BatchTofEngine(cfg).estimate_sweeps_batch(
+            sweeps_per_link, calibrations
+        )
+    else:
+        estimates = [
+            TofEstimator(cfg, calibration).estimate_many(sweeps)
+            for calibration, sweeps in zip(calibrations, sweeps_per_link)
+        ]
+    return [
+        TofSample(
+            true_tof_s=link.true_tof_s,
+            estimated_tof_s=estimate.tof_s,
+            distance_m=link.true_distance_m,
+            line_of_sight=link.line_of_sight,
+            estimate=estimate,
+        )
+        for link, estimate in zip(links, estimates)
+    ]
 
 
 @dataclass

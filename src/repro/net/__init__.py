@@ -8,12 +8,25 @@ reproduce the two traces of Fig. 9:
   during the sweep but playback continues from the buffer (Fig. 9b);
 * :mod:`repro.net.tcp` — a long-lived iperf-style TCP flow whose
   windowed throughput dips a few percent around the sweep (Fig. 9c).
+
+It also hosts the serving layer: :mod:`repro.net.service` exposes the
+batched ranging engine as a request/response facade.
 """
 
+from repro.net.service import (
+    RangingRequest,
+    RangingResponse,
+    RangingService,
+    ServiceStats,
+)
 from repro.net.tcp import TcpConfig, TcpFlowSimulation, TcpTrace
 from repro.net.video import VideoConfig, VideoStreamSimulation, VideoTrace
 
 __all__ = [
+    "RangingRequest",
+    "RangingResponse",
+    "RangingService",
+    "ServiceStats",
     "TcpConfig",
     "TcpFlowSimulation",
     "TcpTrace",

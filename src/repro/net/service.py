@@ -1,0 +1,198 @@
+"""A batch-first ranging service over the batched ToF engine.
+
+:class:`RangingService` is the serving-layer facade: callers submit a
+batch of per-link measurement requests (band products, as produced by
+the CSI front end), the service groups them by band plan, shards each
+group to bound per-solve memory, runs every shard through one
+:class:`~repro.core.batch.BatchTofEngine` call, and returns per-link
+:class:`~repro.core.tof.TofEstimate` responses in request order.
+
+Requests on the same band plan amortize one cached NDFT operator and
+one batched sparse solve; requests on different plans simply land in
+different shards.  The per-submission :class:`ServiceStats` expose the
+shard layout and throughput, which the CI benchmark records.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.batch import BatchTofEngine
+from repro.core.cfo import LinkCalibration
+from repro.core.tof import TofEstimate, TofEstimatorConfig
+
+
+@dataclass(frozen=True)
+class RangingRequest:
+    """One link's measurement, ready for inversion.
+
+    Attributes:
+        link_id: Caller's identifier, echoed in the response.
+        frequencies_hz: Band center frequencies of the measurement.
+        products: Averaged reciprocity products, one per frequency.
+        exponent: Delay-axis scale of the products (2 for the
+            reciprocity square, 8 for the 2.4 GHz quirk workaround).
+        calibration: Per-link constant-bias calibration (identity when
+            omitted).
+    """
+
+    link_id: str
+    frequencies_hz: np.ndarray
+    products: np.ndarray
+    exponent: int = 2
+    calibration: LinkCalibration | None = None
+
+    def __post_init__(self) -> None:
+        freqs = np.asarray(self.frequencies_hz, dtype=float)
+        products = np.asarray(self.products, dtype=complex)
+        if freqs.ndim != 1 or products.shape != freqs.shape:
+            raise ValueError(
+                f"request {self.link_id!r}: products shape {products.shape} "
+                f"does not match frequencies {freqs.shape}"
+            )
+        object.__setattr__(self, "frequencies_hz", freqs)
+        object.__setattr__(self, "products", products)
+
+
+@dataclass(frozen=True)
+class RangingResponse:
+    """The service's answer for one request.
+
+    ``estimate`` is ``None`` when this link's measurement was
+    unusable (e.g. all-zero products from a disassociated radio);
+    ``error`` then carries the estimator's reason.  One dead link
+    never poisons the rest of its batch.
+    """
+
+    link_id: str
+    estimate: TofEstimate | None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the link produced an estimate."""
+        return self.estimate is not None
+
+    @property
+    def distance_m(self) -> float:
+        """Calibrated one-way distance."""
+        if self.estimate is None:
+            raise ValueError(f"link {self.link_id!r} failed: {self.error}")
+        return self.estimate.distance_m
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Telemetry for one ``submit`` call."""
+
+    n_requests: int
+    n_plans: int
+    n_shards: int
+    elapsed_s: float
+    n_failed: int = 0
+
+    @property
+    def links_per_s(self) -> float:
+        """Throughput of the submission."""
+        return self.n_requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+class RangingService:
+    """Accepts ranging request batches and serves ToF estimates.
+
+    Args:
+        config: Estimator settings shared by every request.
+        max_shard_links: Upper bound on links per batched solve.  Bounds
+            the working set of one GEMM (the solver state is
+            ``n_taus × shard`` complex) while keeping shards large
+            enough to amortize the cached operators.
+        engine: Injectable engine (tests swap in instrumented ones).
+    """
+
+    def __init__(
+        self,
+        config: TofEstimatorConfig | None = None,
+        max_shard_links: int = 256,
+        engine: BatchTofEngine | None = None,
+    ):
+        if max_shard_links < 1:
+            raise ValueError(f"shards need at least one link, got {max_shard_links}")
+        self.engine = engine or BatchTofEngine(config)
+        self.max_shard_links = max_shard_links
+        self.last_stats: ServiceStats | None = None
+
+    def submit(self, requests: Sequence[RangingRequest]) -> list[RangingResponse]:
+        """Estimate ToF for every request, in request order.
+
+        Requests sharing (frequencies, exponent) are stacked into the
+        same batched solves; sharding splits oversized stacks.
+        """
+        start = time.perf_counter()
+        requests = list(requests)
+        by_plan: dict[tuple[bytes, int], list[int]] = {}
+        for idx, request in enumerate(requests):
+            key = (request.frequencies_hz.tobytes(), request.exponent)
+            by_plan.setdefault(key, []).append(idx)
+
+        responses: list[RangingResponse | None] = [None] * len(requests)
+        n_shards = 0
+        n_failed = 0
+        for indices in by_plan.values():
+            for lo in range(0, len(indices), self.max_shard_links):
+                shard = indices[lo : lo + self.max_shard_links]
+                n_shards += 1
+                try:
+                    shard_responses = self._solve_shard(requests, shard)
+                except ValueError:
+                    # One degenerate link inside the batched solve must
+                    # not take its shard down: retry link by link and
+                    # report the failures individually.
+                    shard_responses = [
+                        self._solve_one(requests[i]) for i in shard
+                    ]
+                for i, response in zip(shard, shard_responses):
+                    responses[i] = response
+                    if not response.ok:
+                        n_failed += 1
+
+        self.last_stats = ServiceStats(
+            n_requests=len(requests),
+            n_plans=len(by_plan),
+            n_shards=n_shards,
+            elapsed_s=time.perf_counter() - start,
+            n_failed=n_failed,
+        )
+        return responses
+
+    def _solve_shard(
+        self, requests: Sequence[RangingRequest], shard: Sequence[int]
+    ) -> list[RangingResponse]:
+        """One batched solve over the shard's stacked products."""
+        first = requests[shard[0]]
+        stacked = np.vstack([requests[i].products for i in shard])
+        calibrations = [
+            requests[i].calibration or LinkCalibration() for i in shard
+        ]
+        estimates = self.engine.estimate_products_batch(
+            first.frequencies_hz,
+            stacked,
+            exponent=first.exponent,
+            calibrations=calibrations,
+        )
+        return [
+            RangingResponse(link_id=requests[i].link_id, estimate=estimate)
+            for i, estimate in zip(shard, estimates)
+        ]
+
+    def _solve_one(self, request: RangingRequest) -> RangingResponse:
+        """Single-link fallback; estimation failures become per-link errors."""
+        try:
+            return self._solve_shard([request], [0])[0]
+        except ValueError as exc:
+            return RangingResponse(
+                link_id=request.link_id, estimate=None, error=str(exc)
+            )

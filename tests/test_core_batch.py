@@ -1,0 +1,227 @@
+"""The batched ranging engine and the cached NDFT operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchTofEngine
+from repro.core.cfo import LinkCalibration
+from repro.core.ndft import (
+    capped_window_s,
+    clear_operator_cache,
+    get_grid_operator,
+    get_operator,
+    ndft_matrix,
+    operator_cache_stats,
+    steering_vector,
+    tau_grid,
+    unambiguous_window_s,
+)
+from repro.core.sparse import SparseSolverConfig, invert_ndft, invert_ndft_batch
+from repro.core.tof import TofEstimator, TofEstimatorConfig
+from repro.wifi.bands import US_BAND_PLAN
+
+FREQS_5G = US_BAND_PLAN.subset_5g().center_frequencies_hz
+
+
+def random_links(rng, n_links, n_paths=3, noise=0.02):
+    """Stacked reciprocity-squared channels for synthetic multipath links."""
+    rows = []
+    for _ in range(n_links):
+        taus = np.sort(rng.uniform(5e-9, 90e-9, n_paths))
+        amps = rng.uniform(0.3, 1.0, n_paths) * np.exp(
+            1j * rng.uniform(-np.pi, np.pi, n_paths)
+        )
+        h = sum(a * steering_vector(FREQS_5G, 2 * t) for a, t in zip(amps, taus))
+        h += noise * (
+            rng.normal(size=len(FREQS_5G)) + 1j * rng.normal(size=len(FREQS_5G))
+        )
+        rows.append(h)
+    return np.vstack(rows)
+
+
+class TestOperatorCache:
+    def test_same_key_reuses_cached_matrix(self):
+        clear_operator_cache()
+        grid = tau_grid(100e-9, 1e-9)
+        a = get_operator(FREQS_5G, grid)
+        b = get_operator(FREQS_5G, grid.copy())
+        assert a is b  # the identity check: one matrix, shared
+        assert b.F is a.F
+        stats = operator_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_different_grid_step_misses(self):
+        clear_operator_cache()
+        get_grid_operator(FREQS_5G, 100e-9, 1e-9)
+        get_grid_operator(FREQS_5G, 100e-9, 0.5e-9)
+        assert operator_cache_stats()["misses"] == 2
+        assert operator_cache_stats()["hits"] == 0
+
+    def test_different_window_misses(self):
+        clear_operator_cache()
+        get_grid_operator(FREQS_5G, 100e-9, 1e-9)
+        get_grid_operator(FREQS_5G, 150e-9, 1e-9)
+        assert operator_cache_stats()["misses"] == 2
+
+    def test_matrix_matches_direct_construction(self):
+        grid = tau_grid(80e-9, 1e-9)
+        op = get_operator(FREQS_5G, grid)
+        assert np.array_equal(op.F, ndft_matrix(FREQS_5G, grid))
+        assert np.array_equal(op.adjoint, ndft_matrix(FREQS_5G, grid).conj().T)
+
+    def test_lipschitz_matches_norm(self):
+        grid = tau_grid(50e-9, 1e-9)
+        op = get_operator(FREQS_5G, grid)
+        assert op.lipschitz == float(np.linalg.norm(op.F, 2) ** 2)
+
+    def test_cached_arrays_are_read_only(self):
+        op = get_operator(FREQS_5G, tau_grid(60e-9, 1e-9))
+        with pytest.raises(ValueError):
+            op.F[0, 0] = 0.0
+        with pytest.raises(ValueError):
+            op.taus_s[0] = 1.0
+
+    def test_mutating_caller_array_does_not_corrupt_cache(self):
+        clear_operator_cache()
+        freqs = np.array(FREQS_5G, dtype=float)
+        grid = tau_grid(60e-9, 1e-9)
+        op = get_operator(freqs, grid)
+        freqs[0] = 1.0  # caller mutates its own array after the fact
+        assert op.frequencies_hz[0] == FREQS_5G[0]
+
+
+class TestCappedWindow:
+    def test_single_frequency_is_capped_not_infinite(self):
+        """Regression: a one-band plan must not produce an unbounded grid."""
+        freqs = np.array([5.18e9])
+        assert unambiguous_window_s(freqs) == float("inf")
+        assert capped_window_s(freqs, 500e-9) == 500e-9
+        # The batch grid construction built from the capped window is finite.
+        op = get_grid_operator(freqs, capped_window_s(freqs, 500e-9), 1e-9)
+        assert op.n_taus == len(tau_grid(500e-9, 1e-9))
+
+    def test_multi_frequency_takes_smaller_window(self):
+        assert capped_window_s(FREQS_5G, 500e-9) == pytest.approx(200e-9)
+        assert capped_window_s(FREQS_5G, 100e-9) == 100e-9
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            capped_window_s(FREQS_5G, float("inf"))
+        with pytest.raises(ValueError):
+            capped_window_s(FREQS_5G, 0.0)
+
+
+class TestBatchSolver:
+    def test_matches_scalar_profiles(self, rng):
+        H = random_links(rng, 4)
+        grid = tau_grid(200e-9, 1e-9)
+        cfg = SparseSolverConfig(max_iterations=400)
+        batch = invert_ndft_batch(H, FREQS_5G, grid, cfg)
+        for i in range(len(H)):
+            scalar = invert_ndft(H[i], FREQS_5G, grid, cfg)
+            np.testing.assert_allclose(batch[i], scalar, rtol=0, atol=1e-10)
+
+    def test_zero_link_row_stays_zero(self, rng):
+        H = random_links(rng, 2)
+        H[1] = 0.0
+        grid = tau_grid(100e-9, 1e-9)
+        batch = invert_ndft_batch(H, FREQS_5G, grid)
+        assert np.all(batch[1] == 0)
+        assert np.any(batch[0] != 0)
+
+    def test_shape_validation(self):
+        grid = tau_grid(100e-9, 1e-9)
+        with pytest.raises(ValueError):
+            invert_ndft_batch(np.ones(len(FREQS_5G)), FREQS_5G, grid)
+        with pytest.raises(ValueError):
+            invert_ndft_batch(np.ones((2, 5)), FREQS_5G, grid)
+
+
+class TestBatchEngineAgreement:
+    @pytest.mark.parametrize("method", ["ista", "hybrid"])
+    def test_products_batch_matches_scalar(self, rng, method):
+        config = TofEstimatorConfig(
+            method=method,
+            quirk_2g4=False,
+            compute_profile=False,
+            sparse=SparseSolverConfig(max_iterations=400),
+        )
+        H = random_links(rng, 6)
+        scalar = TofEstimator(config)
+        engine = BatchTofEngine(config)
+        expected = [
+            scalar.estimate_from_products(FREQS_5G, H[i], exponent=2).tof_s
+            for i in range(len(H))
+        ]
+        got = engine.estimate_products_batch(FREQS_5G, H, exponent=2)
+        for want, estimate in zip(expected, got):
+            assert abs(estimate.tof_s - want) <= 1e-12
+
+    def test_calibrations_applied_per_link(self, rng):
+        config = TofEstimatorConfig(quirk_2g4=False, compute_profile=False)
+        H = random_links(rng, 2)
+        cals = [LinkCalibration(tof_bias_s=1e-9), LinkCalibration(tof_bias_s=3e-9)]
+        engine = BatchTofEngine(config)
+        got = engine.estimate_products_batch(FREQS_5G, H, calibrations=cals)
+        for estimate, cal in zip(got, cals):
+            assert estimate.tof_s == pytest.approx(
+                estimate.raw_tof_s - cal.tof_bias_s, abs=1e-15
+            )
+
+    def test_calibration_count_mismatch_rejected(self, rng):
+        engine = BatchTofEngine(TofEstimatorConfig(quirk_2g4=False))
+        H = random_links(rng, 2)
+        with pytest.raises(ValueError):
+            engine.estimate_products_batch(
+                FREQS_5G, H, calibrations=[LinkCalibration()]
+            )
+
+    def test_channel_shape_validation(self, rng):
+        engine = BatchTofEngine(TofEstimatorConfig(quirk_2g4=False))
+        with pytest.raises(ValueError):
+            engine.estimate_products_batch(FREQS_5G, np.ones(len(FREQS_5G)))
+        with pytest.raises(ValueError):
+            engine.estimate_products_batch(FREQS_5G, np.ones((2, 5)))
+
+
+class TestSweepsBatch:
+    def test_matches_estimate_many(self, rng, small_plan, fast_config):
+        from repro.rf.environment import free_space
+        from repro.rf.geometry import Point
+        from repro.wifi.hardware import INTEL_5300
+        from repro.wifi.radio import SimulatedLink
+
+        sweeps_per_link = []
+        for i in range(3):
+            link = SimulatedLink(
+                environment=free_space(),
+                tx_position=Point(0.0, 0.0),
+                rx_position=Point(2.0 + i, 0.0),
+                tx_state=INTEL_5300.sample_device_state(rng),
+                rx_state=INTEL_5300.sample_device_state(rng),
+                band_plan=small_plan,
+                rng=rng,
+            )
+            sweeps_per_link.append([link.sweep(2)])
+        cals = [
+            LinkCalibration(tof_bias_s=1e-9, coarse_bias_s=350e-9)
+            for _ in sweeps_per_link
+        ]
+        expected = [
+            TofEstimator(fast_config, cal).estimate_many(sweeps)
+            for cal, sweeps in zip(cals, sweeps_per_link)
+        ]
+        got = BatchTofEngine(fast_config).estimate_sweeps_batch(
+            sweeps_per_link, cals
+        )
+        for want, estimate in zip(expected, got):
+            assert abs(estimate.tof_s - want.tof_s) <= 1e-12
+            assert estimate.coarse_round_trip_s == want.coarse_round_trip_s
+            assert [g.name for g in estimate.groups] == [
+                g.name for g in want.groups
+            ]
+
+    def test_empty_sweep_list_rejected(self, fast_config):
+        engine = BatchTofEngine(fast_config)
+        with pytest.raises(ValueError):
+            engine.estimate_sweeps_batch([[]])

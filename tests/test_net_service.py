@@ -1,0 +1,127 @@
+"""The batch-first ranging service facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.cfo import LinkCalibration
+from repro.core.ndft import steering_vector
+from repro.core.sparse import SparseSolverConfig
+from repro.core.tof import TofEstimator, TofEstimatorConfig
+from repro.net.service import RangingRequest, RangingService
+from repro.wifi.bands import US_BAND_PLAN
+
+FREQS_5G = US_BAND_PLAN.subset_5g().center_frequencies_hz
+FREQS_SMALL = US_BAND_PLAN.subset_5g().decimate(2).center_frequencies_hz
+
+FAST_CONFIG = TofEstimatorConfig(
+    quirk_2g4=False,
+    compute_profile=False,
+    sparse=SparseSolverConfig(max_iterations=300),
+)
+
+
+def one_link(rng, freqs, tau=30e-9):
+    h = steering_vector(freqs, 2 * tau) + 0.4 * steering_vector(freqs, 2 * tau + 25e-9)
+    return h + 0.01 * (rng.normal(size=len(freqs)) + 1j * rng.normal(size=len(freqs)))
+
+
+class TestRangingRequest:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RangingRequest("bad", FREQS_5G, np.ones(3))
+
+
+class TestRangingService:
+    def test_responses_in_request_order(self, rng):
+        service = RangingService(FAST_CONFIG)
+        requests = [
+            RangingRequest(f"link-{i}", FREQS_5G, one_link(rng, FREQS_5G, 20e-9 + 5e-9 * i))
+            for i in range(5)
+        ]
+        responses = service.submit(requests)
+        assert [r.link_id for r in responses] == [f"link-{i}" for i in range(5)]
+        # Later links are physically farther, so ToF must increase.
+        tofs = [r.estimate.tof_s for r in responses]
+        assert tofs == sorted(tofs)
+
+    def test_matches_scalar_estimator(self, rng):
+        service = RangingService(FAST_CONFIG)
+        scalar = TofEstimator(FAST_CONFIG)
+        requests = [
+            RangingRequest(str(i), FREQS_5G, one_link(rng, FREQS_5G, 15e-9 + 7e-9 * i))
+            for i in range(4)
+        ]
+        responses = service.submit(requests)
+        for request, response in zip(requests, responses):
+            want = scalar.estimate_from_products(
+                request.frequencies_hz, request.products
+            )
+            assert abs(response.estimate.tof_s - want.tof_s) <= 1e-12
+            assert response.distance_m == response.estimate.distance_m
+
+    def test_mixed_band_plans_one_submission(self, rng):
+        service = RangingService(FAST_CONFIG)
+        requests = [
+            RangingRequest("a", FREQS_5G, one_link(rng, FREQS_5G)),
+            RangingRequest("b", FREQS_SMALL, one_link(rng, FREQS_SMALL)),
+            RangingRequest("c", FREQS_5G, one_link(rng, FREQS_5G, 40e-9)),
+        ]
+        responses = service.submit(requests)
+        assert [r.link_id for r in responses] == ["a", "b", "c"]
+        assert service.last_stats.n_plans == 2
+
+    def test_sharding_bounds_batch_size(self, rng):
+        service = RangingService(FAST_CONFIG, max_shard_links=2)
+        requests = [
+            RangingRequest(str(i), FREQS_5G, one_link(rng, FREQS_5G)) for i in range(5)
+        ]
+        service.submit(requests)
+        assert service.last_stats.n_shards == 3  # 2 + 2 + 1
+        assert service.last_stats.n_requests == 5
+
+    def test_per_request_calibration(self, rng):
+        service = RangingService(FAST_CONFIG)
+        products = one_link(rng, FREQS_5G)
+        plain, biased = service.submit(
+            [
+                RangingRequest("plain", FREQS_5G, products),
+                RangingRequest(
+                    "biased",
+                    FREQS_5G,
+                    products,
+                    calibration=LinkCalibration(tof_bias_s=2e-9),
+                ),
+            ]
+        )
+        assert biased.estimate.tof_s == pytest.approx(
+            plain.estimate.tof_s - 2e-9, abs=1e-14
+        )
+
+    def test_stats_throughput(self, rng):
+        service = RangingService(FAST_CONFIG)
+        service.submit([RangingRequest("x", FREQS_5G, one_link(rng, FREQS_5G))])
+        stats = service.last_stats
+        assert stats.elapsed_s > 0
+        assert stats.links_per_s > 0
+
+    def test_invalid_shard_size_rejected(self):
+        with pytest.raises(ValueError):
+            RangingService(max_shard_links=0)
+
+    def test_dead_link_does_not_poison_its_shard(self, rng):
+        """All-zero products (dead radio) fail alone; neighbours survive."""
+        service = RangingService(FAST_CONFIG)
+        responses = service.submit(
+            [
+                RangingRequest("alive-1", FREQS_5G, one_link(rng, FREQS_5G)),
+                RangingRequest("dead", FREQS_5G, np.zeros(len(FREQS_5G))),
+                RangingRequest("alive-2", FREQS_5G, one_link(rng, FREQS_5G, 50e-9)),
+            ]
+        )
+        assert [r.link_id for r in responses] == ["alive-1", "dead", "alive-2"]
+        assert responses[0].ok and responses[2].ok
+        assert not responses[1].ok
+        assert responses[1].error  # carries the estimator's reason
+        with pytest.raises(ValueError):
+            responses[1].distance_m
+        assert service.last_stats.n_failed == 1

@@ -22,10 +22,14 @@ estimator's own peak-selection, gating, fusion and calibration code, so
 batched and scalar estimates agree to floating-point noise (the batch
 regression tests pin the agreement at 1e-12 seconds).
 
-The ``"hybrid"`` (deflation) method has data-dependent per-link control
-flow and is not vectorized; the engine still runs it link by link with
-the shared operator cache, which removes the per-call matrix builds.
-The fully vectorized fast path is ``method="ista"``.
+Both estimation methods are batch-first.  ``method="ista"`` runs one
+batched Algorithm 1 inversion over the stack.  ``method="hybrid"`` (the
+default) runs the batched greedy deflation kernel
+(:func:`repro.core.deflation_batch.extract_paths_batch`) — matched
+filtering as one GEMM over the stacked residuals, a lockstep
+golden-section polish with per-link freezing — followed by the batched
+ghost-prune/first-path application and, when diagnostic profiles are
+requested, one batched L1 inversion for all links.
 """
 
 from __future__ import annotations
@@ -35,6 +39,17 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.cfo import LinkCalibration
+from repro.core.deflation import (
+    SOFT_GATE_AMPLITUDE_REL,
+    SOFT_GATE_WINDOW_S,
+    gate_target_mean_s,
+    ghost_shifts_s,
+)
+from repro.core.deflation_batch import (
+    extract_paths_batch,
+    first_path_delays_batch,
+    prune_ghost_atoms_batch,
+)
 from repro.core.ndft import capped_window_s, get_grid_operator
 from repro.core.profile import MultipathProfile
 from repro.core.sparse import invert_ndft_batch
@@ -208,12 +223,15 @@ class BatchTofEngine:
 
         The ista method runs one batched Algorithm 1 inversion over the
         whole stack, then applies the scalar peak/gate/refine logic per
-        link.  The hybrid method loops the scalar group estimator (its
-        deflation is data-dependent per link) and rides on the operator
-        cache instead.
+        link.  The hybrid method runs the batched deflation kernel over
+        the stack (:meth:`_hybrid_group_stack`).  Any other method falls
+        back to the scalar group estimator link by link, riding on the
+        operator cache.
         """
         est = self._estimator
         cfg = self.config
+        if cfg.method == "hybrid":
+            return self._hybrid_group_stack(name, freqs, stacked, exponent, gates)
         if cfg.method != "ista":
             return [
                 est._estimate_group(name, freqs, stacked[i], exponent, gates[i])
@@ -247,6 +265,96 @@ class BatchTofEngine:
                 )
             )
         return groups
+
+    def _hybrid_group_stack(
+        self,
+        name: str,
+        freqs: np.ndarray,
+        stacked: np.ndarray,
+        exponent: int,
+        gates: Sequence[float | None],
+    ) -> list[GroupEstimate]:
+        """The hybrid (deflation) method over the whole stack.
+
+        Mirrors the hybrid branch of
+        :meth:`~repro.core.tof.TofEstimator._estimate_group` stage for
+        stage: batched greedy extraction on the coarse band set, batched
+        ghost pruning with the per-link slope targets, the optional
+        full-aperture refit, the first-peak rule, and — when diagnostic
+        profiles are requested — one batched Algorithm 1 inversion in
+        place of the scalar path's per-link one.
+        """
+        est = self._estimator
+        cfg = self.config
+        n_links = stacked.shape[0]
+        coarse_mask = est._coarse_mask(freqs)
+        coarse_freqs = freqs[coarse_mask]
+        coarse_stack = np.ascontiguousarray(stacked[:, coarse_mask])
+        window = capped_window_s(coarse_freqs, cfg.max_profile_delay_s)
+
+        paths_per_link = extract_paths_batch(
+            coarse_stack, coarse_freqs, window, cfg.deflation
+        )
+        targets = [
+            gate_target_mean_s(gate, cfg.coarse_gate_margin_s, exponent)
+            for gate in gates
+        ]
+        paths_per_link = prune_ghost_atoms_batch(
+            paths_per_link,
+            coarse_stack,
+            coarse_freqs,
+            ghost_shifts_s(coarse_freqs, window),
+            max_delay_s=window,
+            final_alpha_rel=cfg.deflation.final_alpha_rel,
+            target_mean_delays_s=targets,
+        )
+        if not coarse_mask.all():
+            paths_per_link = [
+                est._full_aperture_refit(
+                    paths, freqs, stacked[i], max_delay_s=window
+                )
+                for i, paths in enumerate(paths_per_link)
+            ]
+        delays = first_path_delays_batch(
+            paths_per_link,
+            cfg.first_peak_amplitude_rel,
+            min_delays_s=[gate or 0.0 for gate in gates],
+            soft_window_s=SOFT_GATE_WINDOW_S * exponent / 2.0,
+            soft_amplitude_rel=SOFT_GATE_AMPLITUDE_REL,
+        )
+
+        if cfg.compute_profile:
+            op = get_grid_operator(coarse_freqs, window, cfg.grid_step_s)
+            solutions = invert_ndft_batch(
+                coarse_stack, coarse_freqs, op.taus_s, cfg.sparse, operator=op
+            )
+            profiles = [
+                MultipathProfile(
+                    op.taus_s,
+                    solutions[i],
+                    dominance_threshold_rel=cfg.peak_threshold_rel,
+                )
+                for i in range(n_links)
+            ]
+        else:
+            profiles = [
+                est._make_profile(
+                    window, coarse_freqs, coarse_stack[i], paths_per_link[i]
+                )
+                for i in range(n_links)
+            ]
+        span = float(freqs.max() - freqs.min())
+        return [
+            GroupEstimate(
+                name=name,
+                tof_s=float(delays[i]) / exponent,
+                span_hz=span,
+                n_bands=len(freqs),
+                exponent=exponent,
+                profile=profiles[i],
+            )
+            for i in range(n_links)
+        ]
 
     @staticmethod
     def _check_calibrations(

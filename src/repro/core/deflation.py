@@ -109,11 +109,7 @@ def extract_paths(
     if max_delay_s <= 0:
         raise ValueError(f"max delay must be positive, got {max_delay_s}")
 
-    span = float(freqs.max() - freqs.min())
-    if span <= 0:
-        raise ValueError("frequencies must not be all identical")
-    grid_step = cfg.phase_budget_rad / (np.pi * span)
-    grid = np.arange(0.0, max_delay_s, grid_step)
+    grid, grid_step = matched_filter_grid(freqs, max_delay_s, cfg)
     # The grid is a pure function of (frequencies, window, phase budget),
     # so a batch of links sharing a band plan reuses one cached matrix.
     F = get_operator(freqs, grid).F
@@ -130,7 +126,7 @@ def extract_paths(
             break
         corr = np.abs(F.conj().T @ residual)
         tau0 = float(grid[int(np.argmax(corr))])
-        tau = _polish(residual, freqs, tau0, grid_step)
+        tau = _polish(residual, freqs, tau0, grid_step, max_delay_s)
         candidate_delays = np.array(delays + [tau])
         A = ndft_matrix(freqs, candidate_delays)
         candidate_amps, *_ = np.linalg.lstsq(A, h, rcond=None)
@@ -145,7 +141,7 @@ def extract_paths(
         # Even pure noise yields one best-matching atom; fall back to the
         # single strongest correlation so callers always get a path.
         corr = np.abs(F.conj().T @ h)
-        tau = _polish(h, freqs, float(grid[int(np.argmax(corr))]), grid_step)
+        tau = _polish(h, freqs, float(grid[int(np.argmax(corr))]), grid_step, max_delay_s)
         a = np.vdot(steering_vector(freqs, tau), h) / len(h)
         return [RefinedPath(tau, complex(a))]
     amps = lasso_amplitudes(
@@ -154,6 +150,24 @@ def extract_paths(
     paths = [RefinedPath(float(d), complex(a)) for d, a in zip(delays, amps)]
     paths.sort(key=lambda p: p.delay_s)
     return paths
+
+
+def matched_filter_grid(
+    frequencies_hz: np.ndarray, max_delay_s: float, config: DeflationConfig
+) -> tuple[np.ndarray, float]:
+    """The greedy extractor's scan grid: ``(grid, grid_step_s)``.
+
+    The step keeps the sub-grid phase error across the aperture below
+    the config's phase budget.  Shared by the scalar and batched
+    extractors so both scan the exact same candidate delays (and hence
+    hit the same cached NDFT operator).
+    """
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    span = float(freqs.max() - freqs.min())
+    if span <= 0:
+        raise ValueError("frequencies must not be all identical")
+    grid_step = config.phase_budget_rad / (np.pi * span)
+    return np.arange(0.0, max_delay_s, grid_step), grid_step
 
 
 def lasso_amplitudes(
@@ -197,6 +211,32 @@ def lasso_amplitudes(
         if step < tolerance_rel * scale:
             break
     return x
+
+
+SOFT_GATE_WINDOW_S = 25e-9
+"""Soft-tier window below the coarse gate, in the 2τ domain.
+
+Scaled by ``exponent / 2`` at the call sites.  Shared by the scalar
+estimator and the batched engine so the two hybrid paths cannot drift.
+"""
+
+SOFT_GATE_AMPLITUDE_REL = 0.35
+"""Minimum relative amplitude for an atom admitted via the soft tier."""
+
+
+def gate_target_mean_s(
+    gate_s: float | None, margin_s: float, exponent: int
+) -> float | None:
+    """The slope-derived weighted-mean target implied by a coarse gate.
+
+    The gate is ``coarse − margin`` (in the group's delay domain); the
+    pre-margin coarse value is the energy-weighted mean-delay target the
+    ghost pruner tie-breaks against.  One definition for the scalar and
+    batched hybrid paths.
+    """
+    if gate_s is None:
+        return None
+    return gate_s + margin_s * exponent / 2.0
 
 
 def first_path_delay(
@@ -282,6 +322,7 @@ def prune_ghost_atoms(
     final_alpha_rel: float = 0.1,
     merge_tolerance_s: float = 0.4e-9,
     target_mean_delay_s: float | None = None,
+    score_candidates=None,
 ) -> list[RefinedPath]:
     """Relocate or remove atoms that are pseudo-aliases of real content.
 
@@ -298,11 +339,52 @@ def prune_ghost_atoms(
     a target the latest admissible placement is kept (ghost energy
     belongs at the true, usually later, location).  Atoms relocated onto
     an existing neighbour merge into it.
+
+    ``score_candidates`` maps a ``(n_candidates, n_atoms)`` stack of
+    candidate delay sets to ``(rss, mean)`` arrays — residual power and
+    energy-weighted mean delay of the joint LS fit per candidate row.
+    The default scores row by row with ``np.linalg.lstsq``; the batched
+    pruner injects a stacked scorer with identical semantics so the
+    relocation *decisions* (and hence the returned delays) stay the
+    same while the per-candidate solver overhead amortizes.
     """
     if not paths or not shifts_s:
         return paths
     h = np.asarray(channels, dtype=complex)
     freqs = np.asarray(frequencies_hz, dtype=float)
+    delays = relocate_ghost_delays(
+        paths,
+        h,
+        freqs,
+        shifts_s,
+        max_delay_s,
+        rel_margin=rel_margin,
+        merge_tolerance_s=merge_tolerance_s,
+        target_mean_delay_s=target_mean_delay_s,
+        score_candidates=score_candidates,
+    )
+    amps = lasso_amplitudes(ndft_matrix(freqs, delays), h, final_alpha_rel)
+    return finalize_pruned_paths(delays, amps)
+
+
+def relocate_ghost_delays(
+    paths: list[RefinedPath],
+    h: np.ndarray,
+    freqs: np.ndarray,
+    shifts_s: list[float],
+    max_delay_s: float,
+    rel_margin: float = 0.05,
+    merge_tolerance_s: float = 0.4e-9,
+    target_mean_delay_s: float | None = None,
+    score_candidates=None,
+) -> np.ndarray:
+    """The relocation sweeps of :func:`prune_ghost_atoms`, delays only.
+
+    Split out so the batched pruner can run the (data-dependent)
+    relocation per link and then fit every link's final amplitudes in
+    one batched L1 solve; the scalar pruner composes this with a scalar
+    :func:`lasso_amplitudes` call and :func:`finalize_pruned_paths`.
+    """
     delays = np.array(sorted(p.delay_s for p in paths))
 
     def fit_for(d: np.ndarray) -> tuple[float, float]:
@@ -315,6 +397,15 @@ def prune_ghost_atoms(
         mean = float((weights * d).sum() / total) if total > 0 else 0.0
         return float(np.vdot(r, r).real), mean
 
+    if score_candidates is None:
+
+        def score_candidates(alt_sets: np.ndarray):
+            scored = [fit_for(alt) for alt in alt_sets]
+            return (
+                np.array([s[0] for s in scored]),
+                np.array([s[1] for s in scored]),
+            )
+
     for _ in range(3):  # a few sweeps; usually converges in one
         changed = False
         i = 0
@@ -325,16 +416,13 @@ def prune_ghost_atoms(
                 for signed in (base + shift, base - shift):
                     if 0.0 <= signed < max_delay_s:
                         candidates.append(signed)
-            scored = []
-            for c in candidates:
-                alt = delays.copy()
-                alt[i] = c
-                rss, mean = fit_for(alt)
-                scored.append((rss, mean, c))
-            best_rss = min(s[0] for s in scored)
+            alt_sets = np.tile(delays, (len(candidates), 1))
+            alt_sets[:, i] = candidates
+            rss_all, mean_all = score_candidates(alt_sets)
+            best_rss = float(np.min(rss_all))
             admissible = [
-                (mean, c)
-                for rss, mean, c in scored
+                (float(mean), c)
+                for rss, mean, c in zip(rss_all, mean_all, candidates)
                 if rss <= best_rss * (1.0 + rel_margin)
             ]
             if target_mean_delay_s is not None:
@@ -352,7 +440,11 @@ def prune_ghost_atoms(
             i += 1
         if not changed:
             break
-    amps = lasso_amplitudes(ndft_matrix(freqs, delays), h, final_alpha_rel)
+    return delays
+
+
+def finalize_pruned_paths(delays: np.ndarray, amps: np.ndarray) -> list[RefinedPath]:
+    """Assemble pruned paths from relocated delays and final amplitudes."""
     result = [RefinedPath(float(d), complex(a)) for d, a in zip(delays, amps)]
     # Relocated redundant ghosts end up with ~zero amplitude; drop them.
     peak = max(abs(p.amplitude) for p in result) if result else 0.0
@@ -365,16 +457,28 @@ def prune_ghost_atoms(
 
 
 def _polish(
-    residual: np.ndarray, freqs: np.ndarray, tau0: float, half_window_s: float
+    residual: np.ndarray,
+    freqs: np.ndarray,
+    tau0: float,
+    half_window_s: float,
+    max_delay_s: float = np.inf,
 ) -> float:
-    """Continuous refinement of one delay against the current residual."""
+    """Continuous refinement of one delay against the current residual.
+
+    The search is clamped to ``[0, max_delay_s]``: the scan grid is
+    built for the CRT-unique window, and an unclamped polish around its
+    last bin could walk the refined delay past the window edge — onto a
+    delay the aperture cannot distinguish from an alias inside it.
+    """
 
     def correlation(tau: float) -> float:
         return float(np.abs(np.vdot(steering_vector(freqs, tau), residual)))
 
     lo = max(tau0 - half_window_s, 0.0)
-    hi = tau0 + half_window_s
+    hi = min(tau0 + half_window_s, max_delay_s)
     scan = np.linspace(lo, hi, 17)
     coarse = float(scan[int(np.argmax(scan_correlations(residual, freqs, scan)))])
     step = float(scan[1] - scan[0])
-    return _golden_max(correlation, max(coarse - step, 0.0), coarse + step)
+    return _golden_max(
+        correlation, max(coarse - step, 0.0), min(coarse + step, max_delay_s)
+    )

@@ -1,0 +1,484 @@
+"""Vectorized greedy off-grid path extraction for stacks of links.
+
+:func:`repro.core.deflation.extract_paths` is the accuracy core of the
+default ``method="hybrid"`` estimator, but it is a per-link scalar loop:
+one matched-filter GEMV, one 17-point scan, and ~60 golden-section
+correlation evaluations per extracted atom, each a separate tiny NumPy
+call.  For a ranging service the interpreter overhead of those calls —
+not the flops — dominates the hybrid hot path.
+
+This module runs the same greedy deflation for ``N`` links in lockstep,
+mirroring the freezing discipline of
+:func:`repro.core.sparse.invert_ndft_batch`:
+
+* the matched-filter scan over the stacked residuals is one GEMM with
+  the cached operator's adjoint (``|Fᴴ R|`` for all links at once);
+* the continuous polish advances **all active links one golden-section
+  bracket step per iteration** — each iteration evaluates exactly one
+  new correlation point per link, for every link, in one vectorized
+  sweep — and a link whose bracket has shrunk below tolerance freezes
+  while the rest keep stepping;
+* the per-link least-squares re-fits run over the stacked residuals
+  link by link (the candidate supports are link-specific, and
+  ``np.linalg.lstsq`` on a 35×k matrix is noise next to the scans);
+* a link whose extraction step stops improving (or whose residual hits
+  the noise floor) freezes at its current path list while the rest
+  keep extracting — exactly the scalar loop's stopping rule, applied
+  per link.
+
+Per-link semantics are unchanged: every decision (grid argmax, polish
+bracket, improvement test, fallback atom, final L1 amplitude fit) uses
+the same arithmetic as the scalar extractor on the same values, so
+batched and scalar extractions agree to floating-point noise (the
+regression tests pin delays at 1e-12 s and path counts exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.deflation import (
+    DeflationConfig,
+    finalize_pruned_paths,
+    first_path_delay,
+    lasso_amplitudes,
+    matched_filter_grid,
+    relocate_ghost_delays,
+)
+from repro.core.ndft import get_operator, ndft_matrix, steering_vector
+from repro.core.profile import RefinedPath
+
+_INVPHI = (np.sqrt(5.0) - 1.0) / 2.0
+
+
+def extract_paths_batch(
+    channels: np.ndarray,
+    frequencies_hz: np.ndarray,
+    max_delay_s: float,
+    config: DeflationConfig | None = None,
+) -> list[list[RefinedPath]]:
+    """Greedy off-grid decomposition of every row of ``channels``.
+
+    The batched counterpart of
+    :func:`repro.core.deflation.extract_paths`: one path list per link,
+    each equal (to floating-point noise) to what the scalar extractor
+    returns for that row alone.
+
+    Args:
+        channels: ``(n_links, n_bands)`` stacked measurements.
+        frequencies_hz: The shared non-uniform measurement frequencies.
+        max_delay_s: Delay search window (the group's CRT-unique window).
+        config: Extraction settings, shared by every link.
+
+    Returns:
+        For each link, paths sorted by delay with final joint-L1
+        amplitudes — ``[]`` for an all-zero row, and always at least one
+        path otherwise (the scalar fallback atom).
+    """
+    cfg = config or DeflationConfig()
+    H = np.asarray(channels, dtype=complex)
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    if H.ndim != 2:
+        raise ValueError(
+            f"channels must be 2-D (n_links, n_bands), got {H.shape}"
+        )
+    if freqs.ndim != 1 or H.shape[1] != len(freqs):
+        raise ValueError(
+            f"channels have {H.shape[1:]} bands but {len(freqs)} "
+            "frequencies were given"
+        )
+    if H.shape[1] < 3:
+        raise ValueError("need at least 3 measurements to extract paths")
+    if max_delay_s <= 0:
+        raise ValueError(f"max delay must be positive, got {max_delay_s}")
+
+    grid, grid_step = matched_filter_grid(freqs, max_delay_s, cfg)
+    Fh = get_operator(freqs, grid).adjoint
+
+    n_links = H.shape[0]
+    total_power = np.einsum("lb,lb->l", H, H.conj()).real
+    residual = H.copy()
+    delays: list[list[float]] = [[] for _ in range(n_links)]
+    active = np.flatnonzero(total_power > 0.0)
+    for _ in range(cfg.max_paths):
+        if active.size == 0:
+            break
+        live = residual[active]
+        power = np.einsum("lb,lb->l", live, live.conj()).real
+        keep = power > cfg.residual_stop_rel * total_power[active]
+        active = active[keep]
+        if active.size == 0:
+            break
+        # One GEMM scans the whole stack of residuals against the grid.
+        corr = np.abs(Fh @ residual[active].T)
+        tau0 = grid[np.argmax(corr, axis=0)]
+        taus = _polish_batch(
+            residual[active], freqs, tau0, grid_step, max_delay_s
+        )
+        # Per-link joint re-fit and acceptance test.  The supports are
+        # link-specific (k delays each), so this stays a loop — over
+        # tiny, over-determined systems.
+        accepted = []
+        for pos, link in enumerate(active):
+            previous_power = float(
+                np.vdot(residual[link], residual[link]).real
+            )
+            candidate_delays = np.array(delays[link] + [float(taus[pos])])
+            A = ndft_matrix(freqs, candidate_delays)
+            candidate_amps, *_ = np.linalg.lstsq(A, H[link], rcond=None)
+            new_residual = H[link] - A @ candidate_amps
+            new_power = float(np.vdot(new_residual, new_residual).real)
+            improvement = previous_power - new_power
+            if improvement < cfg.min_improvement_rel * previous_power:
+                continue  # fitting noise — freeze this link
+            delays[link].append(float(taus[pos]))
+            residual[link] = new_residual
+            accepted.append(link)
+        active = np.asarray(accepted, dtype=np.intp)
+
+    results: list[list[RefinedPath]] = [[] for _ in range(n_links)]
+    # Links whose first extraction step failed the improvement test get
+    # the scalar fallback: the single best-matching atom of the raw
+    # channel, so callers always see at least one path.
+    fallback = np.flatnonzero(
+        (total_power > 0.0) & np.array([not d for d in delays])
+    )
+    if fallback.size:
+        corr = np.abs(Fh @ H[fallback].T)
+        tau0 = grid[np.argmax(corr, axis=0)]
+        taus = _polish_batch(H[fallback], freqs, tau0, grid_step, max_delay_s)
+        for pos, link in enumerate(fallback):
+            tau = float(taus[pos])
+            a = np.vdot(steering_vector(freqs, tau), H[link]) / H.shape[1]
+            results[link] = [RefinedPath(tau, complex(a))]
+    fitted = [link for link in range(n_links) if delays[link]]
+    amp_sets = lasso_amplitudes_batch(
+        [np.asarray(delays[link]) for link in fitted],
+        freqs,
+        H[fitted],
+        cfg.final_alpha_rel,
+    )
+    for link, amps in zip(fitted, amp_sets):
+        paths = [
+            RefinedPath(float(d), complex(a))
+            for d, a in zip(delays[link], amps)
+        ]
+        paths.sort(key=lambda p: p.delay_s)
+        results[link] = paths
+    return results
+
+
+def prune_ghost_atoms_batch(
+    paths_per_link: list[list[RefinedPath]],
+    channels: np.ndarray,
+    frequencies_hz: np.ndarray,
+    shifts_s: list[float],
+    max_delay_s: float,
+    final_alpha_rel: float = 0.1,
+    target_mean_delays_s: list[float | None] | None = None,
+) -> list[list[RefinedPath]]:
+    """Ghost-atom pruning applied across a stack of links.
+
+    The shift family is a pure function of the band plan, so callers
+    compute it once (:func:`repro.core.deflation.ghost_shifts_s`) for
+    the whole stack.  The relocation sweep is data-dependent per link,
+    but its cost is the per-candidate least-squares scoring — here each
+    atom's whole candidate family is scored in one stacked-SVD solve
+    (:func:`_lstsq_stack`, semantics matching ``np.linalg.lstsq``)
+    instead of one ``lstsq`` call per candidate.  Relocation decisions
+    compare residuals against 5 %-margin thresholds, so the two scorers
+    pick the same placements and the returned delays are identical — a
+    flipped decision would move a delay by a full lattice shift
+    (≥ 50 ns), which the batch/scalar regression tests would catch at
+    their 1e-12 s pin.
+    """
+    H = np.asarray(channels, dtype=complex)
+    if H.ndim != 2 or H.shape[0] != len(paths_per_link):
+        raise ValueError(
+            f"channels must be 2-D with one row per path list, got "
+            f"{H.shape} for {len(paths_per_link)} links"
+        )
+    targets = target_mean_delays_s or [None] * len(paths_per_link)
+    if len(targets) != len(paths_per_link):
+        raise ValueError(
+            f"got {len(targets)} target means for {len(paths_per_link)} links"
+        )
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    results = list(paths_per_link)  # empty path lists pass through unchanged
+    if not shifts_s:
+        return results
+    relocated: dict[int, np.ndarray] = {}
+    for link, paths in enumerate(paths_per_link):
+        if not paths:
+            continue
+        relocated[link] = relocate_ghost_delays(
+            paths,
+            H[link],
+            freqs,
+            shifts_s,
+            max_delay_s,
+            target_mean_delay_s=targets[link],
+            score_candidates=_stacked_candidate_scorer(H[link], freqs),
+        )
+    fitted = sorted(relocated)
+    amp_sets = lasso_amplitudes_batch(
+        [relocated[link] for link in fitted],
+        freqs,
+        H[fitted],
+        final_alpha_rel,
+    )
+    for link, amps in zip(fitted, amp_sets):
+        results[link] = finalize_pruned_paths(relocated[link], amps)
+    return results
+
+
+def first_path_delays_batch(
+    paths_per_link: list[list[RefinedPath]],
+    amplitude_keep_rel: float,
+    min_delays_s: list[float] | None = None,
+    soft_window_s: float = 0.0,
+    soft_amplitude_rel: float = 0.5,
+) -> np.ndarray:
+    """The paper's first-peak rule applied per link over a stack.
+
+    ``min_delays_s`` carries each link's coarse gate (0 disables).
+    Selection is a few comparisons per link — the batched form exists
+    so the engine's hybrid fast path reads as one pipeline.
+    """
+    gates = min_delays_s or [0.0] * len(paths_per_link)
+    if len(gates) != len(paths_per_link):
+        raise ValueError(
+            f"got {len(gates)} gates for {len(paths_per_link)} links"
+        )
+    return np.array(
+        [
+            first_path_delay(
+                paths,
+                amplitude_keep_rel,
+                min_delay_s=gate,
+                soft_window_s=soft_window_s,
+                soft_amplitude_rel=soft_amplitude_rel,
+            )
+            for paths, gate in zip(paths_per_link, gates)
+        ]
+    )
+
+
+def lasso_amplitudes_batch(
+    delay_sets: list[np.ndarray],
+    frequencies_hz: np.ndarray,
+    channels: np.ndarray,
+    alpha_rel: float,
+    max_iterations: int = 400,
+    tolerance_rel: float = 1e-6,
+) -> list[np.ndarray]:
+    """L1-regularized amplitude fits for many links in one FISTA run.
+
+    The batched counterpart of
+    :func:`repro.core.deflation.lasso_amplitudes`, fitting link ``i``'s
+    amplitudes over its own dictionary ``ndft_matrix(freqs,
+    delay_sets[i])`` against row ``i`` of ``channels``.  The dictionaries
+    are padded with all-zero columns to a common width — a zero column's
+    gradient and iterate stay exactly zero, so padding never perturbs
+    the live coefficients — and every link keeps its own ``α`` (relative
+    to its ``max|Aᴴh|``), its own step size and its own stop test; a
+    converged link freezes at that iterate while the rest keep
+    iterating, mirroring the scalar trajectory per link.
+    """
+    n = len(delay_sets)
+    channels = np.asarray(channels, dtype=complex)
+    if channels.ndim != 2 or channels.shape[0] != n:
+        raise ValueError(
+            f"channels must be 2-D with one row per delay set, got "
+            f"{channels.shape} for {n} sets"
+        )
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    results: list[np.ndarray | None] = [None] * n
+    widths = [len(d) for d in delay_sets]
+    k_max = max(widths, default=0)
+    if k_max == 0:
+        return [np.zeros(0, dtype=complex) for _ in range(n)]
+    A = np.zeros((n, len(freqs), k_max), dtype=complex)
+    for i, d in enumerate(delay_sets):
+        if widths[i]:
+            A[i, :, : widths[i]] = ndft_matrix(freqs, np.asarray(d, dtype=float))
+    corr = np.abs(np.einsum("nbk,nb->nk", A.conj(), channels))
+    alphas = alpha_rel * corr.max(axis=1)
+    # α = 0 (zero channel, or alpha_rel = 0) falls back to the scalar
+    # path's plain least squares, link by link.
+    for i in np.flatnonzero(alphas == 0.0):
+        results[i] = lasso_amplitudes(
+            A[i, :, : widths[i]], channels[i], 0.0, max_iterations, tolerance_rel
+        )
+    active = np.flatnonzero(alphas > 0.0)
+    if active.size == 0:
+        return results
+    # Zero padding columns leave the largest singular value unchanged,
+    # so each link's FISTA step size matches its scalar run.
+    top_sv = np.linalg.svd(A[active], compute_uv=False)[:, 0]
+    gammas = 1.0 / top_sv**2
+    A_a = A[active]
+    H_a = channels[active]
+    thr = gammas * alphas[active]
+    gam = gammas[:, None]
+    X = np.zeros((active.size, k_max), dtype=complex)
+    Y = X
+    t_k = 1.0
+    out = np.zeros((len(alphas), k_max), dtype=complex)
+    out_done = np.zeros(len(alphas), dtype=bool)
+    for _ in range(max_iterations):
+        resid = np.einsum("nbk,nk->nb", A_a, Y) - H_a
+        grad = np.einsum("nbk,nb->nk", A_a.conj(), resid)
+        P = Y - gam * grad
+        mags = np.abs(P)
+        shrink = np.maximum(mags - thr[:, None], 0.0)
+        X_next = P * (shrink / np.maximum(mags, 1e-300))
+        t_next = (1.0 + np.sqrt(1.0 + 4.0 * t_k**2)) / 2.0
+        Y = X_next + ((t_k - 1.0) / t_next) * (X_next - X)
+        diff = X_next - X
+        step = np.sqrt(np.einsum("nk,nk->n", diff, diff.conj()).real)
+        scale = np.maximum(
+            np.sqrt(np.einsum("nk,nk->n", X_next, X_next.conj()).real), 1e-30
+        )
+        X, t_k = X_next, t_next
+        done = step < tolerance_rel * scale
+        if done.any():
+            out[active[done]] = X[done]
+            out_done[active[done]] = True
+            keep = ~done
+            active = active[keep]
+            if active.size == 0:
+                break
+            X = X[keep]
+            Y = Y[keep]
+            A_a = A_a[keep]
+            H_a = H_a[keep]
+            thr = thr[keep]
+            gam = gam[keep]
+    if active.size:
+        out[active] = X
+        out_done[active] = True
+    for i in np.flatnonzero(out_done):
+        results[i] = out[i, : widths[i]]
+    return results
+
+
+def _lstsq_stack(A: np.ndarray, h: np.ndarray) -> np.ndarray:
+    """Least squares for a stack of small systems sharing one RHS.
+
+    The hot path solves the normal equations ``AᴴA x = Aᴴh`` with one
+    batched :func:`np.linalg.solve` — far cheaper than a per-system
+    SVD, and for the well-separated atom sets the pruner scores, the
+    squared conditioning costs ~1e-12 relative on the residual power,
+    noise next to the pruner's 5 % decision margins.  Exactly singular
+    systems (duplicate columns — a ghost candidate landing on an atom a
+    previous sweep already snapped to that delay) make ``solve`` raise;
+    those fall back to per-system ``np.linalg.lstsq``, whose min-norm
+    fit is what the scalar pruner computes there.
+    """
+    Ah = A.conj().transpose(0, 2, 1)
+    G = Ah @ A
+    b = np.einsum("ckb,b->ck", Ah, h)
+    try:
+        amps = np.linalg.solve(G, b[..., None])[..., 0]
+        if np.all(np.isfinite(amps)):
+            return amps
+    except np.linalg.LinAlgError:
+        pass
+    return np.stack(
+        [np.linalg.lstsq(A[c], h, rcond=None)[0] for c in range(A.shape[0])]
+    )
+
+
+def _stacked_candidate_scorer(h: np.ndarray, freqs: np.ndarray):
+    """A ``score_candidates`` hook scoring a whole candidate family at once.
+
+    Returns the ``(rss, mean)`` pair per candidate row that
+    :func:`repro.core.deflation.prune_ghost_atoms` compares against its
+    relative margins — computed with one stacked SVD instead of one
+    ``np.linalg.lstsq`` call per candidate.
+    """
+
+    def score(alt_sets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        A = np.exp(-2.0j * np.pi * freqs[None, :, None] * alt_sets[:, None, :])
+        amps = _lstsq_stack(A, h)
+        r = h[None, :] - np.einsum("cbk,ck->cb", A, amps)
+        rss = np.einsum("cb,cb->c", r, r.conj()).real
+        weights = np.abs(amps) ** 2
+        total = weights.sum(axis=1)
+        mean = np.divide(
+            (weights * alt_sets).sum(axis=1),
+            total,
+            out=np.zeros(len(alt_sets)),
+            where=total > 0,
+        )
+        return rss, mean
+
+    return score
+
+
+def _correlations_at(
+    residuals: np.ndarray, freqs: np.ndarray, taus: np.ndarray
+) -> np.ndarray:
+    """``|⟨a(τ_l), r_l⟩|`` for one delay per link, in one sweep."""
+    steer = np.exp(2.0j * np.pi * np.outer(taus, freqs))
+    return np.abs(np.einsum("lb,lb->l", steer, residuals))
+
+
+def _polish_batch(
+    residuals: np.ndarray,
+    freqs: np.ndarray,
+    tau0: np.ndarray,
+    half_window_s: float,
+    max_delay_s: float,
+) -> np.ndarray:
+    """Continuous per-link refinement of one delay each, in lockstep.
+
+    Vectorized mirror of :func:`repro.core.deflation._polish` (including
+    its clamp to the CRT-unique window): a 17-point scan isolates the
+    main lobe per link, then a golden-section search shrinks every
+    link's bracket one step per iteration — one new correlation point
+    per link per iteration, evaluated for all links at once — freezing
+    links whose bracket is below tolerance, until all are.
+    """
+    lo = np.maximum(tau0 - half_window_s, 0.0)
+    hi = np.minimum(tau0 + half_window_s, max_delay_s)
+    scan = np.linspace(lo, hi, 17, axis=1)
+    phases = np.exp(2.0j * np.pi * scan[:, :, None] * freqs)
+    corr = np.abs(np.einsum("lsb,lb->ls", phases, residuals))
+    n = len(tau0)
+    coarse = scan[np.arange(n), np.argmax(corr, axis=1)]
+    step = scan[:, 1] - scan[:, 0]
+
+    a = np.maximum(coarse - step, 0.0)
+    b = np.minimum(coarse + step, max_delay_s)
+    c = b - _INVPHI * (b - a)
+    d = a + _INVPHI * (b - a)
+    fc = _correlations_at(residuals, freqs, c)
+    fd = _correlations_at(residuals, freqs, d)
+    tol = 1e-13  # matches _golden_max's default bracket tolerance
+    run = (b - a) > tol
+    while run.any():
+        idx = np.flatnonzero(run)
+        up = fc[idx] > fd[idx]
+        ui = idx[up]
+        li = idx[~up]
+        # fc > fd: the max lives in [a, d] — shrink from above.
+        b[ui] = d[ui]
+        d[ui] = c[ui]
+        fd[ui] = fc[ui]
+        c[ui] = b[ui] - _INVPHI * (b[ui] - a[ui])
+        # fc <= fd: the max lives in [c, b] — shrink from below.
+        a[li] = c[li]
+        c[li] = d[li]
+        fc[li] = fd[li]
+        d[li] = a[li] + _INVPHI * (b[li] - a[li])
+        # One new correlation point per still-running link.
+        probes = np.empty(idx.size, dtype=float)
+        probes[up] = c[ui]
+        probes[~up] = d[li]
+        values = _correlations_at(residuals[idx], freqs, probes)
+        fc[ui] = values[up]
+        fd[li] = values[~up]
+        run[idx] = (b[idx] - a[idx]) > tol
+    return (a + b) / 2.0

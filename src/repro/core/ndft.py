@@ -15,6 +15,7 @@ window (:func:`unambiguous_window_s`).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -208,6 +209,10 @@ class NdftOperator:
 
 _OPERATOR_CACHE: OrderedDict[tuple[bytes, bytes], NdftOperator] = OrderedDict()
 _OPERATOR_CACHE_MAXSIZE = 32
+# One lock guards the OrderedDict *and* the counters: move_to_end /
+# popitem interleaved from concurrent RangingService threads corrupt the
+# LRU bookkeeping (move_to_end raises KeyError racing a clear/eviction).
+_OPERATOR_CACHE_LOCK = threading.Lock()
 _cache_hits = 0
 _cache_misses = 0
 
@@ -216,24 +221,29 @@ def get_operator(frequencies_hz: np.ndarray, taus_s: np.ndarray) -> NdftOperator
     """The cached NDFT operator for a (frequencies, delay grid) pair.
 
     Keyed by the exact float values of both arrays, LRU-evicted beyond
-    :data:`_OPERATOR_CACHE_MAXSIZE` entries.  Callers must treat the
-    returned operator's arrays as read-only (they are shared).
+    :data:`_OPERATOR_CACHE_MAXSIZE` entries, and safe to call from
+    concurrent threads.  Callers must treat the returned operator's
+    arrays as read-only (they are shared).
     """
     global _cache_hits, _cache_misses
     freqs = np.ascontiguousarray(frequencies_hz, dtype=float)
     taus = np.ascontiguousarray(taus_s, dtype=float)
     key = (freqs.tobytes(), taus.tobytes())
-    cached = _OPERATOR_CACHE.get(key)
-    if cached is not None:
-        _OPERATOR_CACHE.move_to_end(key)
-        _cache_hits += 1
-        return cached
-    _cache_misses += 1
-    operator = NdftOperator(freqs, taus)
-    _OPERATOR_CACHE[key] = operator
-    while len(_OPERATOR_CACHE) > _OPERATOR_CACHE_MAXSIZE:
-        _OPERATOR_CACHE.popitem(last=False)
-    return operator
+    with _OPERATOR_CACHE_LOCK:
+        cached = _OPERATOR_CACHE.get(key)
+        if cached is not None:
+            _OPERATOR_CACHE.move_to_end(key)
+            _cache_hits += 1
+            return cached
+        _cache_misses += 1
+        # Construction happens under the lock: simultaneous misses on
+        # the same plan would otherwise each pay the full matrix build,
+        # and the last writer would silently orphan the others' copies.
+        operator = NdftOperator(freqs, taus)
+        _OPERATOR_CACHE[key] = operator
+        while len(_OPERATOR_CACHE) > _OPERATOR_CACHE_MAXSIZE:
+            _OPERATOR_CACHE.popitem(last=False)
+        return operator
 
 
 def get_grid_operator(
@@ -253,16 +263,18 @@ def get_grid_operator(
 
 def operator_cache_stats() -> dict[str, int]:
     """Hit/miss/size counters (observability + cache tests)."""
-    return {
-        "hits": _cache_hits,
-        "misses": _cache_misses,
-        "size": len(_OPERATOR_CACHE),
-    }
+    with _OPERATOR_CACHE_LOCK:
+        return {
+            "hits": _cache_hits,
+            "misses": _cache_misses,
+            "size": len(_OPERATOR_CACHE),
+        }
 
 
 def clear_operator_cache() -> None:
     """Drop every cached operator and reset the counters."""
     global _cache_hits, _cache_misses
-    _OPERATOR_CACHE.clear()
-    _cache_hits = 0
-    _cache_misses = 0
+    with _OPERATOR_CACHE_LOCK:
+        _OPERATOR_CACHE.clear()
+        _cache_hits = 0
+        _cache_misses = 0

@@ -25,9 +25,12 @@ import numpy as np
 
 from repro.core.cfo import LinkCalibration, band_products
 from repro.core.deflation import (
+    SOFT_GATE_AMPLITUDE_REL,
+    SOFT_GATE_WINDOW_S,
     DeflationConfig,
     extract_paths,
     first_path_delay,
+    gate_target_mean_s,
     ghost_shifts_s,
     lasso_amplitudes,
     prune_ghost_atoms,
@@ -232,9 +235,21 @@ class TofEstimator:
         Used by unit tests and by benchmarks that replay the paper's
         worked examples without simulating packets.
         """
-        group = self._estimate_group(
-            "direct", np.asarray(frequencies_hz, float), np.asarray(products), exponent, None
-        )
+        freqs = np.asarray(frequencies_hz, dtype=float)
+        stacked = np.asarray(products, dtype=complex)
+        # Eager validation mirroring the batch engine: a mismatch must
+        # fail here with the shapes named, not as an opaque matmul error
+        # deep inside the NDFT.
+        if stacked.ndim != 1:
+            raise ValueError(
+                f"products must be 1-D (n_bands,), got {stacked.shape}"
+            )
+        if stacked.shape[0] != len(freqs):
+            raise ValueError(
+                f"products have {stacked.shape[0]} bands but "
+                f"{len(freqs)} frequencies were given"
+            )
+        group = self._estimate_group("direct", freqs, stacked, exponent, None)
         raw = group.tof_s
         return TofEstimate(
             tof_s=self.calibration.apply(raw),
@@ -358,11 +373,9 @@ class TofEstimator:
             paths = extract_paths(
                 coarse_products, coarse_freqs, window, self.config.deflation
             )
-            target_mean = None
-            if gate_s is not None:
-                # gate = coarse − margin; the pre-margin coarse value is
-                # the slope-derived weighted-mean target for tie-breaks.
-                target_mean = gate_s + self.config.coarse_gate_margin_s * exponent / 2.0
+            target_mean = gate_target_mean_s(
+                gate_s, self.config.coarse_gate_margin_s, exponent
+            )
             paths = prune_ghost_atoms(
                 paths,
                 coarse_products,
@@ -373,13 +386,15 @@ class TofEstimator:
                 target_mean_delay_s=target_mean,
             )
             if not coarse_mask.all():
-                paths = self._full_aperture_refit(paths, freqs, products)
+                paths = self._full_aperture_refit(
+                    paths, freqs, products, max_delay_s=window
+                )
             delay = first_path_delay(
                 paths,
                 self.config.first_peak_amplitude_rel,
                 min_delay_s=gate_s or 0.0,
-                soft_window_s=25e-9 * exponent / 2.0,
-                soft_amplitude_rel=0.35,
+                soft_window_s=SOFT_GATE_WINDOW_S * exponent / 2.0,
+                soft_amplitude_rel=SOFT_GATE_AMPLITUDE_REL,
             )
             profile = self._make_profile(
                 window, coarse_freqs, coarse_products, paths
@@ -462,13 +477,17 @@ class TofEstimator:
         freqs: np.ndarray,
         products: np.ndarray,
         polish_window_s: float = 0.2e-9,
+        max_delay_s: float = np.inf,
     ) -> list[RefinedPath]:
         """Re-fit coarse-group paths against every band in the group.
 
         The coarse extraction already pins each delay to a few tens of
         picoseconds; polishing within a ±0.2 ns window against the full
         stitched aperture (potentially several GHz) buys its resolution
-        without exposure to far pseudo-aliases.
+        without exposure to far pseudo-aliases.  ``max_delay_s`` clamps
+        the polish to the CRT-unique window the coarse extraction was
+        run in — a delay near the window edge must not be refined past
+        it onto an indistinguishable alias.
         """
         if not paths:
             return paths
@@ -485,12 +504,14 @@ class TofEstimator:
                     return float(np.abs(np.vdot(steering, residual)))
 
                 lo = max(delays[k] - polish_window_s, 0.0)
-                hi = delays[k] + polish_window_s
+                hi = min(delays[k] + polish_window_s, max_delay_s)
                 scan = np.linspace(lo, hi, 17)
                 coarse = float(scan[int(np.argmax([correlation(t) for t in scan]))])
                 step = float(scan[1] - scan[0])
                 delays[k] = _golden_max(
-                    correlation, max(coarse - step, 0.0), coarse + step
+                    correlation,
+                    max(coarse - step, 0.0),
+                    min(coarse + step, max_delay_s),
                 )
         A = ndft_matrix(freqs, delays)
         amps = lasso_amplitudes(A, products, self.config.deflation.final_alpha_rel)

@@ -147,10 +147,14 @@ class RangingService:
                 n_shards += 1
                 try:
                     shard_responses = self._solve_shard(requests, shard)
-                except ValueError:
+                except (ValueError, np.linalg.LinAlgError):
                     # One degenerate link inside the batched solve must
                     # not take its shard down: retry link by link and
-                    # report the failures individually.
+                    # report the failures individually.  LinAlgError is
+                    # caught explicitly because the hybrid path's
+                    # least-squares refits raise it on degenerate
+                    # products (NaN/Inf CSI), and on older NumPy it is
+                    # not a ValueError subclass.
                     shard_responses = [
                         self._solve_one(requests[i]) for i in shard
                     ]
@@ -192,7 +196,9 @@ class RangingService:
         """Single-link fallback; estimation failures become per-link errors."""
         try:
             return self._solve_shard([request], [0])[0]
-        except ValueError as exc:
+        except (ValueError, np.linalg.LinAlgError) as exc:
             return RangingResponse(
-                link_id=request.link_id, estimate=None, error=str(exc)
+                link_id=request.link_id,
+                estimate=None,
+                error=str(exc) or type(exc).__name__,
             )

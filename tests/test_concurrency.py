@@ -1,0 +1,125 @@
+"""Thread-safety smoke tests for the process-wide NDFT operator cache.
+
+A concurrent :class:`~repro.net.service.RangingService` deployment hits
+:func:`repro.core.ndft.get_operator` from many threads at once.  The
+LRU bookkeeping (``move_to_end`` / ``popitem`` on one ``OrderedDict``)
+is not atomic, so without the cache lock these tests race: interleaved
+evictions and clears raise ``KeyError``/``RuntimeError`` out of the
+cache internals, or leave the dict oversized.  With the lock they must
+pass silently.  The CI matrix runs this file as its own named step so a
+regression is visible at a glance.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.ndft import (
+    _OPERATOR_CACHE_MAXSIZE,
+    clear_operator_cache,
+    get_grid_operator,
+    ndft_matrix,
+    operator_cache_stats,
+)
+from repro.wifi.bands import US_BAND_PLAN
+
+FREQS = US_BAND_PLAN.subset_5g().center_frequencies_hz
+
+
+def _run_threads(worker, n_threads=8):
+    errors: list[BaseException] = []
+
+    def wrapped(k):
+        try:
+            worker(k)
+        except BaseException as exc:  # noqa: BLE001 — smoke test collects all
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(k,)) for k in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return errors
+
+
+class TestOperatorCacheThreadSafety:
+    def test_concurrent_get_clear_and_evict(self):
+        """Hammer the cache from 8 threads with enough distinct keys to
+        force evictions, plus interleaved clears."""
+        clear_operator_cache()
+
+        def worker(k):
+            for i in range(60):
+                # > maxsize distinct keys across the pool forces LRU
+                # evictions to interleave with hits and clears.
+                step_ns = 1.0 + ((i + 7 * k) % (_OPERATOR_CACHE_MAXSIZE + 8)) * 0.05
+                op = get_grid_operator(FREQS, 100e-9, step_ns * 1e-9)
+                assert op.n_taus >= 2
+                assert op.lipschitz > 0
+                if i % 23 == 22:
+                    clear_operator_cache()
+
+        errors = _run_threads(worker)
+        assert errors == []
+        stats = operator_cache_stats()
+        assert stats["size"] <= _OPERATOR_CACHE_MAXSIZE
+
+    def test_concurrent_hits_share_one_operator(self):
+        """All threads asking for the same plan must get the same object
+        and its matrix must stay correct."""
+        clear_operator_cache()
+        got = []
+
+        def worker(_):
+            for _ in range(20):
+                got.append(get_grid_operator(FREQS, 100e-9, 1e-9))
+
+        errors = _run_threads(worker, n_threads=6)
+        assert errors == []
+        assert len({id(op) for op in got}) == 1
+        op = got[0]
+        np.testing.assert_array_equal(op.F, ndft_matrix(FREQS, op.taus_s))
+
+    def test_concurrent_ranging_service_submissions(self, rng):
+        """End-to-end: parallel submits over distinct band plans survive
+        the shared operator cache."""
+        from repro.core.ndft import steering_vector
+        from repro.core.sparse import SparseSolverConfig
+        from repro.core.tof import TofEstimatorConfig
+        from repro.net.service import RangingRequest, RangingService
+
+        clear_operator_cache()
+        config = TofEstimatorConfig(
+            quirk_2g4=False,
+            compute_profile=False,
+            sparse=SparseSolverConfig(max_iterations=200),
+        )
+        plans = [FREQS, FREQS[::2], FREQS[::3]]
+        # Pre-generate channels on the main thread: the RNG is not
+        # thread-safe, and the race under test is the operator cache.
+        channels = {}
+        for k in range(6):
+            freqs = plans[k % len(plans)]
+            channels[k] = steering_vector(freqs, 2 * 30e-9) + 0.02 * (
+                rng.normal(size=len(freqs)) + 1j * rng.normal(size=len(freqs))
+            )
+        responses = {}
+
+        def worker(k):
+            freqs = plans[k % len(plans)]
+            service = RangingService(config)
+            out = service.submit(
+                [RangingRequest(f"w{k}-{i}", freqs, channels[k]) for i in range(4)]
+            )
+            responses[k] = out
+
+        errors = _run_threads(worker, n_threads=6)
+        assert errors == []
+        for out in responses.values():
+            assert all(r.ok for r in out)
+            for r in out:
+                assert r.estimate.tof_s == pytest.approx(30e-9, abs=0.5e-9)

@@ -5,11 +5,18 @@ import pytest
 
 from repro.core.deflation import (
     DeflationConfig,
+    _polish,
     extract_paths,
     first_path_delay,
     ghost_shifts_s,
     lasso_amplitudes,
+    matched_filter_grid,
     prune_ghost_atoms,
+)
+from repro.core.deflation_batch import (
+    extract_paths_batch,
+    lasso_amplitudes_batch,
+    prune_ghost_atoms_batch,
 )
 from repro.core.ndft import ndft_matrix, steering_vector, tau_grid
 from repro.core.profile import (
@@ -121,6 +128,172 @@ class TestExtractPaths:
             extract_paths(np.ones(2), np.array([1e9, 2e9]), 100e-9)
         with pytest.raises(ValueError):
             extract_paths(np.ones(5), FREQS[:5], 0.0)
+
+    def test_path_near_window_edge_stays_inside(self):
+        """Regression: extraction never reports a delay past the window.
+
+        With a capped window (100 ns, as the engine uses via
+        ``capped_window_s``) and channel content just beyond the cap,
+        the unclamped polish used to refine the edge bin's delay past
+        ``max_delay_s`` — outside the grid's alias-free window."""
+        window = 100e-9
+        h = steering_vector(FREQS, window + 0.02e-9) + 0.3 * steering_vector(
+            FREQS, 40e-9
+        )
+        paths = extract_paths(h, FREQS, window)
+        assert all(p.delay_s <= window for p in paths)
+        assert any(abs(p.delay_s - 40e-9) < 0.05e-9 for p in paths)
+
+
+class TestPolishWindowClamp:
+    def test_polish_does_not_cross_window_edge(self):
+        """Regression: the off-grid polish is clamped to the CRT-unique
+        window — with content just past the edge, the unclamped search
+        would return a delay ≥ the window the grid was built for."""
+        window = 200e-9
+        _, grid_step = matched_filter_grid(FREQS, window, DeflationConfig())
+        beyond = window + 0.4 * grid_step
+        residual = steering_vector(FREQS, beyond)
+        tau0 = window - grid_step / 2.0  # the edge-most grid bin
+        unclamped = _polish(residual, FREQS, tau0, grid_step)
+        assert unclamped > window  # the failure mode being fixed
+        clamped = _polish(residual, FREQS, tau0, grid_step, window)
+        assert clamped <= window
+
+    def test_full_aperture_refit_clamped(self):
+        from repro.core.profile import RefinedPath as RP
+        from repro.core.tof import TofEstimator, TofEstimatorConfig
+
+        window = 200e-9
+        est = TofEstimator(TofEstimatorConfig(quirk_2g4=False))
+        products = steering_vector(FREQS, window + 0.05e-9)
+        paths = [RP(window - 0.01e-9, 1.0 + 0j)]
+        refit = est._full_aperture_refit(
+            paths, FREQS, products, max_delay_s=window
+        )
+        assert all(p.delay_s <= window for p in refit)
+
+
+class TestExtractPathsBatch:
+    """The vectorized extractor against its scalar reference, link by link."""
+
+    def _stack(self, rng, n_links, n_paths=3, noise=0.02, freqs=FREQS):
+        rows = []
+        for _ in range(n_links):
+            taus = np.sort(rng.uniform(5e-9, 95e-9, n_paths))
+            amps = rng.uniform(0.2, 1.0, n_paths) * np.exp(
+                1j * rng.uniform(-np.pi, np.pi, n_paths)
+            )
+            h = sum(a * steering_vector(freqs, t) for a, t in zip(amps, taus))
+            h += noise * (
+                rng.normal(size=len(freqs)) + 1j * rng.normal(size=len(freqs))
+            )
+            rows.append(h)
+        return np.vstack(rows)
+
+    def assert_matches_scalar(self, H, freqs, window=200e-9, config=None):
+        batch = extract_paths_batch(H, freqs, window, config)
+        for i in range(len(H)):
+            scalar = extract_paths(H[i], freqs, window, config)
+            assert len(batch[i]) == len(scalar), f"link {i} path count"
+            for b, s in zip(batch[i], scalar):
+                assert abs(b.delay_s - s.delay_s) <= 1e-12
+                assert abs(b.amplitude - s.amplitude) <= 1e-9
+
+    def test_matches_scalar_multipath(self, rng):
+        self.assert_matches_scalar(self._stack(rng, 6), FREQS)
+
+    def test_matches_scalar_on_band_subset(self, rng):
+        freqs = FREQS[::2]
+        self.assert_matches_scalar(
+            self._stack(rng, 4, freqs=freqs), freqs
+        )
+
+    def test_matches_scalar_single_path(self, rng):
+        H = np.vstack(
+            [steering_vector(FREQS, t) for t in (20.4e-9, 63.1e-9, 150.7e-9)]
+        )
+        self.assert_matches_scalar(H, FREQS)
+
+    def test_matches_scalar_noise_only_fallback(self, rng):
+        H = 0.01 * (
+            rng.normal(size=(3, len(FREQS))) + 1j * rng.normal(size=(3, len(FREQS)))
+        )
+        self.assert_matches_scalar(H, FREQS)
+
+    def test_zero_link_returns_empty(self, rng):
+        H = self._stack(rng, 2)
+        H[1] = 0.0
+        batch = extract_paths_batch(H, FREQS, 200e-9)
+        assert batch[1] == []
+        assert len(batch[0]) >= 1
+
+    def test_respects_max_paths(self, rng):
+        cfg = DeflationConfig(max_paths=2)
+        H = self._stack(rng, 3, n_paths=4)
+        self.assert_matches_scalar(H, FREQS, config=cfg)
+        assert all(len(p) <= 2 for p in extract_paths_batch(H, FREQS, 200e-9, cfg))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            extract_paths_batch(np.ones(len(FREQS)), FREQS, 100e-9)
+        with pytest.raises(ValueError):
+            extract_paths_batch(np.ones((2, 5)), FREQS, 100e-9)
+        with pytest.raises(ValueError):
+            extract_paths_batch(np.ones((2, len(FREQS))), FREQS, 0.0)
+
+
+class TestBatchedPruneAndLasso:
+    def test_prune_batch_matches_scalar(self, rng):
+        shifts = ghost_shifts_s(FREQS, 200e-9)
+        H = TestExtractPathsBatch()._stack(rng, 5)
+        paths = extract_paths_batch(H, FREQS, 200e-9)
+        batch = prune_ghost_atoms_batch(paths, H, FREQS, shifts, 200e-9)
+        for i in range(len(H)):
+            scalar = prune_ghost_atoms(paths[i], H[i], FREQS, shifts, 200e-9)
+            assert len(batch[i]) == len(scalar)
+            for b, s in zip(batch[i], scalar):
+                assert abs(b.delay_s - s.delay_s) <= 1e-12
+                assert abs(b.amplitude - s.amplitude) <= 1e-9
+
+    def test_prune_batch_relocates_pure_ghost(self):
+        tau = 110e-9
+        h = steering_vector(FREQS, tau)
+        ghost = [
+            RefinedPath(tau - 50e-9, 0.8 + 0j),
+            RefinedPath(tau, 0.4 + 0j),
+        ]
+        pruned = prune_ghost_atoms_batch(
+            [ghost], h[None, :], FREQS, ghost_shifts_s(FREQS, 200e-9), 200e-9
+        )[0]
+        assert all(abs(p.delay_s - tau) < 1e-9 for p in pruned)
+
+    def test_lasso_batch_matches_scalar(self, rng):
+        delay_sets = [
+            np.array([20e-9, 60e-9]),
+            np.array([15e-9, 35e-9, 90e-9, 140e-9]),
+            np.array([50e-9]),
+        ]
+        H = np.vstack(
+            [
+                ndft_matrix(FREQS, d) @ (
+                    rng.uniform(0.3, 1.0, len(d))
+                    * np.exp(1j * rng.uniform(-np.pi, np.pi, len(d)))
+                )
+                for d in delay_sets
+            ]
+        )
+        batch = lasso_amplitudes_batch(delay_sets, FREQS, H, alpha_rel=0.1)
+        for i, d in enumerate(delay_sets):
+            scalar = lasso_amplitudes(ndft_matrix(FREQS, d), H[i], 0.1)
+            np.testing.assert_allclose(batch[i], scalar, rtol=0, atol=1e-9)
+
+    def test_lasso_batch_zero_alpha_falls_back_to_lstsq(self, rng):
+        delay_sets = [np.array([20e-9, 60e-9])]
+        true = np.array([1.0, 0.5 + 0.2j])
+        H = (ndft_matrix(FREQS, delay_sets[0]) @ true)[None, :]
+        got = lasso_amplitudes_batch(delay_sets, FREQS, H, alpha_rel=0.0)
+        np.testing.assert_allclose(got[0], true, atol=1e-8)
 
 
 class TestGhostLogic:

@@ -55,6 +55,21 @@ class TestFromProducts:
         result = est.estimate_from_products(FREQS_5G, h, exponent=2)
         assert result.tof_s == pytest.approx(30e-9, abs=0.05e-9)
 
+    def test_band_count_mismatch_rejected_eagerly(self):
+        """Regression: a products/frequencies mismatch must fail with the
+        shapes named (like the batch engine), not as an opaque matmul
+        error deep in the NDFT."""
+        est = TofEstimator(TofEstimatorConfig(quirk_2g4=False, compute_profile=False))
+        with pytest.raises(ValueError, match=r"3 bands but \d+ frequencies"):
+            est.estimate_from_products(FREQS_5G, np.ones(3))
+
+    def test_non_1d_products_rejected(self):
+        est = TofEstimator(TofEstimatorConfig(quirk_2g4=False, compute_profile=False))
+        with pytest.raises(ValueError, match="1-D"):
+            est.estimate_from_products(
+                FREQS_5G, np.ones((2, len(FREQS_5G)))
+            )
+
 
 class TestEndToEnd:
     def test_ideal_free_space_subpicosecond(self, rng):

@@ -108,6 +108,28 @@ class TestRangingService:
         with pytest.raises(ValueError):
             RangingService(max_shard_links=0)
 
+    def test_linalg_error_link_does_not_poison_its_shard(self, rng):
+        """Regression: NaN products make the hybrid path's least-squares
+        refits raise ``np.linalg.LinAlgError`` (not a ValueError on
+        every NumPy version) — one such link must fail alone instead of
+        crashing the whole submit."""
+        service = RangingService(FAST_CONFIG)
+        poisoned = np.full(len(FREQS_5G), np.nan + 1j * np.nan)
+        responses = service.submit(
+            [
+                RangingRequest("alive-1", FREQS_5G, one_link(rng, FREQS_5G)),
+                RangingRequest("poisoned", FREQS_5G, poisoned),
+                RangingRequest("alive-2", FREQS_5G, one_link(rng, FREQS_5G, 45e-9)),
+            ]
+        )
+        assert [r.link_id for r in responses] == ["alive-1", "poisoned", "alive-2"]
+        assert responses[0].ok and responses[2].ok
+        assert not responses[1].ok
+        assert responses[1].error
+        assert service.last_stats.n_failed == 1
+        # The healthy links got real estimates despite the bad neighbour.
+        assert 0.0 < responses[0].estimate.tof_s < responses[2].estimate.tof_s
+
     def test_dead_link_does_not_poison_its_shard(self, rng):
         """All-zero products (dead radio) fail alone; neighbours survive."""
         service = RangingService(FAST_CONFIG)

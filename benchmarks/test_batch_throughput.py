@@ -57,6 +57,7 @@ pytestmark = pytest.mark.bench
 N_LINKS = 64
 MIN_SPEEDUP = float(os.environ.get("BATCH_BENCH_MIN_SPEEDUP", "1.8"))
 MIN_HYBRID_SPEEDUP = float(os.environ.get("BATCH_BENCH_MIN_HYBRID_SPEEDUP", "2.0"))
+MIN_STREAM_PARITY = float(os.environ.get("STREAM_BENCH_MIN_PARITY", "0.9"))
 TARGET_SPEEDUP = 5.0
 FREQS = US_BAND_PLAN.subset_5g().center_frequencies_hz
 CONFIG = TofEstimatorConfig(method="ista", quirk_2g4=False)
@@ -314,6 +315,100 @@ def test_hybrid_mixed_aperture_throughput():
     # Diluted by the scalar refit loop on both sides; a modest floor
     # guards against regressions without flaking on slow runners.
     assert speedup >= 1.5
+
+
+def test_streaming_coalesced_matches_hybrid_batch():
+    """N concurrent 1-link streams through the micro-batcher vs one
+    N-link hybrid batch — the ``streaming_coalesced`` series.
+
+    The streaming front end exists so that independent per-link streams
+    do not fall back to scalar per-call estimation; the bar here is
+    *parity* with the batch path (single core — the coalesced flush IS
+    one batch call, plus asyncio bookkeeping), asserted as at least
+    ``MIN_STREAM_PARITY`` of the batch links/sec on the same core.
+    """
+    import asyncio
+
+    from repro.net.service import RangingRequest
+    from repro.stream import StreamConfig, StreamingRangingService
+
+    H = make_links(N_LINKS)
+    engine = BatchTofEngine(HYBRID_CONFIG)
+    # The flush trigger is the size cap (the N-th submit), not the
+    # timer: on a loaded box a millisecond window can expire while the
+    # gather is still enqueueing, splitting the batch and measuring a
+    # partial coalesce.  The long window never fires in practice.
+    streaming = StreamingRangingService(
+        HYBRID_CONFIG, StreamConfig(max_wait_s=600.0, max_batch_links=N_LINKS)
+    )
+    # Warm caches and both code paths so the timings compare steady state.
+    engine.estimate_products_batch(FREQS, H[:2], exponent=2)
+
+    async def warm_up():
+        task = asyncio.ensure_future(
+            streaming.submit(RangingRequest("warm", FREQS, H[0]))
+        )
+        await asyncio.sleep(0)
+        await streaming.drain()
+        return await task
+
+    asyncio.run(warm_up())
+
+    async def run_streams():
+        return await asyncio.gather(
+            *(
+                streaming.submit(RangingRequest(str(i), FREQS, H[i]))
+                for i in range(N_LINKS)
+            )
+        )
+
+    # Single runs of either path jitter ±10% on a loaded box — enough
+    # to flip a parity assertion on noise alone.  Best of two runs per
+    # path compares the steady-state cost of each.
+    batch_s, stream_s = np.inf, np.inf
+    batch_tofs: list[float] = []
+    responses = []
+    for _ in range(2):
+        t0 = time.perf_counter()
+        batch_tofs = [
+            e.tof_s
+            for e in engine.estimate_products_batch(FREQS, H, exponent=2)
+        ]
+        batch_s = min(batch_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        responses = asyncio.run(run_streams())
+        stream_s = min(stream_s, time.perf_counter() - t0)
+
+    agreement = max(
+        abs(r.estimate.tof_s - want) for r, want in zip(responses, batch_tofs)
+    )
+    parity = batch_s / stream_s  # 1.0 = streaming exactly matches batch
+
+    report = {
+        "n_links": N_LINKS,
+        "batch": {"seconds": batch_s, "links_per_s": N_LINKS / batch_s},
+        "streaming": {"seconds": stream_s, "links_per_s": N_LINKS / stream_s},
+        "parity_vs_batch": parity,
+        "min_parity_asserted": MIN_STREAM_PARITY,
+        "largest_flush": streaming.stats.largest_flush,
+        "max_abs_tof_disagreement_s": agreement,
+    }
+    _merge_artifact("streaming_coalesced", report)
+    print(
+        f"\nstreaming {N_LINKS / stream_s:.1f} links/s | batch "
+        f"{N_LINKS / batch_s:.1f} | parity {parity:.2f} "
+        f"(floor {MIN_STREAM_PARITY}) | agreement {agreement:.2e} s"
+    )
+
+    assert agreement <= 1e-12, "streamed estimates diverged from the batch path"
+    # Warm-up + two measured runs, each coalesced into exactly one
+    # full-width flush.
+    assert streaming.stats.n_flushes == 3, "streams did not coalesce"
+    assert streaming.stats.largest_flush == N_LINKS
+    assert parity >= MIN_STREAM_PARITY, (
+        f"coalesced streaming at {parity:.2f}x of batch throughput "
+        f"(floor {MIN_STREAM_PARITY})"
+    )
 
 
 def test_sharded_service_throughput_scales_with_batch():

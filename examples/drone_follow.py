@@ -2,8 +2,10 @@
 """The personal drone of §9/§12.4: hold a 1.4 m stand-off from a user.
 
 A quadrotor ranges the Wi-Fi device in a walking user's pocket at the
-12 Hz sweep rate, filters the raw ranges (median + outlier rejection —
-the §9 'synergy'), and runs the negative-feedback distance controller.
+12 Hz sweep rate, tracks the raw ranges with a per-link Kalman filter
+(MAD-gated innovations — the §9 'synergy', from the streaming
+subsystem's `repro.stream.tracker`), and runs the negative-feedback
+distance controller.
 The script prints the closed-loop accuracy against VICON-style ground
 truth and a coarse ASCII rendering of the two trajectories (Fig. 10b).
 

@@ -48,6 +48,7 @@ from repro.core.deflation import (
 from repro.core.deflation_batch import (
     extract_paths_batch,
     first_path_delays_batch,
+    full_aperture_refit_batch,
     prune_ghost_atoms_batch,
 )
 from repro.core.ndft import capped_window_s, get_grid_operator
@@ -309,12 +310,17 @@ class BatchTofEngine:
             target_mean_delays_s=targets,
         )
         if not coarse_mask.all():
-            paths_per_link = [
-                est._full_aperture_refit(
-                    paths, freqs, stacked[i], max_delay_s=window
-                )
-                for i, paths in enumerate(paths_per_link)
-            ]
+            # The refit joins the lockstep fast path too: the scalar
+            # per-link loop here was the mixed-aperture throughput
+            # dilution the benchmark's hybrid_mixed_aperture series
+            # tracks.
+            paths_per_link = full_aperture_refit_batch(
+                paths_per_link,
+                freqs,
+                stacked,
+                final_alpha_rel=cfg.deflation.final_alpha_rel,
+                max_delay_s=window,
+            )
         delays = first_path_delays_batch(
             paths_per_link,
             cfg.first_peak_amplitude_rel,

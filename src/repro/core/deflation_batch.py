@@ -417,6 +417,92 @@ def _stacked_candidate_scorer(h: np.ndarray, freqs: np.ndarray):
     return score
 
 
+def full_aperture_refit_batch(
+    paths_per_link: list[list[RefinedPath]],
+    frequencies_hz: np.ndarray,
+    channels: np.ndarray,
+    final_alpha_rel: float,
+    polish_window_s: float = 0.2e-9,
+    max_delay_s: float = np.inf,
+) -> list[list[RefinedPath]]:
+    """Full-aperture re-fit of coarse-group paths, across a stack of links.
+
+    The batched counterpart of
+    :meth:`repro.core.tof.TofEstimator._full_aperture_refit`, driven by
+    the same lockstep bracket machinery as the extraction polish: the
+    scalar refit's two sweeps of per-atom golden-section searches (the
+    ~60 tiny correlation calls per atom that dominate the mixed-aperture
+    hybrid path) advance **all links' k-th atoms one bracket step per
+    iteration** through :func:`_polish_batch`.
+
+    Per-link semantics are unchanged: each round re-fits amplitudes
+    jointly, then polishes atom ``k`` against the residual of the
+    *current* delays (atoms below ``k`` already moved this round) with
+    the round's amplitudes — exactly the scalar loop's update order, so
+    batched and scalar refits agree to floating-point noise.  The final
+    amplitudes come from the batched L1 fit, matching the scalar path's
+    :func:`~repro.core.deflation.lasso_amplitudes` per link.
+
+    Args:
+        paths_per_link: Each link's coarse-extraction paths (empty lists
+            pass through untouched).
+        frequencies_hz: The **full** band set of the group.
+        channels: ``(n_links, n_bands)`` stacked full-aperture products.
+        final_alpha_rel: L1 weight of the final amplitude fit.
+        polish_window_s: Half-width of the per-atom polish window.
+        max_delay_s: CRT-unique window clamp, as in the scalar refit.
+    """
+    freqs = np.asarray(frequencies_hz, dtype=float)
+    H = np.asarray(channels, dtype=complex)
+    if H.ndim != 2 or H.shape[0] != len(paths_per_link):
+        raise ValueError(
+            f"channels must be 2-D with one row per path list, got "
+            f"{H.shape} for {len(paths_per_link)} links"
+        )
+    delays = [
+        np.array([p.delay_s for p in paths], dtype=float)
+        for paths in paths_per_link
+    ]
+    live = [i for i, d in enumerate(delays) if d.size]
+    if not live:
+        return list(paths_per_link)
+    for _ in range(2):
+        # Joint LS amplitudes per link: the supports are link-specific
+        # small systems, noise next to the polish sweeps below.
+        amps: dict[int, np.ndarray] = {}
+        for i in live:
+            A = ndft_matrix(freqs, delays[i])
+            amps[i], *_ = np.linalg.lstsq(A, H[i], rcond=None)
+        for k in range(max(delays[i].size for i in live)):
+            members = [i for i in live if delays[i].size > k]
+            residuals = np.stack(
+                [
+                    H[i]
+                    - ndft_matrix(freqs, np.delete(delays[i], k))
+                    @ np.delete(amps[i], k)
+                    for i in members
+                ]
+            )
+            tau0 = np.array([delays[i][k] for i in members])
+            polished = _polish_batch(
+                residuals, freqs, tau0, polish_window_s, max_delay_s
+            )
+            for pos, i in enumerate(members):
+                delays[i][k] = float(polished[pos])
+    results = list(paths_per_link)
+    amp_sets = lasso_amplitudes_batch(
+        [delays[i] for i in live], freqs, H[live], final_alpha_rel
+    )
+    for i, final_amps in zip(live, amp_sets):
+        refit = [
+            RefinedPath(float(d), complex(a))
+            for d, a in zip(delays[i], final_amps)
+        ]
+        refit.sort(key=lambda p: p.delay_s)
+        results[i] = refit
+    return results
+
+
 def _correlations_at(
     residuals: np.ndarray, freqs: np.ndarray, taus: np.ndarray
 ) -> np.ndarray:

@@ -3,25 +3,35 @@
 A planar quadrotor follows a walking user at a fixed stand-off distance
 using only Chronos range measurements: the §9 negative-feedback loop
 ("if the user is closer than expected, the drone takes a discrete step
-further away and vice-versa"), fed by median-filtered, outlier-rejected
-distances (the §9 'synergy' that turns ~15 cm raw ranging into ~4 cm
-closed-loop accuracy).  Ground truth comes from a VICON-style motion
-capture model with sub-centimeter noise.
+further away and vice-versa"), fed by a Kalman-tracked,
+outlier-gated range (:mod:`repro.stream.tracker` — the §9 'synergy'
+that turns tens of cm of raw ranging into ~cm closed-loop accuracy).
+The full-pipeline sensor streams its per-tick sweeps through the
+micro-batching subsystem of :mod:`repro.stream`.  Ground truth comes
+from a VICON-style motion capture model with sub-centimeter noise.
 """
 
 from repro.drone.dynamics import Quadrotor
 from repro.drone.trajectories import waypoint_walk, random_waypoints
 from repro.drone.controller import DistanceController
-from repro.drone.follow import FollowConfig, FollowResult, FollowSimulation
+from repro.drone.follow import (
+    ChronosRangeSensor,
+    FollowConfig,
+    FollowResult,
+    FollowSimulation,
+    GaussianRangeSensor,
+)
 from repro.drone.vicon import MotionCapture
 
 __all__ = [
     "Quadrotor",
     "waypoint_walk",
     "random_waypoints",
+    "ChronosRangeSensor",
     "DistanceController",
     "FollowConfig",
     "FollowResult",
     "FollowSimulation",
+    "GaussianRangeSensor",
     "MotionCapture",
 ]

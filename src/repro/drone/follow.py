@@ -4,11 +4,15 @@ Each control tick (the 12 Hz sweep rate of §4):
 
 1. the user takes a step along their walk;
 2. the drone ranges the user's device — either through the full Chronos
-   pipeline (:class:`ChronosRangeSensor`) or through a calibrated noise
-   model (:class:`GaussianRangeSensor`) for fast tests;
-3. the raw range enters a :class:`~repro.core.ranging.RangingFilter`
-   (median + MAD outlier rejection — the §9 'synergy' that beats the
-   native single-shot accuracy);
+   pipeline (:class:`ChronosRangeSensor`, which streams its sweeps
+   through the micro-batching ranging subsystem of :mod:`repro.stream`)
+   or through a calibrated noise model (:class:`GaussianRangeSensor`)
+   for fast tests;
+3. the raw range enters a per-link
+   :class:`~repro.stream.tracker.LinkTracker` — a constant-velocity
+   Kalman filter with MAD innovation gating, the §9 'synergy' that
+   beats the native single-shot accuracy (and, unlike the sliding
+   median it replaced, also yields the radial velocity);
 4. the §9 negative-feedback controller commands a discrete step;
 5. the quadrotor integrates one kinematic step.
 
@@ -26,12 +30,13 @@ from typing import Callable, Protocol
 
 import numpy as np
 
-from repro.core.ranging import RangingFilter, rmse
+from repro.core.ranging import rmse
 from repro.drone.controller import DistanceController
 from repro.drone.dynamics import Quadrotor
 from repro.drone.trajectories import random_waypoints, waypoint_walk
 from repro.drone.vicon import MotionCapture
 from repro.rf.geometry import Point
+from repro.stream.tracker import LinkTracker, TrackerConfig
 
 
 class RangeSensor(Protocol):
@@ -72,11 +77,19 @@ class ChronosRangeSensor:
     """Full-pipeline ranging: every tick simulates a real CSI sweep.
 
     Built lazily around a :class:`~repro.core.pipeline.ChronosPair`
-    whose devices are re-posed each tick.  Expensive (one sweep plus
+    whose devices are re-posed each tick.  The sweeps are estimated
+    through the streaming ranging subsystem: each tick submits one
+    sweep request to a :class:`~repro.stream.client.StreamClient`, so a
+    deployment flying several drones (or a test driving several
+    sensors) against one shared client coalesces their per-tick sweeps
+    into single batched engine calls.  Expensive (one sweep plus
     estimation per call) — used by the headline Fig. 10 benchmark.
     """
 
     pair: "object" = None  # ChronosPair; typed loosely to avoid cycles
+    client: "object" = None  # StreamClient; shared when injected, else lazy
+    link_id: str = "drone-user"
+    _own_client: bool = field(default=False, init=False, repr=False)
 
     def measure(
         self, drone_position: Point, user_position: Point, rng: np.random.Generator
@@ -85,7 +98,44 @@ class ChronosRangeSensor:
             raise ValueError("ChronosRangeSensor needs a ChronosPair")
         self.pair.receiver.position = drone_position
         self.pair.transmitter.position = user_position
-        return float(self.pair.measure_distance())
+        if self.client is None:
+            from repro.stream.client import StreamClient
+            from repro.stream.service import StreamConfig
+
+            # A private client has exactly one caller, so a coalescing
+            # window would be pure dead wait per tick (2 ms × 12 Hz ×
+            # the whole run); flush on the next loop tick instead.
+            # Injected shared clients keep their own window so several
+            # sensors' ticks coalesce.
+            self.client = StreamClient(
+                self.pair.estimator_config, StreamConfig(max_wait_s=0.0)
+            )
+            self._own_client = True
+        link = self.pair.link()
+        sweep = link.sweep(self.pair.n_packets_per_band)
+        response = self.client.range_sweeps(
+            self.link_id, [sweep], calibration=self.pair.calibration_for(0, 0)
+        )
+        if not response.ok:
+            raise ValueError(
+                f"ranging failed for {self.link_id!r}: {response.error}"
+            )
+        return float(response.estimate.distance_m)
+
+    def close(self) -> None:
+        """Release the lazily-created stream client (shared ones stay up)."""
+        if self._own_client and self.client is not None:
+            self.client.close()
+            self.client = None
+            self._own_client = False
+
+    def __enter__(self) -> "ChronosRangeSensor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Context-managed use releases the private loop thread without
+        # the caller having to remember close().
+        self.close()
 
 
 @dataclass(frozen=True)
@@ -143,7 +193,7 @@ class FollowResult:
 
 
 class FollowSimulation:
-    """Drives the user walk, the sensor, the filter and the controller."""
+    """Drives the user walk, the sensor, the tracker and the controller."""
 
     def __init__(
         self,
@@ -151,6 +201,7 @@ class FollowSimulation:
         sensor: RangeSensor | None = None,
         controller: DistanceController | None = None,
         mocap: MotionCapture | None = None,
+        tracker_config: TrackerConfig | None = None,
     ):
         self.config = config or FollowConfig()
         self.sensor = sensor or GaussianRangeSensor()
@@ -161,6 +212,19 @@ class FollowSimulation:
             dead_band_m=0.0,
         )
         self.mocap = mocap or MotionCapture()
+        # The §9 de-noising loop: a constant-velocity Kalman track over
+        # the raw ranges, gated on MAD innovations.  Defaults match the
+        # Gaussian sensor's calibrated noise (~3 cm per sweep, walking
+        # dynamics, one second of gate history at 12 Hz).
+        self.tracker_config = tracker_config or TrackerConfig(
+            measurement_sigma_m=0.04,
+            process_accel_sigma_mps2=2.0,
+            # RangingFilter accepted windows down to 1; the tracker's
+            # MAD statistic needs at least 3 samples, so tiny legacy
+            # values are widened rather than rejected.
+            gate_window=max(self.config.filter_window, 3),
+            min_gate_m=0.1,
+        )
 
     def run(self, rng: np.random.Generator) -> FollowResult:
         """One complete follow experiment."""
@@ -177,7 +241,7 @@ class FollowSimulation:
         drone = Quadrotor(
             position=Point(start_user.x + cfg.target_distance_m, start_user.y)
         )
-        ranging = RangingFilter(window=cfg.filter_window)
+        tracker = LinkTracker("user", self.tracker_config)
         user_track: list[Point] = []
         drone_track: list[Point] = []
         true_d = np.zeros(n_ticks)
@@ -186,8 +250,10 @@ class FollowSimulation:
         feedforward = Point(0.0, 0.0)
         for i, user_pos in enumerate(user_positions):
             measured = self.sensor.measure(drone.position, user_pos, rng)
-            ranging.add(measured)
-            filtered = ranging.predicted_value()
+            state = tracker.update_range(measured, i * dt)
+            # The Kalman state may dip marginally negative at very close
+            # range; the controller's domain is physical distances.
+            filtered = max(state.range_m, 0.0)
             bearing_error = rng.normal(0.0, cfg.bearing_noise_rad)
             user_estimate = _rotate_about(user_pos, drone.position, bearing_error)
             target = self.controller.target_position(

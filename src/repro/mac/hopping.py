@@ -117,6 +117,23 @@ class HoppingProtocol:
             [self.run_sweep(rng).total_duration_s for _ in range(n_sweeps)]
         )
 
+    def sweep_duration_sampler(self, rng: np.random.Generator):
+        """A ``(link_id, now_s) -> duration_s`` hook for the stream layer.
+
+        Plugs straight into
+        :func:`repro.stream.session.schedule_sweep_arrivals`: every call
+        simulates one full protocol sweep (losses, retries, fail-safes
+        included), so a replayed streaming session inherits the real
+        right-skewed sweep-time distribution of Fig. 9a and links drift
+        apart exactly as live radios do.
+        """
+
+        def sample(link_id: str, now_s: float) -> float:
+            del link_id, now_s  # independent links; timing is i.i.d.
+            return float(self.run_sweep(rng).total_duration_s)
+
+        return sample
+
 
 class _SweepState:
     """Mutable state machine for one sweep (internal)."""

@@ -10,7 +10,9 @@ reproduce the two traces of Fig. 9:
   windowed throughput dips a few percent around the sweep (Fig. 9c).
 
 It also hosts the serving layer: :mod:`repro.net.service` exposes the
-batched ranging engine as a request/response facade.
+batched ranging engine as a request/response facade.  Continuous
+per-link workloads sit one layer up, in :mod:`repro.stream`, whose
+micro-batcher coalesces concurrent streams into this facade's batches.
 """
 
 from repro.net.service import (

@@ -25,6 +25,17 @@ from repro.core.batch import BatchTofEngine
 from repro.core.cfo import LinkCalibration
 from repro.core.tof import TofEstimate, TofEstimatorConfig
 
+ISOLATED_LINK_ERRORS = (ValueError, np.linalg.LinAlgError)
+"""Exceptions a single degenerate link may raise out of a batched solve.
+
+One definition for every layer that retries link by link (this service's
+shards, the streaming front end's sweep flushes): when estimator
+internals surface a new failure type for bad CSI, widening this tuple
+fixes all of them at once.  ``LinAlgError`` is listed explicitly because
+the hybrid path's least-squares refits raise it on degenerate products
+(NaN/Inf CSI), and on older NumPy it is not a ``ValueError`` subclass.
+"""
+
 
 @dataclass(frozen=True)
 class RangingRequest:
@@ -130,6 +141,13 @@ class RangingService:
 
         Requests sharing (frequencies, exponent) are stacked into the
         same batched solves; sharding splits oversized stacks.
+
+        Degenerate submissions are first-class, not incidental: an
+        empty batch returns ``[]`` with a well-formed zero-shard
+        :class:`ServiceStats` (``links_per_s == 0``), and a single
+        request runs as its own one-link shard with ``n_plans ==
+        n_shards == 1`` — the streaming front end leans on both when a
+        coalescing window closes nearly or exactly empty.
         """
         start = time.perf_counter()
         requests = list(requests)
@@ -147,14 +165,10 @@ class RangingService:
                 n_shards += 1
                 try:
                     shard_responses = self._solve_shard(requests, shard)
-                except (ValueError, np.linalg.LinAlgError):
+                except ISOLATED_LINK_ERRORS:
                     # One degenerate link inside the batched solve must
                     # not take its shard down: retry link by link and
-                    # report the failures individually.  LinAlgError is
-                    # caught explicitly because the hybrid path's
-                    # least-squares refits raise it on degenerate
-                    # products (NaN/Inf CSI), and on older NumPy it is
-                    # not a ValueError subclass.
+                    # report the failures individually.
                     shard_responses = [
                         self._solve_one(requests[i]) for i in shard
                     ]
@@ -196,7 +210,7 @@ class RangingService:
         """Single-link fallback; estimation failures become per-link errors."""
         try:
             return self._solve_shard([request], [0])[0]
-        except (ValueError, np.linalg.LinAlgError) as exc:
+        except ISOLATED_LINK_ERRORS as exc:
             return RangingResponse(
                 link_id=request.link_id,
                 estimate=None,

@@ -1,0 +1,122 @@
+"""Synchronous facade over the streaming service for threaded callers.
+
+The micro-batcher lives on an asyncio loop; plenty of callers don't —
+the drone's control loop, benchmark harnesses, thread-pool request
+handlers.  :class:`StreamClient` owns a dedicated event-loop thread
+running one :class:`~repro.stream.service.StreamingRangingService` and
+forwards blocking calls onto it with ``run_coroutine_threadsafe``.
+
+Because every thread funnels into the *same* loop and pending queue,
+concurrent callers coalesce exactly like concurrent coroutines: eight
+threads ranging one link each inside the coalescing window become one
+eight-link engine call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Sequence
+
+from repro.core.cfo import LinkCalibration
+from repro.core.tof import TofEstimatorConfig
+from repro.net.service import RangingRequest, RangingResponse
+from repro.stream.service import StreamConfig, StreamingRangingService, StreamStats
+from repro.wifi.csi import CsiSweep
+
+
+class StreamClient:
+    """Blocking gateway into a loop-threaded streaming ranging service.
+
+    Args:
+        config: Estimator settings for an internally-built service.
+        stream: Micro-batching policy.
+        service: Injectable streaming service; overrides ``config`` and
+            ``stream``.  Must not be used on any other loop.
+    """
+
+    def __init__(
+        self,
+        config: TofEstimatorConfig | None = None,
+        stream: StreamConfig | None = None,
+        service: StreamingRangingService | None = None,
+    ):
+        self.service = service or StreamingRangingService(config, stream)
+        self._loop = asyncio.new_event_loop()
+        # Serializes close() against call entry: a caller that passed a
+        # naked is-closed check could otherwise enqueue onto a loop
+        # that stops before its coroutine runs, and block forever.
+        self._lifecycle = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="stream-ranging", daemon=True
+        )
+        self._thread.start()
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    # ------------------------------------------------------------------
+    # Blocking API
+    # ------------------------------------------------------------------
+    def range_products(
+        self, request: RangingRequest, timeout_s: float | None = None
+    ) -> RangingResponse:
+        """Range one link's band products; blocks until the flush resolves."""
+        return self._call(self.service.submit(request), timeout_s)
+
+    def range_sweeps(
+        self,
+        link_id: str,
+        sweeps: Sequence[CsiSweep],
+        calibration: LinkCalibration | None = None,
+        timeout_s: float | None = None,
+    ) -> RangingResponse:
+        """Range one link from raw CSI sweeps; blocks until resolved."""
+        return self._call(
+            self.service.submit_sweeps(link_id, sweeps, calibration), timeout_s
+        )
+
+    @property
+    def stats(self) -> StreamStats:
+        """Cumulative coalescing telemetry of the backing service."""
+        return self.service.stats
+
+    def close(self) -> None:
+        """Stop the loop thread.  Idempotent; in-flight calls finish first.
+
+        Parked requests are drained (flushed and resolved) before the
+        loop stops — without this, a request waiting out the coalescing
+        window when another thread calls ``close()`` would never
+        resolve and its caller would block forever.  The lifecycle lock
+        excludes callers mid-entry, so no coroutine can slip onto the
+        loop between the drain and the stop.
+        """
+        with self._lifecycle:
+            if not self._loop.is_closed():
+                if self._thread.is_alive():
+                    try:
+                        asyncio.run_coroutine_threadsafe(
+                            self.service.drain(), self._loop
+                        ).result(timeout=30.0)
+                    except Exception:  # noqa: BLE001 — close() must not raise on a sick loop
+                        pass
+                    self._loop.call_soon_threadsafe(self._loop.stop)
+                    self._thread.join(timeout=5.0)
+                self._loop.close()
+
+    def __enter__(self) -> "StreamClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(self, coroutine, timeout_s: float | None):
+        # Enqueue under the lifecycle lock (close() takes it too), then
+        # block on the result outside it so calls still overlap.
+        with self._lifecycle:
+            if self._loop.is_closed():
+                coroutine.close()  # silence the never-awaited warning
+                raise RuntimeError("StreamClient is closed")
+            future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout_s)

@@ -1,0 +1,329 @@
+"""Asyncio streaming front end over the batched ranging service.
+
+:class:`~repro.net.service.RangingService` is request/response: the
+caller must already hold a batch to amortize the engine's GEMMs.
+Continuous workloads (a drone re-ranging its user at 12 Hz, hundreds of
+independent 1-link client streams hitting a ranging deployment) don't
+naturally have one — each stream produces one measurement at a time.
+
+:class:`StreamingRangingService` closes that gap with **micro-batching**:
+every ``await submit(request)`` parks the request on a pending queue and
+suspends the caller; a coalescing scheduler flushes the queue into one
+:class:`RangingService` submission either when ``max_batch_links``
+requests are waiting or after ``max_wait_s`` (whichever first), then
+resolves every caller's future from the per-link responses.  N
+concurrent 1-link streams therefore get the same band-plan grouping,
+sharding and GEMM amortization as one N-link batch — the
+``streaming_coalesced`` benchmark series pins the parity.
+
+Failure isolation is inherited from the service layer: a poisoned
+stream (NaN CSI, dead radio) resolves to an error-carrying
+:class:`RangingResponse` for *that* caller only; its coalesced peers get
+their estimates from the same flush.
+
+Sweep-level requests (:class:`SweepRequest`) ride the same queue and
+flush through :meth:`BatchTofEngine.estimate_sweeps_batch`, which
+shards the per-link band groups by frequency set — so even streams on
+heterogeneous band plans coalesce whatever they share.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.cfo import LinkCalibration
+from repro.core.tof import TofEstimatorConfig
+from repro.net.service import (
+    ISOLATED_LINK_ERRORS,
+    RangingRequest,
+    RangingResponse,
+    RangingService,
+)
+from repro.wifi.csi import CsiSweep
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Micro-batching policy of the streaming front end.
+
+    Attributes:
+        max_wait_s: Coalescing window: the oldest pending request waits
+            at most this long before a flush.  ``0`` flushes on the next
+            event-loop tick, which still coalesces everything submitted
+            in the same scheduling round (e.g. one ``asyncio.gather``).
+        max_batch_links: Flush immediately once this many requests are
+            pending — bounds per-flush latency and memory under load.
+    """
+
+    max_wait_s: float = 2e-3
+    max_batch_links: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.max_batch_links < 1:
+            raise ValueError(
+                f"max_batch_links must be >= 1, got {self.max_batch_links}"
+            )
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One link's raw CSI sweeps, to be estimated with full semantics.
+
+    Unlike the product-level :class:`~repro.net.service.RangingRequest`,
+    a sweep request runs the complete estimator front end per link —
+    coarse slope gating, per-group product averaging, group fusion —
+    via the engine's batched sweep path.
+    """
+
+    link_id: str
+    sweeps: tuple[CsiSweep, ...]
+    calibration: LinkCalibration | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sweeps", tuple(self.sweeps))
+        if not self.sweeps:
+            raise ValueError(f"request {self.link_id!r}: need at least one sweep")
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Cumulative telemetry of one streaming service instance."""
+
+    n_requests: int = 0
+    n_flushes: int = 0
+    n_failed: int = 0
+    largest_flush: int = 0
+
+    @property
+    def mean_links_per_flush(self) -> float:
+        """Average coalescing achieved so far."""
+        return self.n_requests / self.n_flushes if self.n_flushes else 0.0
+
+
+@dataclass
+class _Pending:
+    """One parked request and the future its caller awaits."""
+
+    request: RangingRequest | SweepRequest
+    future: asyncio.Future = field(repr=False)
+
+
+class StreamingRangingService:
+    """Coalesces per-link streaming submissions into batched solves.
+
+    Single-loop discipline: all ``submit`` coroutines must run on one
+    event loop (the flush callback and the pending queue belong to it).
+    Threaded callers go through :class:`repro.stream.client.StreamClient`,
+    which owns a dedicated loop and forwards submissions onto it —
+    coalescing across threads for free.
+
+    Args:
+        config: Estimator settings for an internally-built service.
+        stream: Micro-batching policy.
+        service: Injectable backing service (tests pass instrumented
+            ones); overrides ``config``.
+    """
+
+    def __init__(
+        self,
+        config: TofEstimatorConfig | None = None,
+        stream: StreamConfig | None = None,
+        service: RangingService | None = None,
+    ):
+        self.service = service or RangingService(config)
+        self.stream_config = stream or StreamConfig()
+        self._pending: list[_Pending] = []
+        self._flush_handle: asyncio.TimerHandle | asyncio.Handle | None = None
+        self._flush_loop: asyncio.AbstractEventLoop | None = None
+        self._stats = StreamStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The backing batched engine (shared with the request path)."""
+        return self.service.engine
+
+    @property
+    def stats(self) -> StreamStats:
+        """Cumulative coalescing telemetry."""
+        return self._stats
+
+    @property
+    def n_pending(self) -> int:
+        """Requests currently parked awaiting the next flush."""
+        return len(self._pending)
+
+    async def submit(self, request: RangingRequest) -> RangingResponse:
+        """Range one link's band products; resolves after the next flush.
+
+        The returned response carries the same :class:`TofEstimate` the
+        batch path would produce (engine semantics are identical), or a
+        per-link ``error`` when this stream's measurement was unusable.
+        """
+        return await self._enqueue(request)
+
+    async def submit_sweeps(
+        self,
+        link_id: str,
+        sweeps: Sequence[CsiSweep],
+        calibration: LinkCalibration | None = None,
+    ) -> RangingResponse:
+        """Range one link from raw CSI sweeps (full estimator semantics)."""
+        return await self._enqueue(SweepRequest(link_id, tuple(sweeps), calibration))
+
+    async def drain(self) -> None:
+        """Flush anything pending now instead of waiting out the window."""
+        if self._pending:
+            self._cancel_scheduled_flush()
+            self._flush()
+        # Yield once so resolved futures propagate to their awaiters.
+        await asyncio.sleep(0)
+
+    # ------------------------------------------------------------------
+    # Micro-batching internals
+    # ------------------------------------------------------------------
+    async def _enqueue(
+        self, request: RangingRequest | SweepRequest
+    ) -> RangingResponse:
+        loop = asyncio.get_running_loop()
+        if self._flush_handle is not None and self._flush_loop is not loop:
+            # A previous loop died (asyncio.run torn down mid-window)
+            # with the flush timer still scheduled; that handle will
+            # never fire here.  Forget it so this loop gets its own.
+            self._flush_handle = None
+        future: asyncio.Future = loop.create_future()
+        self._pending.append(_Pending(request, future))
+        self._flush_loop = loop
+        if len(self._pending) >= self.stream_config.max_batch_links:
+            self._cancel_scheduled_flush()
+            self._flush_handle = loop.call_soon(self._flush)
+        elif self._flush_handle is None:
+            if self.stream_config.max_wait_s <= 0:
+                self._flush_handle = loop.call_soon(self._flush)
+            else:
+                self._flush_handle = loop.call_later(
+                    self.stream_config.max_wait_s, self._flush
+                )
+        return await future
+
+    def _cancel_scheduled_flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+
+    def _flush(self) -> None:
+        """Run every pending request through the batched back end.
+
+        Runs as a loop callback: by the time it fires, every submission
+        from the current scheduling round has been parked, so one flush
+        serves them all.  The engine call is synchronous — awaiting
+        callers are suspended on their futures anyway, and interleaving
+        solver progress with the loop would only add latency.
+        """
+        self._flush_handle = None
+        # Requests whose callers are gone (cancelled futures, or futures
+        # whose loop was torn down mid-window) would cost a full engine
+        # solve only to have their results discarded — drop them before
+        # batching, so neither the solve nor the stats count phantoms.
+        self._pending = [
+            p
+            for p in self._pending
+            if not p.future.done() and not p.future.get_loop().is_closed()
+        ]
+        if not self._pending:
+            return
+        # Honor the size bound even when more requests parked between
+        # the cap being hit and this callback running: flush one full
+        # batch, leave the overflow pending and follow up immediately.
+        cap = self.stream_config.max_batch_links
+        batch, self._pending = self._pending[:cap], self._pending[cap:]
+        if self._pending:
+            self._flush_handle = asyncio.get_running_loop().call_soon(self._flush)
+        products = [p for p in batch if isinstance(p.request, RangingRequest)]
+        sweeps = [p for p in batch if isinstance(p.request, SweepRequest)]
+        n_failed = 0
+        if products:
+            n_failed += self._flush_products(products)
+        if sweeps:
+            n_failed += self._flush_sweeps(sweeps)
+        self._stats = StreamStats(
+            n_requests=self._stats.n_requests + len(batch),
+            n_flushes=self._stats.n_flushes + 1,
+            n_failed=self._stats.n_failed + n_failed,
+            largest_flush=max(self._stats.largest_flush, len(batch)),
+        )
+
+    def _flush_products(self, pending: list[_Pending]) -> int:
+        """One RangingService submission for all parked product requests."""
+        try:
+            responses = self.service.submit([p.request for p in pending])
+        except Exception as exc:  # noqa: BLE001 — a dying flush must not hang callers
+            self._reject_all(pending, exc)
+            return len(pending)
+        return self._resolve(pending, responses)
+
+    def _flush_sweeps(self, pending: list[_Pending]) -> int:
+        """Batched sweep estimation with the service's isolation rule:
+        a degenerate link is retried alone so its peers' batch survives.
+
+        The retry runs inside the outer try: an exception raised while
+        handling the batch failure would otherwise escape both clauses
+        (a sibling ``except`` never catches its neighbour's handler)
+        and leave every caller hanging.
+        """
+        try:
+            try:
+                responses = self._solve_sweep_batch(pending)
+            except ISOLATED_LINK_ERRORS:
+                responses = [self._solve_sweep_one(p.request) for p in pending]
+        except Exception as exc:  # noqa: BLE001 — same no-hang guarantee as products
+            self._reject_all(pending, exc)
+            return len(pending)
+        return self._resolve(pending, responses)
+
+    def _solve_sweep_batch(self, pending: list[_Pending]) -> list[RangingResponse]:
+        estimates = self.engine.estimate_sweeps_batch(
+            [p.request.sweeps for p in pending],
+            [p.request.calibration or LinkCalibration() for p in pending],
+        )
+        return [
+            RangingResponse(link_id=p.request.link_id, estimate=estimate)
+            for p, estimate in zip(pending, estimates)
+        ]
+
+    def _solve_sweep_one(self, request: SweepRequest) -> RangingResponse:
+        try:
+            estimate = self.engine.estimate_sweeps_batch(
+                [request.sweeps], [request.calibration or LinkCalibration()]
+            )[0]
+        except ISOLATED_LINK_ERRORS as exc:
+            return RangingResponse(
+                link_id=request.link_id,
+                estimate=None,
+                error=str(exc) or type(exc).__name__,
+            )
+        return RangingResponse(link_id=request.link_id, estimate=estimate)
+
+    @staticmethod
+    def _resolve(pending: list[_Pending], responses: list[RangingResponse]) -> int:
+        n_failed = 0
+        for p, response in zip(pending, responses):
+            if not response.ok:
+                n_failed += 1
+            if not p.future.done() and not p.future.get_loop().is_closed():
+                p.future.set_result(response)
+        return n_failed
+
+    @staticmethod
+    def _reject_all(pending: list[_Pending], exc: Exception) -> None:
+        for p in pending:
+            # A future whose loop died with it has no caller left to
+            # deliver to (set_result would raise out of the flush).
+            if not p.future.done() and not p.future.get_loop().is_closed():
+                p.future.set_exception(exc)

@@ -1,0 +1,179 @@
+"""Replay timed sweep arrivals through the streaming service.
+
+A :class:`StreamSession` is the subsystem's scenario driver: it takes a
+time-ordered list of :class:`SweepArrival` events (one per link per
+sweep), submits every arrival in the same coalescing window
+concurrently — so the micro-batcher sees the load a live deployment
+would — and feeds each link's estimates into a
+:class:`~repro.stream.tracker.TrackerBank`.  The output is a flat list
+of :class:`TrackPoint` rows: raw estimate, smoothed state and failure
+annotations per (time, link).
+
+Arrival schedules come from the MAC layer:
+:func:`schedule_sweep_arrivals` runs the discrete-event scheduler of
+:mod:`repro.mac.sim` with per-link sweep durations drawn from the
+hopping protocol (§10's ~84 ms full sweeps, or a fixed 12 Hz cadence),
+so the replay reproduces the staggered, drifting arrival pattern of
+independent links instead of an artificial lockstep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.mac.sim import EventScheduler
+from repro.net.service import RangingRequest, RangingResponse
+from repro.stream.service import StreamingRangingService, SweepRequest
+from repro.stream.tracker import TrackerBank, TrackState
+
+
+@dataclass(frozen=True)
+class SweepArrival:
+    """One link's sweep completing at a point in simulated time."""
+
+    time_s: float
+    request: RangingRequest | SweepRequest
+
+    @property
+    def link_id(self) -> str:
+        """The arriving link's identifier."""
+        return self.request.link_id
+
+
+@dataclass(frozen=True)
+class TrackPoint:
+    """One (time, link) row of a replayed session."""
+
+    time_s: float
+    link_id: str
+    response: RangingResponse
+    state: TrackState | None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this sweep produced an estimate."""
+        return self.response.ok
+
+    @property
+    def raw_tof_s(self) -> float:
+        """The unsmoothed per-sweep estimate."""
+        return self.response.estimate.tof_s
+
+
+def schedule_sweep_arrivals(
+    link_ids: Sequence[str],
+    duration_s: float,
+    make_request: Callable[[str, float], RangingRequest | SweepRequest],
+    sweep_duration_s: Callable[[str, float], float] | float = 1.0 / 12.0,
+    start_offsets_s: Sequence[float] | None = None,
+) -> list[SweepArrival]:
+    """Generate per-link arrival times with the mac.sim event scheduler.
+
+    Each link runs its own sweep loop: a sweep started at ``t`` arrives
+    at ``t + sweep_duration`` and immediately starts the next one —
+    exactly the §9 continuous-ranging cadence.  ``sweep_duration_s`` may
+    be a constant (a fixed 12 Hz loop) or a callable ``(link_id, now_s)
+    -> duration`` (e.g. sampling the hopping protocol's per-sweep
+    durations), in which case links drift apart like real radios.
+
+    ``make_request`` builds the measurement submitted for a sweep
+    arriving at a given time — synthetic CSI for simulations, canned
+    captures for replays.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    offsets = list(start_offsets_s) if start_offsets_s is not None else [
+        0.0 for _ in link_ids
+    ]
+    if len(offsets) != len(link_ids):
+        raise ValueError(
+            f"got {len(offsets)} start offsets for {len(link_ids)} links"
+        )
+    scheduler = EventScheduler()
+    arrivals: list[SweepArrival] = []
+
+    def duration_of(link_id: str, now_s: float) -> float:
+        if callable(sweep_duration_s):
+            return float(sweep_duration_s(link_id, now_s))
+        return float(sweep_duration_s)
+
+    def arrive(link_id: str) -> None:
+        now = scheduler.now_s
+        arrivals.append(SweepArrival(now, make_request(link_id, now)))
+        next_in = duration_of(link_id, now)
+        if now + next_in <= duration_s:
+            scheduler.schedule(next_in, lambda: arrive(link_id))
+
+    for link_id, offset in zip(link_ids, offsets):
+        first = offset + duration_of(link_id, offset)
+        if first <= duration_s:
+            scheduler.schedule_at(first, lambda link=link_id: arrive(link))
+    scheduler.run(until_s=duration_s)
+    return arrivals
+
+
+class StreamSession:
+    """Drives arrivals through the service and trackers, tick by tick.
+
+    Arrivals closer together than ``coalesce_window_s`` are submitted
+    concurrently (one ``gather`` → one micro-batch flush); tracker
+    updates happen in arrival order with the arrival timestamps, so the
+    produced tracks are deterministic for a given schedule.
+    """
+
+    def __init__(
+        self,
+        service: StreamingRangingService,
+        trackers: TrackerBank | None = None,
+        coalesce_window_s: float | None = None,
+    ):
+        self.service = service
+        self.trackers = trackers if trackers is not None else TrackerBank()
+        self.coalesce_window_s = (
+            coalesce_window_s
+            if coalesce_window_s is not None
+            else max(service.stream_config.max_wait_s, 1e-3)
+        )
+
+    def run(self, arrivals: Sequence[SweepArrival]) -> list[TrackPoint]:
+        """Synchronous wrapper around :meth:`arun` (owns a fresh loop)."""
+        return asyncio.run(self.arun(arrivals))
+
+    async def arun(self, arrivals: Sequence[SweepArrival]) -> list[TrackPoint]:
+        """Replay the schedule; returns one row per arrival, in order."""
+        ordered = sorted(arrivals, key=lambda a: a.time_s)
+        points: list[TrackPoint] = []
+        i = 0
+        while i < len(ordered):
+            j = i + 1
+            while (
+                j < len(ordered)
+                and ordered[j].time_s - ordered[i].time_s <= self.coalesce_window_s
+            ):
+                j += 1
+            group = ordered[i:j]
+            responses = await asyncio.gather(
+                *(self._submit(arrival.request) for arrival in group)
+            )
+            for arrival, response in zip(group, responses):
+                state = None
+                if response.ok and np.isfinite(response.estimate.tof_s):
+                    state = self.trackers.update(
+                        arrival.link_id, response.estimate.tof_s, arrival.time_s
+                    )
+                points.append(
+                    TrackPoint(arrival.time_s, arrival.link_id, response, state)
+                )
+            i = j
+        return points
+
+    def _submit(self, request: RangingRequest | SweepRequest):
+        if isinstance(request, SweepRequest):
+            return self.service.submit_sweeps(
+                request.link_id, request.sweeps, request.calibration
+            )
+        return self.service.submit(request)

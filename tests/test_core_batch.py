@@ -303,6 +303,77 @@ class TestHybridBatchEquivalence:
         # ...and the soft tier really fired: the sub-gate path won.
         assert got.tof_s == pytest.approx(tau2 / 2, abs=0.5e-9)
 
+    def test_mixed_aperture_refit_matches_scalar(self, rng):
+        """Quirk-free 2.4+5 GHz plan: the coarse mask is partial, so the
+        batched full-aperture refit (the lockstep bracket machinery)
+        runs on the engine side against the scalar per-link loop."""
+        freqs = US_BAND_PLAN.center_frequencies_hz
+        rows = []
+        for _ in range(5):
+            taus = np.sort(rng.uniform(5e-9, 90e-9, 3))
+            amps = rng.uniform(0.3, 1.0, 3) * np.exp(
+                1j * rng.uniform(-np.pi, np.pi, 3)
+            )
+            h = sum(a * steering_vector(freqs, 2 * t) for a, t in zip(amps, taus))
+            h += 0.02 * (
+                rng.normal(size=len(freqs)) + 1j * rng.normal(size=len(freqs))
+            )
+            rows.append(h)
+        self.assert_engine_matches_scalar(freqs, np.vstack(rows))
+
+    def test_refit_batch_paths_match_scalar_refit(self, rng):
+        """Path-level pin: the batched refit returns the same delays and
+        amplitudes as TofEstimator._full_aperture_refit per link."""
+        from repro.core.deflation import extract_paths
+        from repro.core.deflation_batch import full_aperture_refit_batch
+        from repro.core.ndft import capped_window_s
+
+        freqs = US_BAND_PLAN.center_frequencies_hz
+        estimator = TofEstimator(self.CONFIG)
+        coarse_mask = estimator._coarse_mask(freqs)
+        assert not coarse_mask.all()  # the refit path is actually live
+        coarse_freqs = freqs[coarse_mask]
+        window = capped_window_s(coarse_freqs, self.CONFIG.max_profile_delay_s)
+        rows, paths_per_link = [], []
+        for k in range(4):
+            taus = np.sort(rng.uniform(5e-9, 80e-9, 2 + k % 3))
+            h = sum(
+                a * steering_vector(freqs, 2 * t)
+                for a, t in zip(rng.uniform(0.4, 1.0, len(taus)), taus)
+            )
+            h += 0.02 * (
+                rng.normal(size=len(freqs)) + 1j * rng.normal(size=len(freqs))
+            )
+            rows.append(h)
+            paths_per_link.append(
+                extract_paths(
+                    h[coarse_mask], coarse_freqs, window, self.CONFIG.deflation
+                )
+            )
+        H = np.vstack(rows)
+        alpha = self.CONFIG.deflation.final_alpha_rel
+        want = [
+            estimator._full_aperture_refit(
+                paths, freqs, H[i], max_delay_s=window
+            )
+            for i, paths in enumerate(paths_per_link)
+        ]
+        got = full_aperture_refit_batch(
+            paths_per_link, freqs, H, alpha, max_delay_s=window
+        )
+        for want_paths, got_paths in zip(want, got):
+            assert len(got_paths) == len(want_paths)
+            for w, g in zip(want_paths, got_paths):
+                assert abs(g.delay_s - w.delay_s) <= 1e-12
+                assert abs(g.amplitude - w.amplitude) <= 1e-9
+
+    def test_refit_batch_passes_empty_path_lists_through(self):
+        from repro.core.deflation_batch import full_aperture_refit_batch
+
+        H = np.zeros((2, len(FREQS_5G)), dtype=complex)
+        got = full_aperture_refit_batch([[], []], FREQS_5G, H, 0.1)
+        assert got == [[], []]
+
     def test_identical_path_counts_via_rasterized_profile(self, rng):
         """With compute_profile=False the reported profile is rasterized
         from the extracted paths — identical peak counts mean identical

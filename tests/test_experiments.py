@@ -102,3 +102,27 @@ class TestReport:
         sketch = cdf_sketch(np.linspace(0, 10, 100))
         assert "P05" in sketch
         assert "P95" in sketch
+
+
+class TestStreamingTrackingExperiment:
+    def test_streamed_links_coalesce_and_tracking_beats_raw(self):
+        """The §9 synergy, measured outside the drone loop: blocked-sweep
+        ghosts wreck the raw per-sweep RMSE, the per-link Kalman tracks
+        reject them, and every tick's arrivals share one engine flush."""
+        from repro.experiments.runner import run_streaming_tracking_experiment
+
+        result = run_streaming_tracking_experiment(n_links=3, duration_s=1.0)
+        assert result.n_links == 3
+        assert result.n_requests > 0
+        assert result.n_failed == 0
+        # Per-tick coalescing: all three links in (nearly) every flush.
+        assert result.mean_links_per_flush > 2.0
+        # Tracking must beat the ghost-polluted raw estimates outright.
+        assert result.tracked_rmse_m < result.raw_rmse_m
+        assert result.synergy > 2.0
+
+    def test_validation(self):
+        from repro.experiments.runner import run_streaming_tracking_experiment
+
+        with pytest.raises(ValueError):
+            run_streaming_tracking_experiment(n_links=0)

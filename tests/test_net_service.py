@@ -104,6 +104,46 @@ class TestRangingService:
         assert stats.elapsed_s > 0
         assert stats.links_per_s > 0
 
+    def test_empty_submit_returns_well_formed_stats(self):
+        """submit([]) is a contract, not an accident: no responses, a
+        zero-shard ServiceStats, and a defined throughput of zero (the
+        streaming front end can flush an empty window)."""
+        service = RangingService(FAST_CONFIG)
+        assert service.submit([]) == []
+        stats = service.last_stats
+        assert stats.n_requests == 0
+        assert stats.n_plans == 0
+        assert stats.n_shards == 0
+        assert stats.n_failed == 0
+        assert stats.elapsed_s >= 0
+        assert stats.links_per_s == 0.0
+
+    def test_single_request_runs_as_one_shard(self, rng):
+        """A 1-link submission is one plan, one shard — and its stats
+        say so explicitly rather than by luck of the sharding loop."""
+        service = RangingService(FAST_CONFIG)
+        responses = service.submit(
+            [RangingRequest("only", FREQS_5G, one_link(rng, FREQS_5G))]
+        )
+        assert len(responses) == 1 and responses[0].ok
+        stats = service.last_stats
+        assert stats.n_requests == 1
+        assert stats.n_plans == 1
+        assert stats.n_shards == 1
+        assert stats.n_failed == 0
+        assert stats.links_per_s > 0
+
+    def test_single_failed_request_still_counts_in_stats(self):
+        """The one-shard degenerate case keeps its failure accounting."""
+        service = RangingService(FAST_CONFIG)
+        responses = service.submit(
+            [RangingRequest("dead", FREQS_5G, np.zeros(len(FREQS_5G)))]
+        )
+        assert len(responses) == 1 and not responses[0].ok
+        assert service.last_stats.n_requests == 1
+        assert service.last_stats.n_shards == 1
+        assert service.last_stats.n_failed == 1
+
     def test_invalid_shard_size_rejected(self):
         with pytest.raises(ValueError):
             RangingService(max_shard_links=0)

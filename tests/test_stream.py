@@ -1,0 +1,603 @@
+"""The streaming ranging subsystem: micro-batching, trackers, sessions.
+
+The contract under test: a link ranged through the asyncio streaming
+front end gets the *same* estimate as a one-shot
+:meth:`RangingService.submit` (≤ 1e-12 s), concurrent streams coalesce
+into single engine flushes, a poisoned stream fails alone without
+stalling its coalesced peers, and the per-link Kalman trackers reject
+ghost outliers the raw estimator lets through.
+"""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.cfo import LinkCalibration
+from repro.core.ndft import steering_vector
+from repro.core.sparse import SparseSolverConfig
+from repro.core.tof import TofEstimatorConfig
+from repro.net.service import RangingRequest, RangingService
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.stream import (
+    LinkTracker,
+    StreamClient,
+    StreamConfig,
+    StreamSession,
+    StreamingRangingService,
+    SweepArrival,
+    SweepRequest,
+    TrackerBank,
+    TrackerConfig,
+    schedule_sweep_arrivals,
+)
+from repro.wifi.bands import US_BAND_PLAN
+
+FREQS = US_BAND_PLAN.subset_5g().center_frequencies_hz
+
+FAST_CONFIG = TofEstimatorConfig(
+    quirk_2g4=False,
+    compute_profile=False,
+    sparse=SparseSolverConfig(max_iterations=300),
+)
+
+pytestmark = pytest.mark.asyncio
+
+
+def one_link(rng, freqs, tau=30e-9):
+    h = steering_vector(freqs, 2 * tau) + 0.4 * steering_vector(
+        freqs, 2 * tau + 25e-9
+    )
+    return h + 0.01 * (
+        rng.normal(size=len(freqs)) + 1j * rng.normal(size=len(freqs))
+    )
+
+
+class TestStreamingEquivalence:
+    def test_concurrent_streams_match_one_shot_batch(self, rng):
+        """N concurrent 1-link streams == one N-link submit, ≤ 1e-12 s."""
+        requests = [
+            RangingRequest(f"s{i}", FREQS, one_link(rng, FREQS, 15e-9 + 6e-9 * i))
+            for i in range(6)
+        ]
+        one_shot = RangingService(FAST_CONFIG).submit(requests)
+        streaming = StreamingRangingService(FAST_CONFIG)
+
+        async def run():
+            return await asyncio.gather(*(streaming.submit(r) for r in requests))
+
+        streamed = asyncio.run(run())
+        assert [r.link_id for r in streamed] == [r.link_id for r in requests]
+        for a, b in zip(streamed, one_shot):
+            assert abs(a.estimate.tof_s - b.estimate.tof_s) <= 1e-12
+        # The whole gather coalesced into a single engine flush.
+        assert streaming.stats.n_flushes == 1
+        assert streaming.stats.largest_flush == len(requests)
+
+    def test_sequential_submits_also_match(self, rng):
+        """Even one-at-a-time streams (flush per request) stay exact."""
+        request = RangingRequest("solo", FREQS, one_link(rng, FREQS))
+        want = RangingService(FAST_CONFIG).submit([request])[0]
+        streaming = StreamingRangingService(FAST_CONFIG, StreamConfig(max_wait_s=0.0))
+
+        async def run():
+            return await streaming.submit(request)
+
+        got = asyncio.run(run())
+        assert abs(got.estimate.tof_s - want.estimate.tof_s) <= 1e-12
+
+    def test_mixed_band_plans_coalesce_in_one_flush(self, rng):
+        """Streams on different plans share a flush; grouping happens
+        inside the service layer exactly as in a mixed batch."""
+        small = US_BAND_PLAN.subset_5g().decimate(2).center_frequencies_hz
+        requests = [
+            RangingRequest("a", FREQS, one_link(rng, FREQS)),
+            RangingRequest("b", small, one_link(rng, small)),
+            RangingRequest("c", FREQS, one_link(rng, FREQS, 40e-9)),
+        ]
+        want = RangingService(FAST_CONFIG).submit(requests)
+        streaming = StreamingRangingService(FAST_CONFIG)
+
+        async def run():
+            return await asyncio.gather(*(streaming.submit(r) for r in requests))
+
+        got = asyncio.run(run())
+        for a, b in zip(got, want):
+            assert abs(a.estimate.tof_s - b.estimate.tof_s) <= 1e-12
+        assert streaming.stats.n_flushes == 1
+        assert streaming.service.last_stats.n_plans == 2
+
+    def test_sweep_requests_match_sweeps_batch(self, rng, small_plan, fast_config):
+        from repro.rf.environment import free_space
+        from repro.rf.geometry import Point
+        from repro.wifi.hardware import INTEL_5300
+        from repro.wifi.radio import SimulatedLink
+
+        sweeps_per_link = []
+        for i in range(2):
+            link = SimulatedLink(
+                environment=free_space(),
+                tx_position=Point(0.0, 0.0),
+                rx_position=Point(2.0 + i, 0.0),
+                tx_state=INTEL_5300.sample_device_state(rng),
+                rx_state=INTEL_5300.sample_device_state(rng),
+                band_plan=small_plan,
+                rng=rng,
+            )
+            sweeps_per_link.append([link.sweep(2)])
+        cal = LinkCalibration(tof_bias_s=1e-9, coarse_bias_s=350e-9)
+        streaming = StreamingRangingService(fast_config)
+        want = streaming.engine.estimate_sweeps_batch(
+            sweeps_per_link, [cal, cal]
+        )
+
+        async def run():
+            return await asyncio.gather(
+                *(
+                    streaming.submit_sweeps(f"sw{i}", sweeps, cal)
+                    for i, sweeps in enumerate(sweeps_per_link)
+                )
+            )
+
+        got = asyncio.run(run())
+        for response, estimate in zip(got, want):
+            assert abs(response.estimate.tof_s - estimate.tof_s) <= 1e-12
+
+
+class TestStreamIsolation:
+    def test_poisoned_stream_fails_alone(self, rng):
+        """NaN CSI on one stream must not stall or kill coalesced peers."""
+        poisoned = np.full(len(FREQS), np.nan + 1j * np.nan)
+        requests = [
+            RangingRequest("alive-1", FREQS, one_link(rng, FREQS)),
+            RangingRequest("poisoned", FREQS, poisoned),
+            RangingRequest("alive-2", FREQS, one_link(rng, FREQS, 45e-9)),
+        ]
+        want = RangingService(FAST_CONFIG).submit(
+            [requests[0], requests[2]]
+        )
+        streaming = StreamingRangingService(FAST_CONFIG)
+
+        async def run():
+            return await asyncio.wait_for(
+                asyncio.gather(*(streaming.submit(r) for r in requests)),
+                timeout=60.0,
+            )
+
+        got = asyncio.run(run())
+        assert got[0].ok and got[2].ok
+        assert not got[1].ok
+        assert got[1].error
+        assert abs(got[0].estimate.tof_s - want[0].estimate.tof_s) <= 1e-12
+        assert abs(got[2].estimate.tof_s - want[1].estimate.tof_s) <= 1e-12
+        assert streaming.stats.n_failed == 1
+
+    def test_dead_sweep_stream_fails_alone(self, rng, small_plan, fast_config):
+        """A sweep-level stream with garbage CSI fails alone too."""
+        from repro.rf.environment import free_space
+        from repro.rf.geometry import Point
+        from repro.wifi.hardware import INTEL_5300
+        from repro.wifi.radio import SimulatedLink
+
+        link = SimulatedLink(
+            environment=free_space(),
+            tx_position=Point(0.0, 0.0),
+            rx_position=Point(3.0, 0.0),
+            tx_state=INTEL_5300.sample_device_state(rng),
+            rx_state=INTEL_5300.sample_device_state(rng),
+            band_plan=small_plan,
+            rng=rng,
+        )
+        good = link.sweep(2)
+        poisoned = link.sweep(2)
+        for m in poisoned:
+            m.forward.csi[:] = np.nan
+            m.reverse.csi[:] = np.nan
+        streaming = StreamingRangingService(fast_config)
+
+        async def run():
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    streaming.submit_sweeps("good", [good]),
+                    streaming.submit_sweeps("bad", [poisoned]),
+                ),
+                timeout=60.0,
+            )
+
+        got = asyncio.run(run())
+        assert got[0].ok
+        assert not got[1].ok and got[1].error
+
+
+class TestMicroBatching:
+    def test_max_batch_links_forces_early_flush(self, rng):
+        streaming = StreamingRangingService(
+            FAST_CONFIG, StreamConfig(max_wait_s=60.0, max_batch_links=2)
+        )
+        requests = [
+            RangingRequest(f"m{i}", FREQS, one_link(rng, FREQS)) for i in range(4)
+        ]
+
+        async def run():
+            return await asyncio.wait_for(
+                asyncio.gather(*(streaming.submit(r) for r in requests)),
+                timeout=60.0,
+            )
+
+        got = asyncio.run(run())
+        assert all(r.ok for r in got)
+        # A 60 s window never fired: the size cap split 4 into 2 + 2.
+        assert streaming.stats.n_flushes == 2
+        assert streaming.stats.largest_flush == 2
+
+    def test_drain_flushes_without_waiting_out_the_window(self, rng):
+        streaming = StreamingRangingService(
+            FAST_CONFIG, StreamConfig(max_wait_s=60.0)
+        )
+
+        async def run():
+            task = asyncio.ensure_future(
+                streaming.submit(RangingRequest("d", FREQS, one_link(rng, FREQS)))
+            )
+            await asyncio.sleep(0)  # let the submit park itself
+            assert streaming.n_pending == 1
+            await streaming.drain()
+            return await asyncio.wait_for(task, timeout=60.0)
+
+        assert asyncio.run(run()).ok
+
+    def test_stats_accumulate_across_flushes(self, rng):
+        streaming = StreamingRangingService(FAST_CONFIG)
+
+        async def one(i):
+            return await streaming.submit(
+                RangingRequest(f"x{i}", FREQS, one_link(rng, FREQS))
+            )
+
+        asyncio.run(one(0))
+        asyncio.run(one(1))
+        stats = streaming.stats
+        assert stats.n_requests == 2
+        assert stats.n_flushes == 2
+        assert stats.mean_links_per_flush == 1.0
+
+    def test_threaded_callers_coalesce_through_client(self, rng):
+        """Plain threads funneling into one StreamClient coalesce like
+        coroutines: several concurrent calls, few engine flushes."""
+        channels = {
+            i: one_link(rng, FREQS, 20e-9 + 4e-9 * i) for i in range(6)
+        }
+        want = RangingService(FAST_CONFIG).submit(
+            [RangingRequest(f"t{i}", FREQS, channels[i]) for i in range(6)]
+        )
+        with StreamClient(FAST_CONFIG, StreamConfig(max_wait_s=0.05)) as client:
+            barrier = threading.Barrier(6)
+            responses: dict[int, object] = {}
+            errors: list[BaseException] = []
+
+            def worker(i):
+                try:
+                    barrier.wait(timeout=30.0)
+                    responses[i] = client.range_products(
+                        RangingRequest(f"t{i}", FREQS, channels[i]),
+                        timeout_s=120.0,
+                    )
+                except BaseException as exc:  # noqa: BLE001 — collected for assert
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            for i in range(6):
+                assert abs(
+                    responses[i].estimate.tof_s - want[i].estimate.tof_s
+                ) <= 1e-12
+            # All six threads arrived inside one coalescing window; the
+            # batcher must have served them in far fewer flushes than
+            # requests (usually exactly one).
+            assert client.stats.n_flushes < 6
+            assert client.stats.n_requests == 6
+
+    def test_service_survives_a_torn_down_loop(self, rng):
+        """A loop dying mid-window (asyncio.run + wait_for timeout) must
+        not wedge the service: the next loop schedules its own flush."""
+        streaming = StreamingRangingService(
+            FAST_CONFIG, StreamConfig(max_wait_s=60.0)
+        )
+        request = RangingRequest("orphan", FREQS, one_link(rng, FREQS))
+
+        async def abandoned():
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(streaming.submit(request), timeout=0.01)
+
+        asyncio.run(abandoned())
+        # The 60 s timer died with its loop; a fresh submit must still
+        # resolve promptly (fresh timer + drain, not a stale handle).
+        fresh = RangingRequest("fresh", FREQS, one_link(rng, FREQS, 40e-9))
+
+        async def retry():
+            task = asyncio.ensure_future(streaming.submit(fresh))
+            await asyncio.sleep(0)
+            await streaming.drain()
+            return await asyncio.wait_for(task, timeout=60.0)
+
+        assert asyncio.run(retry()).ok
+        # The orphaned request was dropped, not solved for nobody: only
+        # the live caller's request reached the engine and the stats.
+        assert streaming.stats.n_requests == 1
+
+    def test_unexpected_failure_rejects_instead_of_hanging(self, rng):
+        """Any non-isolatable backend error must reach the callers as an
+        exception — never a silent hang (sweep retry path included)."""
+
+        class ExplodingService(RangingService):
+            def submit(self, requests):
+                raise RuntimeError("backend down")
+
+        streaming = StreamingRangingService(
+            service=ExplodingService(FAST_CONFIG)
+        )
+
+        async def run():
+            with pytest.raises(RuntimeError, match="backend down"):
+                await asyncio.wait_for(
+                    streaming.submit(
+                        RangingRequest("x", FREQS, one_link(rng, FREQS))
+                    ),
+                    timeout=30.0,
+                )
+
+        asyncio.run(run())
+
+    def test_client_close_drains_parked_requests(self, rng):
+        """close() racing a parked request resolves it instead of
+        stranding the calling thread behind a dead timer."""
+        client = StreamClient(FAST_CONFIG, StreamConfig(max_wait_s=120.0))
+        result: dict[str, object] = {}
+
+        def caller():
+            result["response"] = client.range_products(
+                RangingRequest("parked", FREQS, one_link(rng, FREQS)),
+                timeout_s=60.0,
+            )
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        # Wait for the request to actually park behind the 120 s window.
+        for _ in range(500):
+            if client.service.n_pending:
+                break
+            time.sleep(0.01)
+        assert client.service.n_pending == 1
+        client.close()
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert result["response"].ok
+
+    def test_client_close_is_idempotent(self):
+        client = StreamClient(FAST_CONFIG)
+        client.close()
+        client.close()
+        with pytest.raises(RuntimeError):
+            client.range_products(
+                RangingRequest("late", FREQS, np.ones(len(FREQS)))
+            )
+
+    def test_stream_config_validation(self):
+        with pytest.raises(ValueError):
+            StreamConfig(max_wait_s=-1.0)
+        with pytest.raises(ValueError):
+            StreamConfig(max_batch_links=0)
+        with pytest.raises(ValueError):
+            SweepRequest("empty", ())
+
+
+class TestLinkTracker:
+    def test_tracks_constant_velocity_and_rejects_ghosts(self):
+        rng = np.random.default_rng(7)
+        tracker = LinkTracker("cv", TrackerConfig(measurement_sigma_m=0.03))
+        dt = 1.0 / 12.0
+        true = lambda t: 4.0 - 0.4 * t  # noqa: E731 — tiny local truth model
+        t = 0.0
+        for _ in range(60):
+            d = true(t) + rng.normal(0.0, 0.03)
+            if rng.random() < 0.1:
+                d += rng.uniform(1.0, 4.0)  # multipath ghost, meters late
+            state = tracker.update_range(d, t)
+            t += dt
+        assert abs(state.range_m - true(t - dt)) < 0.08
+        assert abs(state.velocity_mps - (-0.4)) < 0.15
+        assert tracker.n_rejected >= 2
+        assert 0.0 < state.confidence <= 1.0
+
+    def test_survives_association_jump(self):
+        """A genuine range jump re-centers within about half a window
+        instead of locking the tracker out (rejected innovations stay
+        in the MAD history)."""
+        tracker = LinkTracker("jump", TrackerConfig())
+        dt = 1.0 / 12.0
+        for k in range(24):
+            tracker.update_range(2.0, k * dt)
+        for k in range(24, 44):
+            state = tracker.update_range(6.0, k * dt)
+        assert abs(state.range_m - 6.0) < 0.2
+
+    def test_validation_and_reset(self):
+        tracker = LinkTracker()
+        with pytest.raises(ValueError):
+            tracker.range_m  # noqa: B018 — property raises before init
+        with pytest.raises(ValueError):
+            tracker.update(np.nan, 0.0)
+        tracker.update(10e-9, 0.0)
+        with pytest.raises(ValueError):
+            tracker.update(10e-9, -1.0)  # time must not run backwards
+        tracker.reset()
+        assert not tracker.initialized
+        with pytest.raises(ValueError):
+            TrackerConfig(measurement_sigma_m=0.0)
+        with pytest.raises(ValueError):
+            TrackerConfig(gate_window=2)
+
+    def test_predicted_range_extrapolates(self):
+        tracker = LinkTracker("p", TrackerConfig(measurement_sigma_m=0.01))
+        for k in range(30):
+            tracker.update_range(1.0 + 0.5 * k * 0.1, k * 0.1)
+        ahead = tracker.predicted_range_m(30 * 0.1 + 0.5)
+        assert ahead > tracker.range_m  # receding link keeps receding
+
+    def test_bank_creates_and_routes(self):
+        bank = TrackerBank()
+        s1 = bank.update("a", 10e-9, 0.0)
+        s2 = bank.update("b", 20e-9, 0.0)
+        assert len(bank) == 2 and "a" in bank
+        assert s1.link_id == "a" and s2.link_id == "b"
+        assert bank.states()["b"].tof_s == pytest.approx(20e-9)
+        bank.drop("a")
+        assert "a" not in bank
+
+    def test_bank_states_report_rejections_honestly(self):
+        """states() returns the state the tracker actually produced —
+        a link whose last sweep was gated out says accepted=False."""
+        bank = TrackerBank(TrackerConfig(min_gate_m=0.05))
+        dt = 1.0 / 12.0
+        for k in range(12):
+            bank.update("u", 10.0 / SPEED_OF_LIGHT, k * dt)
+        ghost = bank.update("u", 14.0 / SPEED_OF_LIGHT, 12 * dt)
+        assert not ghost.accepted
+        state = bank.states()["u"]
+        assert state.accepted is False
+        assert state.n_rejected == 1
+
+
+class TestStreamSession:
+    def test_mac_scheduled_replay_tracks_all_links(self, rng):
+        freqs = US_BAND_PLAN.subset_5g().decimate(2).center_frequencies_hz
+        distances = {"u1": 5.0, "u2": 8.0}
+
+        def make_request(link_id, t_s):
+            tau2 = 2.0 * distances[link_id] / SPEED_OF_LIGHT
+            return RangingRequest(link_id, freqs, one_link(rng, freqs, tau2 / 2))
+
+        arrivals = schedule_sweep_arrivals(
+            list(distances), 0.5, make_request, sweep_duration_s=1.0 / 12.0
+        )
+        # Both links sweep at 12 Hz for 0.5 s: six arrivals each.
+        assert len(arrivals) == 12
+        service = StreamingRangingService(FAST_CONFIG, StreamConfig(max_wait_s=1e-3))
+        session = StreamSession(service, TrackerBank(), coalesce_window_s=5e-3)
+        points = session.run(arrivals)
+        assert len(points) == len(arrivals)
+        assert all(p.ok and p.state is not None for p in points)
+        states = session.trackers.states()
+        for link_id, want in distances.items():
+            assert states[link_id].range_m == pytest.approx(want, abs=0.3)
+        # Same-tick arrivals coalesced: fewer flushes than requests.
+        assert service.stats.n_flushes <= len(arrivals) // 2
+
+    def test_poisoned_link_does_not_stall_session(self, rng):
+        freqs = US_BAND_PLAN.subset_5g().decimate(2).center_frequencies_hz
+        poisoned = np.full(len(freqs), np.nan + 1j * np.nan)
+        arrivals = [
+            SweepArrival(0.0, RangingRequest("ok", freqs, one_link(rng, freqs))),
+            SweepArrival(0.0, RangingRequest("bad", freqs, poisoned)),
+            SweepArrival(
+                1.0 / 12.0, RangingRequest("ok", freqs, one_link(rng, freqs))
+            ),
+        ]
+        service = StreamingRangingService(FAST_CONFIG)
+        session = StreamSession(service, TrackerBank())
+        points = session.run(arrivals)
+        assert [p.ok for p in points] == [True, False, True]
+        assert points[1].state is None
+        assert session.trackers.tracker("ok").n_accepted == 2
+
+    def test_variable_sweep_durations_drift_links_apart(self):
+        # Binary-exact durations: the arrival count is then exact too.
+        durations = {"fast": 1.0 / 16.0, "slow": 1.0 / 4.0}
+        arrivals = schedule_sweep_arrivals(
+            list(durations),
+            1.0,
+            lambda link_id, t: RangingRequest(
+                link_id, FREQS, np.ones(len(FREQS))
+            ),
+            sweep_duration_s=lambda link_id, now: durations[link_id],
+        )
+        n_fast = sum(1 for a in arrivals if a.link_id == "fast")
+        n_slow = sum(1 for a in arrivals if a.link_id == "slow")
+        assert n_fast == 16 and n_slow == 4
+
+    def test_hopping_protocol_drives_the_schedule(self, rng):
+        """The Fig. 9a sweep-time model plugs in as the cadence source:
+        arrivals land ~84 ms apart and independent links drift."""
+        from repro.mac import HoppingProtocol
+
+        sampler = HoppingProtocol().sweep_duration_sampler(rng)
+        arrivals = schedule_sweep_arrivals(
+            ["a", "b"],
+            0.5,
+            lambda link_id, t: RangingRequest(
+                link_id, FREQS, np.ones(len(FREQS))
+            ),
+            sweep_duration_s=sampler,
+        )
+        per_link = {
+            link: sorted(a.time_s for a in arrivals if a.link_id == link)
+            for link in ("a", "b")
+        }
+        for times in per_link.values():
+            assert len(times) >= 4  # ~6 sweeps fit in 0.5 s at ~84 ms
+            gaps = np.diff([0.0] + times)
+            assert np.all(gaps > 0.05) and np.all(gaps < 0.3)
+        # Independent loss/retry draws: the two links do not stay in
+        # lockstep for the whole run.
+        n = min(len(per_link["a"]), len(per_link["b"]))
+        assert any(
+            abs(x - y) > 1e-4
+            for x, y in zip(per_link["a"][:n], per_link["b"][:n])
+        )
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            schedule_sweep_arrivals(["a"], 0.0, lambda link, t: None)
+        with pytest.raises(ValueError):
+            schedule_sweep_arrivals(
+                ["a"], 1.0, lambda link, t: None, start_offsets_s=[0.0, 0.0]
+            )
+
+
+class TestDroneThroughStream:
+    def test_follow_loop_runs_through_streaming_subsystem(self, rng, small_plan):
+        """Drone-follow end to end: ChronosRangeSensor streams every
+        tick's sweep through a StreamClient micro-batcher."""
+        from repro.core.pipeline import ChronosDevice, ChronosPair
+        from repro.drone.follow import (
+            ChronosRangeSensor,
+            FollowConfig,
+            FollowSimulation,
+        )
+        from repro.rf.environment import free_space
+        from repro.rf.geometry import Point
+
+        pair = ChronosPair(
+            free_space(),
+            receiver=ChronosDevice.create("drone", Point(1.4, 0.0), rng),
+            transmitter=ChronosDevice.create("user", Point(0.0, 0.0), rng),
+            band_plan=small_plan,
+            estimator_config=FAST_CONFIG,
+            rng=rng,
+        )
+        pair.calibrate()
+        config = FollowConfig(duration_s=2.0, settle_time_s=0.5)
+        with ChronosRangeSensor(pair=pair) as sensor:
+            result = FollowSimulation(config, sensor=sensor).run(rng)
+        assert len(result.times_s) == len(result.true_distances_m)
+        # The loop held the stand-off using streamed ranging only.
+        assert result.rmse_m < 0.5
+        assert sensor.client is None  # exiting the context released the client

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Fleet localization: positions for many clients through one stack (§8).
+
+Ranges are not the product — positions are.  This example places K
+anchor antennas around an office floor and M walking clients among
+them, then streams every client's sweeps through the full serving
+stack each tick:
+
+    sweep → StreamingRangingService (one coalesced engine flush for
+    all M × K anchor links) → LocalizationService (one batched §8
+    solve for all M circle systems) → PositionTrackerBank (per-client
+    constant-velocity tracks gating out ghosted fixes)
+
+Occasional body-blocked sweeps drag one anchor's range meters late —
+the geometry filter and the tracks' MAD innovation gate are both on
+duty, and the printout shows what each layer contributed.
+
+Run:  python examples/fleet_localization.py
+"""
+
+from repro.experiments.runner import run_fleet_localization_experiment
+
+
+def main() -> None:
+    result = run_fleet_localization_experiment(
+        n_clients=8,
+        n_anchors=4,
+        n_ticks=12,
+        rate_hz=5.0,
+        speed_mps=0.6,
+        outlier_probability=0.08,
+    )
+
+    print(
+        f"{result.n_clients} walking clients, {result.n_anchors} anchors, "
+        f"{result.n_fix_attempts} localization rounds:"
+    )
+    print(
+        f"  fixes served       : {result.n_fixes} "
+        f"({result.n_failed} failed rounds)"
+    )
+    print(
+        f"  ranging coalescing : {result.n_range_flushes} engine flushes, "
+        f"{result.mean_links_per_flush:.1f} anchor links per flush "
+        f"(= {result.n_clients} clients x {result.n_anchors} anchors)"
+    )
+    print(
+        f"  solve coalescing   : {result.n_solves} batched position solves, "
+        f"{result.mean_clients_per_solve:.1f} clients per solve"
+    )
+    print(
+        f"  median fix error   : {result.median_fix_error_m * 100:8.2f} cm "
+        f"(paper Fig. 8: decimeter-scale)"
+    )
+    print(
+        f"  raw fix RMSE       : {result.fix_rmse_m * 100:8.1f} cm "
+        f"(body-blocked ghosts included)"
+    )
+    print(
+        f"  tracked RMSE       : {result.tracked_rmse_m * 100:8.1f} cm "
+        f"(position tracks, {result.synergy:.1f}x better)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,12 @@ The package is organized as the paper is:
 * :mod:`repro.baselines` — comparison methods (clock ToA, single-band
   phase, plain matched-filter NDFT, per-band MUSIC).
 * :mod:`repro.mac` — the transmitter-driven channel-hopping protocol.
-* :mod:`repro.net` — traffic-impact models (TCP, video streaming).
+* :mod:`repro.net` — traffic-impact models (TCP, video streaming) and
+  the batched request/response ranging service.
+* :mod:`repro.stream` — the asyncio micro-batching front end and
+  per-link ToF tracks for continuous workloads.
+* :mod:`repro.loc` — fleet localization: batched position serving over
+  the streaming layer, plus per-client position tracks.
 * :mod:`repro.drone` — the personal-drone application (§9).
 * :mod:`repro.experiments` — the testbed and one driver per paper figure.
 
@@ -36,6 +41,7 @@ Quickstart::
 
 from repro.core.cfo import LinkCalibration
 from repro.core.localization import LocalizationResult, locate_transmitter
+from repro.core.localization_batch import locate_transmitter_batch
 from repro.core.pipeline import (
     ChronosDevice,
     ChronosPair,
@@ -59,6 +65,7 @@ __all__ = [
     "LinkCalibration",
     "LocalizationResult",
     "locate_transmitter",
+    "locate_transmitter_batch",
     "ChronosDevice",
     "ChronosPair",
     "PairFix",

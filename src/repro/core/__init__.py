@@ -40,10 +40,18 @@ from repro.core.cfo import LinkCalibration, band_products
 from repro.core.tof import TofEstimate, TofEstimator, TofEstimatorConfig
 from repro.core.ranging import RangingFilter
 from repro.core.localization import (
+    GeometryDrop,
     LocalizationResult,
+    anchors_are_colinear,
     circle_intersections,
     filter_geometry_consistent,
+    filter_geometry_consistent_detailed,
     locate_transmitter,
+)
+from repro.core.localization_batch import (
+    filter_geometry_consistent_batch,
+    locate_transmitter_batch,
+    refine_positions_batch,
 )
 from repro.core.pipeline import ChronosDevice, ChronosPair
 
@@ -71,10 +79,16 @@ __all__ = [
     "TofEstimator",
     "TofEstimatorConfig",
     "RangingFilter",
+    "GeometryDrop",
     "LocalizationResult",
+    "anchors_are_colinear",
     "circle_intersections",
     "filter_geometry_consistent",
+    "filter_geometry_consistent_batch",
+    "filter_geometry_consistent_detailed",
     "locate_transmitter",
+    "locate_transmitter_batch",
+    "refine_positions_batch",
     "ChronosDevice",
     "ChronosPair",
 ]

@@ -16,9 +16,28 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
-from scipy.optimize import least_squares
 
 from repro.rf.geometry import Point
+
+
+@dataclass(frozen=True)
+class GeometryDrop:
+    """One distance estimate discarded by the §12.2 geometry filter.
+
+    Attributes:
+        index: Index of the dropped distance (caller's anchor order).
+        against: The still-active peer whose pairwise bound the dropped
+            estimate violated hardest when it was discarded.
+        bound_m: The violated bound ``||a_index - a_against|| +
+            tolerance`` — two true distances from one transmitter can
+            never differ by more than the anchor separation.
+        excess_m: How far ``|d_index - d_against|`` exceeded the bound.
+    """
+
+    index: int
+    against: int
+    bound_m: float
+    excess_m: float
 
 
 @dataclass(frozen=True)
@@ -33,12 +52,38 @@ class LocalizationResult:
             filter and fed the optimizer.
         candidates: The discrete candidate set before refinement (both
             circle intersections in the 2-anchor case).
+        anchors_colinear: True when every used anchor lies on one line
+            (two anchors are trivially colinear).  Colinear anchors
+            cannot tell a transmitter from its mirror image across that
+            line, so an unhinted fix is a coin flip between the two —
+            check :meth:`is_reliable` instead of trusting the (possibly
+            tiny) residual.
+        geometry_drops: Why each discarded distance was dropped — the
+            pairwise bound it violated and by how much.
     """
 
     position: Point
     residual_rms_m: float
     used_indices: tuple[int, ...]
     candidates: tuple[Point, ...]
+    anchors_colinear: bool = False
+    geometry_drops: tuple[GeometryDrop, ...] = ()
+
+    def is_reliable(self, max_residual_rms_m: float = 0.5) -> bool:
+        """Quality gate for consumers that must not act on bad fixes.
+
+        A fix is reliable when the circles actually met near the
+        solution (``residual_rms_m`` within the gate) *and* the anchor
+        geometry could disambiguate it: colinear anchors with both
+        mirror candidates still in play give a near-zero residual on
+        the wrong side half the time — the classic silent bad fix.
+        Callers that resolved the mirror externally (a position hint, a
+        position track) may trust such fixes anyway; this gate is the
+        no-prior answer.
+        """
+        if self.residual_rms_m > max_residual_rms_m:
+            return False
+        return not (self.anchors_colinear and len(self.candidates) > 1)
 
 
 def circle_intersections(c1: Point, r1: float, c2: Point, r2: float) -> list[Point]:
@@ -79,6 +124,28 @@ def filter_geometry_consistent(
 
     At least two estimates are always retained (dropping below two makes
     localization impossible; the residual check must catch the rest).
+
+    Use :func:`filter_geometry_consistent_detailed` when you also need
+    to know *which* pairwise bound each dropped estimate violated.
+    """
+    kept, _ = filter_geometry_consistent_detailed(
+        anchors, distances_m, tolerance_m
+    )
+    return kept
+
+
+def filter_geometry_consistent_detailed(
+    anchors: Sequence[Point],
+    distances_m: Sequence[float],
+    tolerance_m: float = 0.3,
+) -> tuple[list[int], tuple[GeometryDrop, ...]]:
+    """:func:`filter_geometry_consistent` plus per-drop diagnostics.
+
+    Returns ``(kept_indices, drops)`` where each :class:`GeometryDrop`
+    records the still-active peer whose bound the dropped estimate
+    violated hardest, the bound itself and the excess — what a serving
+    layer needs to tell an operator *why* an anchor's range was
+    discarded rather than just that it was.
     """
     if len(anchors) != len(distances_m):
         raise ValueError(
@@ -88,6 +155,7 @@ def filter_geometry_consistent(
         if d < 0:
             raise ValueError(f"distances must be non-negative, got {d}")
     active = list(range(len(anchors)))
+    drops: list[GeometryDrop] = []
     while len(active) > 2:
         violation = {i: 0.0 for i in active}
         for ii, i in enumerate(active):
@@ -101,7 +169,46 @@ def filter_geometry_consistent(
         if violation[worst] <= 0.0:
             break
         active.remove(worst)
-    return active
+        against, worst_excess, worst_bound = active[0], -math.inf, 0.0
+        for j in active:
+            bound = anchors[worst].distance_to(anchors[j]) + tolerance_m
+            excess = abs(distances_m[worst] - distances_m[j]) - bound
+            if excess > worst_excess:
+                against, worst_excess, worst_bound = j, excess, bound
+        drops.append(
+            GeometryDrop(
+                index=worst,
+                against=against,
+                bound_m=worst_bound,
+                excess_m=worst_excess,
+            )
+        )
+    return active, tuple(drops)
+
+
+def anchors_are_colinear(anchors: Sequence[Point]) -> bool:
+    """Whether every anchor lies on one line (within numerical noise).
+
+    Two anchors are trivially colinear.  For more, the test is the
+    perpendicular spread about the line through the widest-separated
+    pair, relative to that separation — so a linear antenna array
+    (:func:`repro.core.pipeline.linear_array`) is flagged while a
+    triangle is not.
+    """
+    if len(anchors) < 2:
+        return True
+    best_i, best_j, best_sep = 0, min(1, len(anchors) - 1), -1.0
+    for i in range(len(anchors)):
+        for j in range(i + 1, len(anchors)):
+            sep = anchors[i].distance_to(anchors[j])
+            if sep > best_sep:
+                best_i, best_j, best_sep = i, j, sep
+    if best_sep <= 0.0:
+        return True
+    a, b = anchors[best_i], anchors[best_j]
+    direction = (b - a) * (1.0 / best_sep)
+    max_perp = max(abs(direction.cross(p - a)) for p in anchors)
+    return max_perp <= 1e-9 * max(best_sep, 1.0)
 
 
 def locate_transmitter(
@@ -128,7 +235,9 @@ def locate_transmitter(
     """
     if len(anchors) < 2:
         raise ValueError(f"need at least 2 anchors, got {len(anchors)}")
-    used = filter_geometry_consistent(anchors, distances_m, tolerance_m)
+    used, drops = filter_geometry_consistent_detailed(
+        anchors, distances_m, tolerance_m
+    )
     sub_anchors = [anchors[i] for i in used]
     sub_dists = [distances_m[i] for i in used]
 
@@ -150,6 +259,8 @@ def locate_transmitter(
         residual_rms_m=residual,
         used_indices=tuple(used),
         candidates=tuple(candidates),
+        anchors_colinear=anchors_are_colinear(sub_anchors),
+        geometry_drops=drops,
     )
 
 
@@ -177,19 +288,24 @@ def _candidate_seeds(anchors: Sequence[Point], dists: Sequence[float]) -> list[P
 def _refine(
     seed: Point, anchors: Sequence[Point], dists: Sequence[float]
 ) -> tuple[Point, float]:
-    """Nonlinear least squares from a seed; returns (position, RMS)."""
+    """Nonlinear least squares from a seed; returns (position, RMS).
 
-    anchor_xy = np.array([[a.x, a.y] for a in anchors])
+    Runs the damped Gauss–Newton kernel of
+    :func:`repro.core.localization_batch.refine_positions_batch` as its
+    N = 1 case — one shared implementation, so scalar and batched fixes
+    follow the *same* iterate trajectory and agree to floating-point
+    noise (the kernel iterates to a ~1e-14 relative step, well past the
+    1e-9 m regression pin; the previous SciPy ``least_squares`` backend
+    stalled near its finite-difference Jacobian's ~1e-8 m noise floor).
+    """
+    from repro.core.localization_batch import refine_positions_batch
+
+    anchor_xy = np.array([[a.x, a.y] for a in anchors], dtype=float)
     d = np.asarray(dists, dtype=float)
-
-    def residuals(xy: np.ndarray) -> np.ndarray:
-        deltas = anchor_xy - xy[np.newaxis, :]
-        ranges = np.linalg.norm(deltas, axis=1)
-        return ranges - d
-
-    solution = least_squares(residuals, x0=np.array([seed.x, seed.y]), method="lm")
-    rms = float(np.sqrt(np.mean(solution.fun**2)))
-    return Point(float(solution.x[0]), float(solution.x[1])), rms
+    positions, rms = refine_positions_batch(
+        np.array([[seed.x, seed.y]]), anchor_xy[np.newaxis], d[np.newaxis]
+    )
+    return Point(float(positions[0, 0]), float(positions[0, 1])), float(rms[0])
 
 
 def disambiguate_by_motion(

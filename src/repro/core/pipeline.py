@@ -317,6 +317,14 @@ class ChronosPair:
         the batched ranging engine in one submission; ``False`` keeps
         the sequential per-pair path (the two agree to floating-point
         noise).
+
+        This method serves *one* pair; a deployment localizing many
+        clients per tick should solve their circle systems together
+        through :func:`repro.core.localization_batch.locate_transmitter_batch`
+        (one lockstep refinement for the whole fleet — same fixes to
+        1e-9 m), or stream sweeps through
+        :class:`repro.loc.service.LocalizationService`, which batches
+        both the anchor ranging and the position solves.
         """
         use_pairwise = tx_antenna is None and self.transmitter.n_antennas > 1
         tx_indices = (

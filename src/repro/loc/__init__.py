@@ -1,0 +1,42 @@
+"""Fleet localization subsystem: batched position serving + tracking.
+
+The fourth layer of the serving stack (engine → service → stream →
+**loc** → scenarios), turning the now-fast ranging path into what
+deployments actually consume — client positions:
+
+* :mod:`repro.loc.service` — :class:`LocalizationService`, an asyncio
+  front end that fans each client's sweep out to the deployment's K
+  anchors through the streaming ranging layer, coalesces the per-anchor
+  range futures, and resolves position fixes through the batched §8
+  solver (:func:`repro.core.localization_batch.locate_transmitter_batch`)
+  with per-client failure isolation;
+* :mod:`repro.loc.tracker` — :class:`PositionTracker` /
+  :class:`PositionTrackerBank`, 2-D constant-velocity Kalman smoothing
+  over position fixes with MAD innovation gating; track predictions
+  disambiguate mirror-image intersection candidates, superseding the
+  one-shot ``disambiguate_by_motion`` for moving clients.
+"""
+
+from repro.loc.service import (
+    LocConfig,
+    LocStats,
+    LocalizationService,
+    PositionFix,
+)
+from repro.loc.tracker import (
+    PositionTracker,
+    PositionTrackerBank,
+    PositionTrackerConfig,
+    PositionTrackState,
+)
+
+__all__ = [
+    "LocConfig",
+    "LocStats",
+    "LocalizationService",
+    "PositionFix",
+    "PositionTracker",
+    "PositionTrackerBank",
+    "PositionTrackerConfig",
+    "PositionTrackState",
+]

@@ -1,0 +1,499 @@
+"""Asyncio fleet-localization front end over the streaming ranging layer.
+
+The final hop of the serving stack: ranges are not the product —
+positions are.  :class:`LocalizationService` turns one client's sweep
+into a §8 position fix by fanning the measurement out to the
+deployment's K anchors, coalescing the per-anchor range futures, and
+resolving the fix through the batched position solver:
+
+* **anchor fan-out** — each ``await locate(...)`` submits one ranging
+  request per anchor to a shared
+  :class:`~repro.stream.service.StreamingRangingService`.  All K
+  submissions park in the same micro-batching window, and *across
+  clients too*: M concurrent ``locate`` calls put M×K links into one
+  engine flush, so the fleet pays one batch's GEMM amortization for
+  the whole tick.
+* **coalesced solving** — when a client's ranges resolve, its circle
+  system parks on a pending-solve queue; a ``call_soon`` flush batches
+  every system that resolved in the same scheduling round through
+  :func:`~repro.core.localization_batch.locate_transmitter_batch`
+  (grouped by usable-anchor count, the way the ranging service groups
+  by band plan).
+* **per-client isolation** — a failed anchor range drops that anchor
+  (the fix degrades gracefully down to 2 anchors); a client whose
+  system still cannot be solved gets an error-carrying
+  :class:`PositionFix` while its coalesced peers solve on.  The retry
+  discipline reuses the serving layer's
+  :data:`~repro.net.service.ISOLATED_LINK_ERRORS` contract.
+* **track-guided disambiguation** — with an attached
+  :class:`~repro.loc.tracker.PositionTrackerBank`, each client's
+  predicted position seeds the solver's ``position_hint`` (mirror
+  candidates resolved by track likelihood, superseding the one-shot
+  ``disambiguate_by_motion``) and accepted fixes update the track.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.localization import GeometryDrop, LocalizationResult, locate_transmitter
+from repro.core.localization_batch import locate_transmitter_batch
+from repro.core.tof import TofEstimatorConfig
+from repro.net.service import ISOLATED_LINK_ERRORS, RangingRequest
+from repro.rf.geometry import Point
+from repro.stream.service import (
+    StreamConfig,
+    StreamingRangingService,
+    SweepRequest,
+)
+from repro.loc.tracker import PositionTrackerBank, PositionTrackState
+
+
+@dataclass(frozen=True)
+class LocConfig:
+    """Policy of the localization front end.
+
+    Attributes:
+        solve_wait_s: Coalescing window for position solves.  ``0``
+            (default) flushes on the next event-loop tick, which still
+            batches every system whose ranges resolved in the same
+            scheduling round — the common case, since the ranging layer
+            resolves a whole flush's futures together.
+        max_solve_clients: Flush the solve queue once this many systems
+            are pending.
+        tolerance_m: Slack for the §12.2 geometry-consistency filter.
+        min_ok_anchors: Fewest usable anchor ranges a client may have
+            before its fix fails outright (the solver needs 2).
+    """
+
+    solve_wait_s: float = 0.0
+    max_solve_clients: int = 1024
+    tolerance_m: float = 0.3
+    min_ok_anchors: int = 2
+
+    def __post_init__(self) -> None:
+        if self.solve_wait_s < 0:
+            raise ValueError(f"solve_wait_s must be >= 0, got {self.solve_wait_s}")
+        if self.max_solve_clients < 1:
+            raise ValueError(
+                f"max_solve_clients must be >= 1, got {self.max_solve_clients}"
+            )
+        if self.min_ok_anchors < 2:
+            raise ValueError(
+                f"min_ok_anchors must be >= 2, got {self.min_ok_anchors}"
+            )
+
+
+@dataclass(frozen=True)
+class PositionFix:
+    """The service's answer for one client's localization round.
+
+    ``position`` is ``None`` when the round failed outright (too few
+    usable anchor ranges, or an unsolvable circle system); ``error``
+    then carries the reason.  Per-anchor diagnostics stay populated
+    either way — which anchors ranged, which geometry bounds the
+    dropped ones violated, and whether the surviving anchors were
+    colinear (mirror-ambiguous without a track or hint).
+    """
+
+    client_id: str
+    position: Point | None
+    residual_rms_m: float
+    used_anchors: tuple[int, ...]
+    distances_m: tuple[float, ...]
+    anchor_errors: tuple[str | None, ...]
+    geometry_drops: tuple[GeometryDrop, ...]
+    anchors_colinear: bool
+    candidates: tuple[Point, ...]
+    track: PositionTrackState | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the round produced a position."""
+        return self.position is not None
+
+    @property
+    def n_anchors_ok(self) -> int:
+        """How many anchors returned a usable range."""
+        return sum(1 for e in self.anchor_errors if e is None)
+
+
+@dataclass(frozen=True)
+class LocStats:
+    """Cumulative telemetry of one localization service instance.
+
+    ``n_solves`` counts solver *calls* actually made (a group that fell
+    back to per-client retries counts each retry), and
+    ``largest_solve`` is the largest genuinely batched call — so
+    ``mean_clients_per_solve`` reflects real coalescing, not hopes.
+    """
+
+    n_fixes: int = 0
+    n_failed: int = 0
+    n_solves: int = 0
+    largest_solve: int = 0
+    n_anchor_range_failures: int = 0
+
+    @property
+    def mean_clients_per_solve(self) -> float:
+        """Average position-solve coalescing achieved so far."""
+        return self.n_fixes / self.n_solves if self.n_solves else 0.0
+
+
+@dataclass
+class _PendingSolve:
+    """One client's resolved circle system awaiting the batched solver."""
+
+    client_id: str
+    anchor_xy: list[Point]
+    distances: list[float]
+    hint: Point | None
+    future: asyncio.Future = field(repr=False)
+
+
+class LocalizationService:
+    """Serves position fixes for a fleet of clients over shared anchors.
+
+    Single-loop discipline matches the streaming layer: all ``locate``
+    coroutines must run on one event loop.
+
+    Args:
+        anchors: The deployment's anchor positions (e.g. the receive
+            antennas of the serving APs), world frame.  Each ``locate``
+            call supplies one ranging measurement per anchor.
+        config: Estimator settings for an internally-built ranging
+            service.
+        stream: Micro-batching policy for the internal ranging service.
+        ranging: Injectable streaming ranging backend; overrides
+            ``config``/``stream``.  Sharing one backend between the
+            fleet service and direct ranging callers coalesces
+            everything into the same flushes.
+        loc: Localization policy (solve coalescing, geometry slack).
+        trackers: Optional position-track bank.  When present, fixes
+            with a timestamp update the client's track and the track's
+            predicted position seeds candidate disambiguation.
+    """
+
+    def __init__(
+        self,
+        anchors: Sequence[Point],
+        config: TofEstimatorConfig | None = None,
+        stream: StreamConfig | None = None,
+        ranging: StreamingRangingService | None = None,
+        loc: LocConfig | None = None,
+        trackers: PositionTrackerBank | None = None,
+    ):
+        self.anchors = tuple(anchors)
+        if len(self.anchors) < 2:
+            raise ValueError(
+                f"need at least 2 anchors, got {len(self.anchors)}"
+            )
+        self.ranging = ranging or StreamingRangingService(config, stream)
+        self.loc_config = loc or LocConfig()
+        self.trackers = trackers
+        self._pending: list[_PendingSolve] = []
+        self._solve_handle: asyncio.TimerHandle | asyncio.Handle | None = None
+        self._solve_loop: asyncio.AbstractEventLoop | None = None
+        self._stats = LocStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def n_anchors(self) -> int:
+        """Number of anchors every locate round ranges against."""
+        return len(self.anchors)
+
+    @property
+    def stats(self) -> LocStats:
+        """Cumulative fix/solve telemetry."""
+        return self._stats
+
+    @property
+    def n_pending_solves(self) -> int:
+        """Circle systems parked awaiting the next batched solve."""
+        return len(self._pending)
+
+    async def locate(
+        self,
+        client_id: str,
+        requests: Sequence[RangingRequest | SweepRequest],
+        time_s: float | None = None,
+        position_hint: Point | None = None,
+    ) -> PositionFix:
+        """One localization round: range all anchors, solve the fix.
+
+        Args:
+            client_id: Caller's identifier, echoed in the fix.
+            requests: One ranging request per anchor, in anchor order —
+                product-level or sweep-level, freely mixed.
+            time_s: Measurement timestamp; enables track updates when a
+                tracker bank is attached.
+            position_hint: Explicit prior for candidate disambiguation;
+                overrides the track prediction.
+        """
+        if len(requests) != len(self.anchors):
+            raise ValueError(
+                f"client {client_id!r}: got {len(requests)} requests for "
+                f"{len(self.anchors)} anchors"
+            )
+        responses = await asyncio.gather(
+            *(self._submit_one(request) for request in requests)
+        )
+        anchor_errors: list[str | None] = []
+        ok_indices: list[int] = []
+        for idx, response in enumerate(responses):
+            if response.ok and math.isfinite(response.estimate.distance_m):
+                anchor_errors.append(None)
+                ok_indices.append(idx)
+            else:
+                anchor_errors.append(
+                    response.error or "non-finite distance estimate"
+                )
+        n_range_failures = len(responses) - len(ok_indices)
+        if len(ok_indices) < self.loc_config.min_ok_anchors:
+            return self._fail(
+                client_id,
+                anchor_errors,
+                n_range_failures,
+                error=(
+                    f"only {len(ok_indices)} of {len(self.anchors)} anchors "
+                    f"ranged (need {self.loc_config.min_ok_anchors})"
+                ),
+            )
+
+        hint = position_hint
+        if hint is None and self.trackers is not None and time_s is not None:
+            hint = self.trackers.position_hint(client_id, time_s)
+        result, solve_error = await self._solve(
+            client_id,
+            [self.anchors[i] for i in ok_indices],
+            [responses[i].estimate.distance_m for i in ok_indices],
+            hint,
+        )
+        if result is None:
+            return self._fail(
+                client_id, anchor_errors, n_range_failures, error=solve_error
+            )
+
+        track = None
+        if self.trackers is not None and time_s is not None:
+            track = self.trackers.update(client_id, result.position, time_s)
+        self._stats = self._bump(
+            n_fixes=1, n_anchor_range_failures=n_range_failures
+        )
+        return PositionFix(
+            client_id=client_id,
+            position=result.position,
+            residual_rms_m=result.residual_rms_m,
+            used_anchors=tuple(ok_indices[i] for i in result.used_indices),
+            distances_m=tuple(
+                responses[i].estimate.distance_m if err is None else math.nan
+                for i, err in enumerate(anchor_errors)
+            ),
+            anchor_errors=tuple(anchor_errors),
+            geometry_drops=tuple(
+                GeometryDrop(
+                    index=ok_indices[d.index],
+                    against=ok_indices[d.against],
+                    bound_m=d.bound_m,
+                    excess_m=d.excess_m,
+                )
+                for d in result.geometry_drops
+            ),
+            anchors_colinear=result.anchors_colinear,
+            candidates=result.candidates,
+            track=track,
+            error=None,
+        )
+
+    async def drain(self) -> None:
+        """Flush parked ranging and position solves now."""
+        await self.ranging.drain()
+        if self._pending:
+            self._cancel_scheduled_solve()
+            self._flush_solves()
+        await asyncio.sleep(0)
+
+    def close(self) -> None:
+        """Release the backing ranging service's flush worker (idempotent).
+
+        Owners that create and discard many services (tests,
+        experiments) should call this — the streaming layer's size-1
+        flush executor is a real thread.  The service stays usable; a
+        later round simply spins the worker back up.
+        """
+        self.ranging.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _submit_one(self, request: RangingRequest | SweepRequest):
+        if isinstance(request, SweepRequest):
+            return self.ranging.submit_sweeps(
+                request.link_id, request.sweeps, request.calibration
+            )
+        return self.ranging.submit(request)
+
+    async def _solve(
+        self,
+        client_id: str,
+        anchor_xy: list[Point],
+        distances: list[float],
+        hint: Point | None,
+    ) -> tuple[LocalizationResult | None, str | None]:
+        """Park the circle system and await the coalesced batched solve."""
+        loop = asyncio.get_running_loop()
+        if self._solve_handle is not None and self._solve_loop is not loop:
+            # A previous loop died with the solve timer still scheduled;
+            # forget it so this loop gets its own (same recovery as the
+            # streaming flush timer).
+            self._solve_handle = None
+        future: asyncio.Future = loop.create_future()
+        self._pending.append(
+            _PendingSolve(client_id, anchor_xy, distances, hint, future)
+        )
+        self._solve_loop = loop
+        if len(self._pending) >= self.loc_config.max_solve_clients:
+            self._cancel_scheduled_solve()
+            self._solve_handle = loop.call_soon(self._flush_solves)
+        elif self._solve_handle is None:
+            if self.loc_config.solve_wait_s <= 0:
+                self._solve_handle = loop.call_soon(self._flush_solves)
+            else:
+                self._solve_handle = loop.call_later(
+                    self.loc_config.solve_wait_s, self._flush_solves
+                )
+        return await future
+
+    def _cancel_scheduled_solve(self) -> None:
+        if self._solve_handle is not None:
+            self._solve_handle.cancel()
+            self._solve_handle = None
+
+    def _flush_solves(self) -> None:
+        """Solve every parked circle system in one batched call per size.
+
+        Runs as a loop callback, so every system parked in the current
+        scheduling round (typically: all clients whose ranges resolved
+        from one engine flush) solves together.  Systems are grouped by
+        usable-anchor count — the batched solver runs in lockstep over
+        a uniform stack — and a degenerate system is retried alone so
+        its group survives.
+        """
+        self._solve_handle = None
+        pending = [
+            p
+            for p in self._pending
+            if not p.future.done() and not p.future.get_loop().is_closed()
+        ]
+        self._pending = []
+        if not pending:
+            return
+        by_size: dict[int, list[_PendingSolve]] = {}
+        for p in pending:
+            by_size.setdefault(len(p.distances), []).append(p)
+        n_solves = 0
+        largest = 0
+        for group in by_size.values():
+            batched = self._solve_group(group)
+            # Honest coalescing telemetry: one solve per solver call
+            # actually made — a group that fell back to per-client
+            # retries records them individually, so
+            # ``mean_clients_per_solve`` reflects real batching.
+            n_solves += 1 if batched else len(group)
+            largest = max(largest, len(group) if batched else 1)
+        # Fix/failure accounting happens in ``locate`` (which also sees
+        # rounds that never reach the solver); the flush only records
+        # its own coalescing.
+        self._stats = self._bump(n_solves=n_solves, largest_solve=largest)
+
+    def _solve_group(self, group: list[_PendingSolve]) -> bool:
+        """Solve one uniform-anchor-count group; True if batched."""
+        batched = True
+        try:
+            try:
+                results = locate_transmitter_batch(
+                    [p.anchor_xy for p in group],
+                    np.array([p.distances for p in group], dtype=float),
+                    tolerance_m=self.loc_config.tolerance_m,
+                    position_hints=[p.hint for p in group],
+                )
+                outcomes: list[tuple[LocalizationResult | None, str | None]] = [
+                    (result, None) for result in results
+                ]
+            except ISOLATED_LINK_ERRORS:
+                batched = False
+                outcomes = [self._solve_alone(p) for p in group]
+        except Exception as exc:  # noqa: BLE001 — a dying solve must not hang callers
+            for p in group:
+                if not p.future.done() and not p.future.get_loop().is_closed():
+                    p.future.set_exception(exc)
+            return batched
+        for p, outcome in zip(group, outcomes):
+            if not p.future.done() and not p.future.get_loop().is_closed():
+                p.future.set_result(outcome)
+        return batched
+
+    def _solve_alone(
+        self, p: _PendingSolve
+    ) -> tuple[LocalizationResult | None, str | None]:
+        """Scalar per-client retry with the serving layer's isolation rule."""
+        try:
+            return (
+                locate_transmitter(
+                    p.anchor_xy,
+                    p.distances,
+                    tolerance_m=self.loc_config.tolerance_m,
+                    position_hint=p.hint,
+                ),
+                None,
+            )
+        except ISOLATED_LINK_ERRORS as exc:
+            return None, str(exc) or type(exc).__name__
+
+    def _fail(
+        self,
+        client_id: str,
+        anchor_errors: list[str | None],
+        n_range_failures: int,
+        error: str,
+    ) -> PositionFix:
+        self._stats = self._bump(
+            n_failed=1, n_anchor_range_failures=n_range_failures
+        )
+        return PositionFix(
+            client_id=client_id,
+            position=None,
+            residual_rms_m=math.nan,
+            used_anchors=(),
+            distances_m=(math.nan,) * len(self.anchors),
+            anchor_errors=tuple(anchor_errors),
+            geometry_drops=(),
+            anchors_colinear=False,
+            candidates=(),
+            track=None,
+            error=error,
+        )
+
+    def _bump(self, **deltas: int) -> LocStats:
+        s = self._stats
+        values = {
+            "n_fixes": s.n_fixes,
+            "n_failed": s.n_failed,
+            "n_solves": s.n_solves,
+            "largest_solve": s.largest_solve,
+            "n_anchor_range_failures": s.n_anchor_range_failures,
+        }
+        for key, delta in deltas.items():
+            if key == "largest_solve":
+                values[key] = max(values[key], delta)
+            else:
+                values[key] += delta
+        return LocStats(**values)

@@ -104,6 +104,7 @@ class StreamClient:
                     self._loop.call_soon_threadsafe(self._loop.stop)
                     self._thread.join(timeout=5.0)
                 self._loop.close()
+                self.service.close()  # release the flush worker thread
 
     def __enter__(self) -> "StreamClient":
         return self

@@ -30,6 +30,7 @@ heterogeneous band plans coalesce whatever they share.
 from __future__ import annotations
 
 import asyncio
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -55,10 +56,20 @@ class StreamConfig:
             in the same scheduling round (e.g. one ``asyncio.gather``).
         max_batch_links: Flush immediately once this many requests are
             pending — bounds per-flush latency and memory under load.
+        offload_flush: Run the engine solve of each flush on a size-1
+            worker thread (``run_in_executor``) instead of inline on
+            the event loop.  A long solve then no longer blocks the
+            loop: requests arriving mid-flush keep parking and coalesce
+            into the *next* batch, timers keep firing, and other
+            protocol work proceeds.  The single worker serializes
+            solves, so flush order and engine single-threading are
+            preserved.  ``False`` restores the inline solve (useful for
+            deterministic single-threaded debugging).
     """
 
     max_wait_s: float = 2e-3
     max_batch_links: int = 256
+    offload_flush: bool = True
 
     def __post_init__(self) -> None:
         if self.max_wait_s < 0:
@@ -140,6 +151,8 @@ class StreamingRangingService:
         self._flush_handle: asyncio.TimerHandle | asyncio.Handle | None = None
         self._flush_loop: asyncio.AbstractEventLoop | None = None
         self._stats = StreamStats()
+        self._executor: ThreadPoolExecutor | None = None
+        self._inflight: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
     # Public API
@@ -178,12 +191,45 @@ class StreamingRangingService:
         return await self._enqueue(SweepRequest(link_id, tuple(sweeps), calibration))
 
     async def drain(self) -> None:
-        """Flush anything pending now instead of waiting out the window."""
+        """Flush anything pending now instead of waiting out the window.
+
+        When flushes are offloaded, also awaits every in-flight solve on
+        this loop, so callers' futures are resolved by the time ``drain``
+        returns — the same guarantee the inline flush gave for free.
+        """
         if self._pending:
             self._cancel_scheduled_flush()
             self._flush()
+        loop = asyncio.get_running_loop()
+        while True:
+            # Tasks created on a loop that has since died have no
+            # caller left to deliver to; awaiting them here would raise.
+            self._inflight = {
+                t for t in self._inflight if not t.get_loop().is_closed()
+            }
+            mine = [
+                t
+                for t in self._inflight
+                if not t.done() and t.get_loop() is loop
+            ]
+            if not mine:
+                break
+            await asyncio.gather(*mine, return_exceptions=True)
         # Yield once so resolved futures propagate to their awaiters.
         await asyncio.sleep(0)
+
+    def close(self) -> None:
+        """Release the flush worker thread (idempotent).
+
+        Only needed by owners that create and discard many services
+        (tests, short-lived clients); a long-lived deployment keeps the
+        worker for its whole life.  In-flight solves finish, and a
+        submission after ``close`` simply spins up a fresh worker — the
+        service stays usable.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
 
     # ------------------------------------------------------------------
     # Micro-batching internals
@@ -222,9 +268,12 @@ class StreamingRangingService:
 
         Runs as a loop callback: by the time it fires, every submission
         from the current scheduling round has been parked, so one flush
-        serves them all.  The engine call is synchronous — awaiting
-        callers are suspended on their futures anyway, and interleaving
-        solver progress with the loop would only add latency.
+        serves them all.  With ``offload_flush`` (the default) the
+        engine solve runs on the size-1 flush worker and only the
+        solve's *result* comes back to the loop to resolve futures —
+        submissions arriving while a solve is in flight park as usual
+        and coalesce into the next batch.  Without it the solve runs
+        inline, blocking the loop for its duration.
         """
         self._flush_handle = None
         # Requests whose callers are gone (cancelled futures, or futures
@@ -245,13 +294,68 @@ class StreamingRangingService:
         batch, self._pending = self._pending[:cap], self._pending[cap:]
         if self._pending:
             self._flush_handle = asyncio.get_running_loop().call_soon(self._flush)
+        if self.stream_config.offload_flush:
+            task = asyncio.get_running_loop().create_task(
+                self._flush_offloaded(batch)
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+        else:
+            self._run_flush_inline(batch)
+
+    def _run_flush_inline(self, batch: list[_Pending]) -> None:
+        """The pre-offload behavior: solve and resolve on the loop thread."""
         products = [p for p in batch if isinstance(p.request, RangingRequest)]
         sweeps = [p for p in batch if isinstance(p.request, SweepRequest)]
         n_failed = 0
         if products:
-            n_failed += self._flush_products(products)
+            n_failed += self._solve_then_resolve(products, self._solve_products)
         if sweeps:
-            n_failed += self._flush_sweeps(sweeps)
+            n_failed += self._solve_then_resolve(sweeps, self._solve_sweeps)
+        self._record_flush(batch, n_failed)
+
+    async def _flush_offloaded(self, batch: list[_Pending]) -> None:
+        """One flush with its engine solves on the worker thread.
+
+        Futures are resolved on the loop (after the ``await``), never
+        from the worker — ``Future.set_result`` is not thread-safe.
+        The stats update runs after both solves, still ahead of any
+        awaiting caller resuming, so ``stats`` reads consistently right
+        after a gather over submissions completes.
+        """
+        loop = asyncio.get_running_loop()
+        executor = self._flush_executor()
+        products = [p for p in batch if isinstance(p.request, RangingRequest)]
+        sweeps = [p for p in batch if isinstance(p.request, SweepRequest)]
+        n_failed = 0
+        if products:
+            n_failed += await self._offload_solve(
+                loop, executor, products, self._solve_products
+            )
+        if sweeps:
+            n_failed += await self._offload_solve(
+                loop, executor, sweeps, self._solve_sweeps
+            )
+        self._record_flush(batch, n_failed)
+
+    async def _offload_solve(self, loop, executor, pending, solver) -> int:
+        requests = [p.request for p in pending]
+        try:
+            responses = await loop.run_in_executor(executor, solver, requests)
+        except Exception as exc:  # noqa: BLE001 — a dying flush must not hang callers
+            self._reject_all(pending, exc)
+            return len(pending)
+        return self._resolve(pending, responses)
+
+    def _solve_then_resolve(self, pending: list[_Pending], solver) -> int:
+        try:
+            responses = solver([p.request for p in pending])
+        except Exception as exc:  # noqa: BLE001 — a dying flush must not hang callers
+            self._reject_all(pending, exc)
+            return len(pending)
+        return self._resolve(pending, responses)
+
+    def _record_flush(self, batch: list[_Pending], n_failed: int) -> None:
         self._stats = StreamStats(
             n_requests=self._stats.n_requests + len(batch),
             n_flushes=self._stats.n_flushes + 1,
@@ -259,42 +363,51 @@ class StreamingRangingService:
             largest_flush=max(self._stats.largest_flush, len(batch)),
         )
 
-    def _flush_products(self, pending: list[_Pending]) -> int:
-        """One RangingService submission for all parked product requests."""
-        try:
-            responses = self.service.submit([p.request for p in pending])
-        except Exception as exc:  # noqa: BLE001 — a dying flush must not hang callers
-            self._reject_all(pending, exc)
-            return len(pending)
-        return self._resolve(pending, responses)
+    def _flush_executor(self) -> ThreadPoolExecutor:
+        """The lazily-created size-1 flush worker.
 
-    def _flush_sweeps(self, pending: list[_Pending]) -> int:
+        One worker serializes the engine solves of successive flushes
+        (and of overflow follow-ups), preserving the inline path's
+        ordering; the engine's operator cache is thread-safe, so the
+        worker may run next to direct ``RangingService`` callers.
+        """
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="ranging-flush"
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # Solvers — pure request → responses, safe on the flush worker
+    # ------------------------------------------------------------------
+    def _solve_products(
+        self, requests: list[RangingRequest]
+    ) -> list[RangingResponse]:
+        """One RangingService submission for all parked product requests."""
+        return self.service.submit(requests)
+
+    def _solve_sweeps(
+        self, requests: list[SweepRequest]
+    ) -> list[RangingResponse]:
         """Batched sweep estimation with the service's isolation rule:
         a degenerate link is retried alone so its peers' batch survives.
-
-        The retry runs inside the outer try: an exception raised while
-        handling the batch failure would otherwise escape both clauses
-        (a sibling ``except`` never catches its neighbour's handler)
-        and leave every caller hanging.
+        Non-isolatable failures propagate to the caller-side rejection.
         """
         try:
-            try:
-                responses = self._solve_sweep_batch(pending)
-            except ISOLATED_LINK_ERRORS:
-                responses = [self._solve_sweep_one(p.request) for p in pending]
-        except Exception as exc:  # noqa: BLE001 — same no-hang guarantee as products
-            self._reject_all(pending, exc)
-            return len(pending)
-        return self._resolve(pending, responses)
+            return self._solve_sweep_batch(requests)
+        except ISOLATED_LINK_ERRORS:
+            return [self._solve_sweep_one(request) for request in requests]
 
-    def _solve_sweep_batch(self, pending: list[_Pending]) -> list[RangingResponse]:
+    def _solve_sweep_batch(
+        self, requests: list[SweepRequest]
+    ) -> list[RangingResponse]:
         estimates = self.engine.estimate_sweeps_batch(
-            [p.request.sweeps for p in pending],
-            [p.request.calibration or LinkCalibration() for p in pending],
+            [request.sweeps for request in requests],
+            [request.calibration or LinkCalibration() for request in requests],
         )
         return [
-            RangingResponse(link_id=p.request.link_id, estimate=estimate)
-            for p, estimate in zip(pending, estimates)
+            RangingResponse(link_id=request.link_id, estimate=estimate)
+            for request, estimate in zip(requests, estimates)
         ]
 
     def _solve_sweep_one(self, request: SweepRequest) -> RangingResponse:

@@ -1,0 +1,549 @@
+"""The fleet localization subsystem: batched solver, service, tracks.
+
+The contract under test: ``locate_transmitter_batch`` returns the same
+fix as the scalar ``locate_transmitter`` for every client (≤ 1e-9 m —
+they share the damped Gauss–Newton kernel, so in practice they agree to
+float noise), concurrent ``locate`` calls coalesce their anchor ranging
+into single engine flushes and their circle systems into single batched
+solves, a poisoned anchor or an unsolvable client fails alone, and the
+position tracks reject teleporting fixes and disambiguate mirror
+candidates for colinear-anchor deployments.
+"""
+
+import asyncio
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.localization import (
+    locate_transmitter,
+)
+from repro.core.localization_batch import (
+    filter_geometry_consistent_batch,
+    locate_transmitter_batch,
+    refine_positions_batch,
+)
+from repro.core.ndft import steering_vector
+from repro.core.tof import TofEstimatorConfig
+from repro.loc import (
+    LocConfig,
+    LocalizationService,
+    PositionTracker,
+    PositionTrackerBank,
+    PositionTrackerConfig,
+)
+from repro.net.service import RangingRequest
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.rf.geometry import Point
+from repro.wifi.bands import US_BAND_PLAN
+
+FREQS = US_BAND_PLAN.subset_5g().decimate(2).center_frequencies_hz
+
+FAST_CONFIG = TofEstimatorConfig(quirk_2g4=False, compute_profile=False)
+
+pytestmark = pytest.mark.asyncio
+
+ANCHORS = [Point(0.0, 0.0), Point(10.0, 0.0), Point(10.0, 8.0), Point(0.0, 8.0)]
+
+
+def anchor_products(position: Point, anchors, rng, noise=0.02):
+    """Synthetic per-anchor 5 GHz reciprocity products for one client."""
+    rows = []
+    for anchor in anchors:
+        tau2 = 2.0 * anchor.distance_to(position) / SPEED_OF_LIGHT
+        h = steering_vector(FREQS, tau2)
+        h = h + 0.3 * steering_vector(FREQS, tau2 + 30e-9)
+        h = h + noise * (
+            rng.normal(size=len(FREQS)) + 1j * rng.normal(size=len(FREQS))
+        )
+        rows.append(h)
+    return rows
+
+
+class TestBatchEquivalence:
+    def test_batch_matches_scalar_everywhere(self, rng):
+        """Noisy fleets with outliers and hints: batched == scalar fixes
+        at 1e-9 m, identical filter decisions and diagnostics."""
+        anchors = ANCHORS
+        n_clients = 60
+        distances = np.empty((n_clients, len(anchors)))
+        hints: list[Point | None] = []
+        for n in range(n_clients):
+            target = Point(rng.uniform(0.5, 9.5), rng.uniform(0.5, 7.5))
+            d = [a.distance_to(target) + rng.normal(0.0, 0.05) for a in anchors]
+            if n % 4 == 0:
+                d[int(rng.integers(len(anchors)))] += rng.uniform(12.0, 25.0)
+            distances[n] = d
+            hints.append(
+                Point(target.x + 0.3, target.y - 0.2) if n % 3 == 0 else None
+            )
+        batch = locate_transmitter_batch(
+            anchors, distances, position_hints=hints
+        )
+        for n in range(n_clients):
+            scalar = locate_transmitter(
+                anchors, list(distances[n]), position_hint=hints[n]
+            )
+            assert scalar.position.distance_to(batch[n].position) <= 1e-9
+            assert scalar.used_indices == batch[n].used_indices
+            assert abs(
+                scalar.residual_rms_m - batch[n].residual_rms_m
+            ) <= 1e-9
+            assert scalar.anchors_colinear == batch[n].anchors_colinear
+            assert len(scalar.candidates) == len(batch[n].candidates)
+            for cs, cb in zip(scalar.candidates, batch[n].candidates):
+                assert cs.distance_to(cb) <= 1e-9
+            assert [
+                (d.index, d.against) for d in scalar.geometry_drops
+            ] == [(d.index, d.against) for d in batch[n].geometry_drops]
+
+    def test_two_anchor_mirror_candidates_exposed(self):
+        anchors = [Point(0.0, 0.0), Point(2.0, 0.0)]
+        target = Point(1.0, 1.5)
+        d = np.array([[a.distance_to(target) for a in anchors]])
+        result = locate_transmitter_batch(anchors, d)[0]
+        assert len(result.candidates) == 2
+        assert result.anchors_colinear
+        ys = sorted(c.y for c in result.candidates)
+        assert ys[0] == pytest.approx(-1.5, abs=1e-9)
+        assert ys[1] == pytest.approx(1.5, abs=1e-9)
+
+    def test_anchor_input_forms_agree(self, rng):
+        """Shared Points, shared array and per-client stacks all work."""
+        target = Point(3.0, 4.0)
+        d = np.array([[a.distance_to(target) for a in ANCHORS]] * 3)
+        shared_pts = locate_transmitter_batch(ANCHORS, d)
+        shared_arr = locate_transmitter_batch(
+            np.array([[a.x, a.y] for a in ANCHORS]), d
+        )
+        per_client = locate_transmitter_batch([list(ANCHORS)] * 3, d)
+        for a, b, c in zip(shared_pts, shared_arr, per_client):
+            assert a.position.distance_to(b.position) == 0.0
+            assert a.position.distance_to(c.position) == 0.0
+            assert a.position.distance_to(target) < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            locate_transmitter_batch([Point(0, 0)], np.ones((2, 1)))
+        with pytest.raises(ValueError):
+            locate_transmitter_batch(ANCHORS, np.ones((2, 3)))  # count mismatch
+        with pytest.raises(ValueError):
+            locate_transmitter_batch(ANCHORS, -np.ones((2, 4)))
+        with pytest.raises(ValueError):
+            locate_transmitter_batch(ANCHORS, np.full((2, 4), np.nan))
+        with pytest.raises(ValueError):
+            locate_transmitter_batch(
+                ANCHORS, np.ones((2, 4)), position_hints=[None]
+            )
+        with pytest.raises(ValueError):
+            locate_transmitter_batch(
+                [[Point(0, 0), Point(1, 0)], [Point(0, 0)]], np.ones((2, 2))
+            )
+
+    def test_geometry_filter_batch_reports_violated_bounds(self):
+        anchors = np.array([[[0.0, 0.0], [1.0, 0.0], [0.5, 0.8]]])
+        target = Point(3.0, 4.0)
+        d = np.array(
+            [[Point(0, 0).distance_to(target), Point(1, 0).distance_to(target) + 30.0, Point(0.5, 0.8).distance_to(target)]]
+        )
+        mask, drops = filter_geometry_consistent_batch(anchors, d)
+        assert mask.tolist() == [[True, False, True]]
+        (drop,) = drops[0]
+        assert drop.index == 1
+        assert drop.against in (0, 2)
+        assert drop.excess_m > 25.0
+        assert drop.bound_m < 2.0
+
+
+class TestRefineKernel:
+    def test_exact_distances_recover_exactly(self, rng):
+        anchor_xy = np.array([[a.x, a.y] for a in ANCHORS])
+        targets = np.column_stack(
+            [rng.uniform(1, 9, 16), rng.uniform(1, 7, 16)]
+        )
+        dists = np.hypot(
+            targets[:, None, 0] - anchor_xy[None, :, 0],
+            targets[:, None, 1] - anchor_xy[None, :, 1],
+        )
+        seeds = targets + rng.normal(0.0, 0.5, targets.shape)
+        positions, rms = refine_positions_batch(
+            seeds, np.broadcast_to(anchor_xy, (16, 4, 2)), dists
+        )
+        assert np.max(np.hypot(*(positions - targets).T)) < 1e-9
+        assert np.max(rms) < 1e-9
+
+    def test_masked_padding_is_inert(self, rng):
+        """A 3-anchor system padded to 5 with masked rows follows the
+        exact same trajectory as the unpadded system."""
+        anchor_xy = np.array([[0.0, 0.0], [6.0, 0.0], [3.0, 5.0]])
+        target = np.array([2.0, 2.5])
+        d = np.hypot(*(anchor_xy - target).T) + rng.normal(0, 0.05, 3)
+        seed = target + np.array([0.4, -0.3])
+        bare, bare_rms = refine_positions_batch(
+            seed[None], anchor_xy[None], d[None]
+        )
+        padded_xy = np.vstack([anchor_xy, [[99.0, 99.0], [-99.0, 5.0]]])
+        padded_d = np.concatenate([d, [1.0, 2.0]])
+        mask = np.array([[True, True, True, False, False]])
+        padded, padded_rms = refine_positions_batch(
+            seed[None], padded_xy[None], padded_d[None], mask
+        )
+        assert np.array_equal(bare, padded)
+        assert np.array_equal(bare_rms, padded_rms)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            refine_positions_batch(np.zeros((1, 3)), np.zeros((1, 2, 2)), np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            refine_positions_batch(np.zeros((1, 2)), np.zeros((2, 2, 2)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            refine_positions_batch(np.zeros((1, 2)), np.zeros((1, 2, 2)), np.zeros((1, 3)))
+
+
+class TestPositionTracker:
+    def test_tracks_walk_and_rejects_teleports(self):
+        rng = np.random.default_rng(9)
+        tracker = PositionTracker(
+            "walk", PositionTrackerConfig(fix_sigma_m=0.1)
+        )
+        dt = 0.2
+        state = None
+        for k in range(60):
+            t = k * dt
+            truth = Point(1.0 + 0.5 * t, 2.0 - 0.3 * t)
+            fix = Point(
+                truth.x + rng.normal(0, 0.1), truth.y + rng.normal(0, 0.1)
+            )
+            if rng.random() < 0.1:
+                fix = Point(fix.x + 6.0, fix.y - 5.0)  # ghosted fix
+            state = tracker.update(fix, t)
+        truth = Point(1.0 + 0.5 * (59 * dt), 2.0 - 0.3 * (59 * dt))
+        assert state.position.distance_to(truth) < 0.3
+        assert abs(state.velocity.x - 0.5) < 0.25
+        assert abs(state.velocity.y + 0.3) < 0.25
+        assert tracker.n_rejected >= 2
+        assert 0.0 < state.confidence <= 1.0
+
+    def test_select_candidate_prefers_track_side(self):
+        tracker = PositionTracker("mirror")
+        for k in range(10):
+            tracker.update(Point(0.1 * k, 2.0), 0.5 * k)
+        chosen = tracker.select_candidate(
+            [Point(1.2, 2.0), Point(1.2, -2.0)], 5.0
+        )
+        assert chosen.y > 0
+
+    def test_bank_hint_lifecycle(self):
+        bank = PositionTrackerBank()
+        assert bank.position_hint("u", 0.0) is None
+        bank.update("u", Point(1.0, 1.0), 0.0)
+        bank.update("u", Point(1.2, 1.0), 1.0)
+        hint = bank.position_hint("u", 2.0)
+        assert hint is not None and hint.x > 1.2
+        assert "u" in bank and len(bank) == 1
+        assert bank.states()["u"].accepted
+        bank.drop("u")
+        assert "u" not in bank
+
+    def test_validation_and_reset(self):
+        tracker = PositionTracker()
+        with pytest.raises(ValueError):
+            tracker.position  # noqa: B018 — property raises before init
+        with pytest.raises(ValueError):
+            tracker.update(Point(math.nan, 0.0), 0.0)
+        tracker.update(Point(0.0, 0.0), 0.0)
+        with pytest.raises(ValueError):
+            tracker.update(Point(0.0, 0.0), -1.0)
+        with pytest.raises(ValueError):
+            tracker.select_candidate([], 1.0)
+        tracker.reset()
+        assert not tracker.initialized
+        with pytest.raises(ValueError):
+            PositionTrackerConfig(fix_sigma_m=0.0)
+        with pytest.raises(ValueError):
+            PositionTrackerConfig(gate_window=2)
+
+
+class TestLocalizationService:
+    def test_fleet_coalesces_ranging_and_solving(self, rng):
+        """M concurrent locate() calls: one engine flush for all M×K
+        anchor links, one batched solve for all M circle systems."""
+        service = LocalizationService(ANCHORS, config=FAST_CONFIG)
+        truths = {
+            f"c{i}": Point(rng.uniform(1, 9), rng.uniform(1, 7))
+            for i in range(5)
+        }
+
+        async def run():
+            return await asyncio.gather(
+                *(
+                    service.locate(
+                        cid,
+                        [
+                            RangingRequest(f"{cid}:{k}", FREQS, h)
+                            for k, h in enumerate(
+                                anchor_products(pos, ANCHORS, rng)
+                            )
+                        ],
+                    )
+                    for cid, pos in truths.items()
+                )
+            )
+
+        fixes = asyncio.run(run())
+        for fix in fixes:
+            assert fix.ok
+            assert fix.position.distance_to(truths[fix.client_id]) < 0.3
+            assert fix.used_anchors == (0, 1, 2, 3)
+            assert not fix.anchors_colinear
+        assert service.ranging.stats.n_flushes == 1
+        assert service.ranging.stats.largest_flush == 5 * len(ANCHORS)
+        assert service.stats.n_solves == 1
+        assert service.stats.largest_solve == 5
+        assert service.stats.n_fixes == 5 and service.stats.n_failed == 0
+
+    def test_poisoned_anchor_fails_alone(self, rng):
+        """NaN CSI toward one anchor degrades that client to the
+        remaining anchors; coalesced peers are untouched."""
+        service = LocalizationService(ANCHORS, config=FAST_CONFIG)
+        good_pos, bad_pos = Point(3.0, 3.0), Point(6.0, 5.0)
+        poisoned = np.full(len(FREQS), np.nan + 1j * np.nan)
+
+        async def run():
+            good_rows = anchor_products(good_pos, ANCHORS, rng)
+            bad_rows = anchor_products(bad_pos, ANCHORS, rng)
+            bad_rows[1] = poisoned
+            return await asyncio.gather(
+                service.locate(
+                    "good",
+                    [
+                        RangingRequest(f"good:{k}", FREQS, h)
+                        for k, h in enumerate(good_rows)
+                    ],
+                ),
+                service.locate(
+                    "bad",
+                    [
+                        RangingRequest(f"bad:{k}", FREQS, h)
+                        for k, h in enumerate(bad_rows)
+                    ],
+                ),
+            )
+
+        good, bad = asyncio.run(run())
+        assert good.ok and good.n_anchors_ok == 4
+        assert bad.ok and bad.n_anchors_ok == 3
+        assert bad.anchor_errors[1] is not None
+        assert bad.used_anchors == (0, 2, 3)
+        assert math.isnan(bad.distances_m[1])
+        assert bad.position.distance_to(bad_pos) < 0.3
+
+    def test_too_few_anchors_fails_with_error(self, rng):
+        service = LocalizationService(ANCHORS, config=FAST_CONFIG)
+        poisoned = np.full(len(FREQS), np.nan + 1j * np.nan)
+
+        async def run():
+            rows = anchor_products(Point(4.0, 4.0), ANCHORS, rng)
+            rows[0] = rows[1] = rows[2] = poisoned
+            return await service.locate(
+                "starved",
+                [
+                    RangingRequest(f"s:{k}", FREQS, h)
+                    for k, h in enumerate(rows)
+                ],
+            )
+
+        fix = asyncio.run(run())
+        assert not fix.ok
+        assert "1 of 4 anchors" in fix.error
+        assert fix.n_anchors_ok == 1
+        assert service.stats.n_failed == 1
+
+    def test_ghosted_range_reported_in_geometry_drops(self, rng):
+        """An anchor range ghosted far late survives ranging but is
+        dropped by the geometry filter — and the fix says why."""
+        service = LocalizationService(ANCHORS, config=FAST_CONFIG)
+        truth = Point(2.5, 3.5)
+
+        async def run():
+            rows = anchor_products(truth, ANCHORS, rng)
+            ghost_tau = 2.0 * (ANCHORS[2].distance_to(truth) + 40.0) / SPEED_OF_LIGHT
+            rows[2] = steering_vector(FREQS, ghost_tau)
+            return await service.locate(
+                "ghosted",
+                [
+                    RangingRequest(f"g:{k}", FREQS, h)
+                    for k, h in enumerate(rows)
+                ],
+            )
+
+        fix = asyncio.run(run())
+        assert fix.ok
+        assert 2 not in fix.used_anchors
+        assert fix.position.distance_to(truth) < 0.3
+        (drop,) = fix.geometry_drops
+        assert drop.index == 2
+        assert drop.excess_m > 1.0  # the +40 m ghost, minus the bound's slack
+        assert drop.bound_m == pytest.approx(
+            ANCHORS[2].distance_to(ANCHORS[drop.against]) + 0.3
+        )
+        assert drop.against in fix.used_anchors
+
+    def test_track_hint_resolves_colinear_mirror(self, rng):
+        """Colinear anchors cannot tell a client from its mirror image;
+        after one hinted fix, the position track picks the side —
+        superseding disambiguate_by_motion for moving clients."""
+        line = [Point(0.0, 0.0), Point(5.0, 0.0), Point(10.0, 0.0)]
+        service = LocalizationService(
+            line, config=FAST_CONFIG, trackers=PositionTrackerBank()
+        )
+
+        def truth(t):
+            return Point(3.0 + 0.5 * t, 3.0)
+
+        async def run():
+            fixes = []
+            for k in range(4):
+                t = 0.5 * (k + 1)
+                hint = Point(3.0, 2.0) if k == 0 else None
+                fixes.append(
+                    await service.locate(
+                        "walker",
+                        [
+                            RangingRequest(f"w:{i}", FREQS, h)
+                            for i, h in enumerate(
+                                anchor_products(truth(t), line, rng)
+                            )
+                        ],
+                        time_s=t,
+                        position_hint=hint,
+                    )
+                )
+            return fixes
+
+        fixes = asyncio.run(run())
+        for k, fix in enumerate(fixes):
+            assert fix.ok
+            assert fix.anchors_colinear
+            assert fix.position.y > 0, f"tick {k} picked the mirror side"
+            assert fix.position.distance_to(truth(0.5 * (k + 1))) < 0.3
+        # The later ticks had no explicit hint: the track supplied it.
+        assert fixes[-1].track is not None
+        assert fixes[-1].track.n_accepted == 4
+
+    def test_isolated_retry_keeps_configured_tolerance(self, rng, monkeypatch):
+        """When the batched solve falls back to per-client retries, the
+        retries must honor LocConfig.tolerance_m — not the default —
+        and the stats must count the retries as individual solves."""
+        import repro.loc.service as loc_service
+
+        def explode(*args, **kwargs):
+            raise ValueError("degenerate stack")
+
+        monkeypatch.setattr(loc_service, "locate_transmitter_batch", explode)
+        # Tolerance wide enough to keep a +14.5 m ghosted range that the
+        # 0.3 m default would drop.
+        service = LocalizationService(
+            ANCHORS,
+            config=FAST_CONFIG,
+            loc=loc_service.LocConfig(tolerance_m=5.0),
+        )
+        truth = Point(3.0, 3.0)
+
+        async def run():
+            rows = anchor_products(truth, ANCHORS, rng)
+            ghost_tau = (
+                2.0 * (ANCHORS[0].distance_to(truth) + 14.5) / SPEED_OF_LIGHT
+            )
+            rows[0] = steering_vector(FREQS, ghost_tau)
+            reqs = [
+                RangingRequest(f"t:{k}", FREQS, h) for k, h in enumerate(rows)
+            ]
+            clean = [
+                RangingRequest(f"c:{k}", FREQS, h)
+                for k, h in enumerate(anchor_products(truth, ANCHORS, rng))
+            ]
+            return await asyncio.gather(
+                service.locate("tolerant", reqs),
+                service.locate("clean", clean),
+            )
+
+        tolerant, clean = asyncio.run(run())
+        assert tolerant.ok and clean.ok
+        # At tolerance 5.0 the ghost survives the geometry filter; the
+        # old behavior (retry at the 0.3 default) would have dropped it.
+        assert tolerant.used_anchors == (0, 1, 2, 3)
+        assert tolerant.geometry_drops == ()
+        # Two per-client retries ran — no batching actually happened.
+        assert service.stats.n_solves == 2
+        assert service.stats.largest_solve == 1
+
+    def test_close_releases_flush_worker(self, rng):
+        service = LocalizationService(ANCHORS, config=FAST_CONFIG)
+
+        async def run():
+            return await service.locate(
+                "c",
+                [
+                    RangingRequest(f"c:{k}", FREQS, h)
+                    for k, h in enumerate(
+                        anchor_products(Point(4.0, 4.0), ANCHORS, rng)
+                    )
+                ],
+            )
+
+        assert asyncio.run(run()).ok
+        service.close()
+        service.close()  # idempotent
+        assert service.ranging._executor is None
+        assert asyncio.run(run()).ok  # still usable afterwards
+        service.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocalizationService([Point(0, 0)])
+        with pytest.raises(ValueError):
+            LocConfig(solve_wait_s=-1.0)
+        with pytest.raises(ValueError):
+            LocConfig(max_solve_clients=0)
+        with pytest.raises(ValueError):
+            LocConfig(min_ok_anchors=1)
+        service = LocalizationService(ANCHORS, config=FAST_CONFIG)
+
+        async def run():
+            await service.locate(
+                "short", [RangingRequest("x", FREQS, np.ones(len(FREQS)))]
+            )
+
+        with pytest.raises(ValueError):
+            asyncio.run(run())
+
+
+class TestFleetExperiment:
+    def test_fleet_experiment_end_to_end(self):
+        from repro.experiments.runner import run_fleet_localization_experiment
+
+        result = run_fleet_localization_experiment(
+            n_clients=3,
+            n_anchors=3,
+            n_ticks=3,
+            outlier_probability=0.0,
+            noise=0.02,
+        )
+        assert result.n_fixes == 9 and result.n_failed == 0
+        assert result.median_fix_error_m < 0.1
+        # Every tick's 3 × 3 anchor links coalesced into one flush, and
+        # all three circle systems solved in one batched call per tick.
+        assert result.mean_links_per_flush == pytest.approx(9.0)
+        assert result.mean_clients_per_solve == pytest.approx(3.0)
+
+    def test_fleet_experiment_validation(self):
+        from repro.experiments.runner import run_fleet_localization_experiment
+
+        with pytest.raises(ValueError):
+            run_fleet_localization_experiment(n_clients=0)
+        with pytest.raises(ValueError):
+            run_fleet_localization_experiment(n_anchors=2)
+        with pytest.raises(ValueError):
+            run_fleet_localization_experiment(n_ticks=0)

@@ -399,6 +399,126 @@ class TestMicroBatching:
             SweepRequest("empty", ())
 
 
+class TestFlushOffload:
+    def test_midflush_submits_coalesce_into_next_batch(self, rng):
+        """The ROADMAP offload item, pinned: while a (deliberately
+        blocked) engine solve runs on the flush worker, the event loop
+        stays live and submissions arriving mid-flush park and coalesce
+        into the *next* batch — with the inline flush they would have
+        had to wait for the loop to unblock first (this test would
+        deadlock)."""
+        release = threading.Event()
+        entered = threading.Event()
+
+        class GatedService(RangingService):
+            def __init__(self, config):
+                super().__init__(config)
+                self._gate_first = True
+
+            def submit(self, requests):
+                if self._gate_first:
+                    self._gate_first = False
+                    entered.set()
+                    assert release.wait(timeout=60.0), "flush never released"
+                return super().submit(requests)
+
+        streaming = StreamingRangingService(
+            service=GatedService(FAST_CONFIG),
+            stream=StreamConfig(max_wait_s=0.0),
+        )
+
+        async def run():
+            first = asyncio.ensure_future(
+                streaming.submit(RangingRequest("a", FREQS, one_link(rng, FREQS)))
+            )
+            # Spin on the live loop until the worker is inside the
+            # engine call — every iteration here proves the loop is not
+            # blocked by the in-flight solve.
+            for _ in range(10_000):
+                if entered.is_set():
+                    break
+                await asyncio.sleep(0.001)
+            assert entered.is_set()
+            late = [
+                asyncio.ensure_future(
+                    streaming.submit(
+                        RangingRequest(f"mid-{i}", FREQS, one_link(rng, FREQS, 40e-9))
+                    )
+                )
+                for i in range(2)
+            ]
+            # Let both park and their follow-up flush fire; it queues
+            # behind the blocked solve on the size-1 worker.
+            await asyncio.sleep(0.01)
+            release.set()
+            responses = await asyncio.wait_for(
+                asyncio.gather(first, *late), timeout=60.0
+            )
+            await streaming.drain()
+            return responses
+
+        responses = asyncio.run(run())
+        assert all(r.ok for r in responses)
+        # One flush for the gated solo request, one for both mid-flush
+        # arrivals together — not three.
+        assert streaming.stats.n_flushes == 2
+        assert streaming.stats.largest_flush == 2
+        assert streaming.stats.n_requests == 3
+        streaming.close()
+
+    def test_inline_flush_flag_preserves_old_behavior(self, rng):
+        """offload_flush=False solves on the loop thread: no worker is
+        ever created, and results still match the one-shot path."""
+        request = RangingRequest("inline", FREQS, one_link(rng, FREQS))
+        want = RangingService(FAST_CONFIG).submit([request])[0]
+        streaming = StreamingRangingService(
+            FAST_CONFIG, StreamConfig(offload_flush=False)
+        )
+
+        async def run():
+            return await streaming.submit(request)
+
+        got = asyncio.run(run())
+        assert abs(got.estimate.tof_s - want.estimate.tof_s) <= 1e-12
+        assert streaming._executor is None  # inline path never spawned one
+
+    def test_drain_awaits_inflight_offloaded_flushes(self, rng):
+        """After drain() returns, every caller's future is resolved —
+        the guarantee the inline flush gave for free."""
+        streaming = StreamingRangingService(
+            FAST_CONFIG, StreamConfig(max_wait_s=60.0)
+        )
+
+        async def run():
+            task = asyncio.ensure_future(
+                streaming.submit(RangingRequest("d", FREQS, one_link(rng, FREQS)))
+            )
+            await asyncio.sleep(0)
+            await streaming.drain()
+            assert task.done(), "drain returned with the flush still in flight"
+            return task.result()
+
+        assert asyncio.run(run()).ok
+        streaming.close()
+
+    def test_close_is_idempotent_and_service_stays_usable(self, rng):
+        """close() releases the worker thread; a later submission just
+        spins up a fresh one instead of wedging the service."""
+        streaming = StreamingRangingService(FAST_CONFIG)
+
+        async def one(link_id):
+            return await streaming.submit(
+                RangingRequest(link_id, FREQS, one_link(rng, FREQS))
+            )
+
+        assert asyncio.run(one("w")).ok
+        streaming.close()
+        streaming.close()
+        assert streaming._executor is None
+        assert asyncio.run(one("late")).ok
+        streaming.close()
+
+
 class TestLinkTracker:
     def test_tracks_constant_velocity_and_rejects_ghosts(self):
         rng = np.random.default_rng(7)

@@ -344,6 +344,7 @@ def run_fleet_localization_experiment(
     floor_m: tuple[float, float] = (14.0, 10.0),
     seed: int = 71,
     estimator_config: TofEstimatorConfig | None = None,
+    anchors_per_client: int | None = None,
 ) -> FleetLocalizationResult:
     """Stream a fleet of moving clients through the full serving stack.
 
@@ -357,10 +358,18 @@ def run_fleet_localization_experiment(
     yanks that anchor's range meters off — exercising the geometry
     filter and the position tracks' innovation gating end to end.
 
-    The point of the exercise is the coalescing: all
-    ``n_clients × n_anchors`` links of a tick land in one micro-batch
-    flush, and all clients' circle systems solve through one batched
-    call — the counters in the result pin both.
+    The point of the exercise is the coalescing: all of a tick's
+    anchor links land in one micro-batch flush, and clients sharing an
+    anchor set solve their circle systems through one batched call —
+    the counters in the result pin both.
+
+    ``anchors_per_client`` opts into the multi-AP regime: each client
+    hears only a fixed random subset of that many anchors and its
+    ``locate`` calls name the subset via request-level
+    ``anchor_indices``.  Clients sharing a subset still coalesce into
+    one batched position solve (the queue groups by anchor-set
+    signature); ``None`` keeps the every-client-hears-every-anchor
+    default.
     """
     import asyncio
 
@@ -378,6 +387,13 @@ def run_fleet_localization_experiment(
         )
     if n_ticks < 1:
         raise ValueError(f"need at least one tick, got {n_ticks}")
+    if anchors_per_client is not None and not (
+        3 <= anchors_per_client <= n_anchors
+    ):
+        raise ValueError(
+            f"anchors_per_client must be in [3, {n_anchors}], "
+            f"got {anchors_per_client}"
+        )
     cfg = estimator_config or TofEstimatorConfig(
         quirk_2g4=False, compute_profile=False
     )
@@ -404,6 +420,23 @@ def run_fleet_localization_experiment(
     velocity = speed_mps * np.column_stack([np.cos(heading), np.sin(heading)])
     client_ids = [f"client-{i}" for i in range(n_clients)]
     index = {cid: i for i, cid in enumerate(client_ids)}
+    # Each client's anchor set: the whole deployment by default, or a
+    # fixed random subset in the multi-AP regime.  Sorted, so clients
+    # drawing the same subset share a solve-queue signature.
+    if anchors_per_client is None:
+        anchor_sets = {cid: tuple(range(n_anchors)) for cid in client_ids}
+    else:
+        anchor_sets = {
+            cid: tuple(
+                sorted(
+                    int(k)
+                    for k in rng.choice(
+                        n_anchors, size=anchors_per_client, replace=False
+                    )
+                )
+            )
+            for cid in client_ids
+        }
 
     def true_position(cid: str, t_s: float) -> Point:
         i = index[cid]
@@ -415,7 +448,8 @@ def run_fleet_localization_experiment(
     def requests_for(cid: str, t_s: float) -> list[RangingRequest]:
         position = true_position(cid, t_s)
         requests = []
-        for k, anchor in enumerate(anchors):
+        for k in anchor_sets[cid]:
+            anchor = anchors[k]
             tau2 = 2.0 * anchor.distance_to(position) / SPEED_OF_LIGHT
             h = steering_vector(freqs, tau2)
             h = h + 0.35 * steering_vector(freqs, tau2 + 30e-9)
@@ -444,7 +478,16 @@ def run_fleet_localization_experiment(
             t_s = (k + 1) / rate_hz
             fixes = await asyncio.gather(
                 *(
-                    service.locate(cid, requests_for(cid, t_s), time_s=t_s)
+                    service.locate(
+                        cid,
+                        requests_for(cid, t_s),
+                        time_s=t_s,
+                        anchor_indices=(
+                            None
+                            if anchors_per_client is None
+                            else anchor_sets[cid]
+                        ),
+                    )
                     for cid in client_ids
                 )
             )

@@ -12,13 +12,17 @@ resolving the fix through the batched position solver:
   submissions park in the same micro-batching window, and *across
   clients too*: M concurrent ``locate`` calls put M×K links into one
   engine flush, so the fleet pays one batch's GEMM amortization for
-  the whole tick.
+  the whole tick.  A locate call may name a **request-level anchor
+  set** (``anchor_indices``) — the subset of the deployment's APs this
+  client actually hears — and its diagnostics come back in the
+  client's own anchor frame.
 * **coalesced solving** — when a client's ranges resolve, its circle
   system parks on a pending-solve queue; a ``call_soon`` flush batches
   every system that resolved in the same scheduling round through
   :func:`~repro.core.localization_batch.locate_transmitter_batch`
-  (grouped by usable-anchor count, the way the ranging service groups
-  by band plan).
+  (grouped by anchor-set signature, the way the ranging service groups
+  by band plan — clients sharing a signature solve over one shared
+  anchor array).
 * **per-client isolation** — a failed anchor range drops that anchor
   (the fix degrades gracefully down to 2 anchors); a client whose
   system still cannot be solved gets an error-carrying
@@ -99,6 +103,14 @@ class PositionFix:
     either way — which anchors ranged, which geometry bounds the
     dropped ones violated, and whether the surviving anchors were
     colinear (mirror-ambiguous without a track or hint).
+
+    Every per-anchor sequence and index (``used_anchors``,
+    ``distances_m``, ``anchor_errors``, ``geometry_drops``) is in the
+    **client's own anchor frame**: position ``j`` refers to the j-th
+    request of the locate call.  ``anchor_indices`` maps that frame
+    back to the deployment (``anchor_indices[j]`` is the index into
+    ``LocalizationService.anchors``); with the default all-anchors
+    locate the two frames coincide.
     """
 
     client_id: str
@@ -110,6 +122,7 @@ class PositionFix:
     geometry_drops: tuple[GeometryDrop, ...]
     anchors_colinear: bool
     candidates: tuple[Point, ...]
+    anchor_indices: tuple[int, ...] = ()
     track: PositionTrackState | None = None
     error: str | None = None
 
@@ -148,12 +161,19 @@ class LocStats:
 
 @dataclass
 class _PendingSolve:
-    """One client's resolved circle system awaiting the batched solver."""
+    """One client's resolved circle system awaiting the batched solver.
+
+    ``signature`` is the tuple of deployment anchor indices behind
+    ``anchor_xy`` — the solve queue's grouping key.  Clients sharing a
+    signature share identical anchor geometry, so their systems stack
+    into one batched call over a single shared anchor array.
+    """
 
     client_id: str
     anchor_xy: list[Point]
     distances: list[float]
     hint: Point | None
+    signature: tuple[int, ...]
     future: asyncio.Future = field(repr=False)
 
 
@@ -226,26 +246,59 @@ class LocalizationService:
         requests: Sequence[RangingRequest | SweepRequest],
         time_s: float | None = None,
         position_hint: Point | None = None,
+        anchor_indices: Sequence[int] | None = None,
     ) -> PositionFix:
-        """One localization round: range all anchors, solve the fix.
+        """One localization round: range the client's anchors, solve.
 
         Args:
             client_id: Caller's identifier, echoed in the fix.
-            requests: One ranging request per anchor, in anchor order —
-                product-level or sweep-level, freely mixed.
+            requests: One ranging request per anchor the client hears,
+                in ``anchor_indices`` order — product-level or
+                sweep-level, freely mixed.
             time_s: Measurement timestamp; enables track updates when a
                 tracker bank is attached.
             position_hint: Explicit prior for candidate disambiguation;
                 overrides the track prediction.
+            anchor_indices: The client's anchor set — indices into the
+                deployment's ``anchors``, one per request.  Real
+                multi-AP deployments range against whichever APs each
+                client can hear; this names them.  Default: every
+                deployment anchor, in order (the per-service behavior,
+                unchanged).  The fix's diagnostics are reported in this
+                client frame, with ``PositionFix.anchor_indices``
+                mapping back to the deployment.
         """
-        if len(requests) != len(self.anchors):
+        if anchor_indices is None:
+            client_anchor_indices = tuple(range(len(self.anchors)))
+        else:
+            client_anchor_indices = tuple(int(i) for i in anchor_indices)
+            for i in client_anchor_indices:
+                if not 0 <= i < len(self.anchors):
+                    raise ValueError(
+                        f"client {client_id!r}: anchor index {i} outside "
+                        f"the deployment's {len(self.anchors)} anchors"
+                    )
+            if len(set(client_anchor_indices)) != len(client_anchor_indices):
+                raise ValueError(
+                    f"client {client_id!r}: duplicate anchor indices in "
+                    f"{client_anchor_indices}"
+                )
+            if len(client_anchor_indices) < 2:
+                raise ValueError(
+                    f"client {client_id!r}: an anchor set needs >= 2 "
+                    f"anchors, got {len(client_anchor_indices)}"
+                )
+        if len(requests) != len(client_anchor_indices):
             raise ValueError(
                 f"client {client_id!r}: got {len(requests)} requests for "
-                f"{len(self.anchors)} anchors"
+                f"{len(client_anchor_indices)} anchors"
             )
+        client_anchors = [self.anchors[i] for i in client_anchor_indices]
         responses = await asyncio.gather(
             *(self._submit_one(request) for request in requests)
         )
+        # From here on, indices are in the client's anchor frame:
+        # position j refers to requests[j] / client_anchors[j].
         anchor_errors: list[str | None] = []
         ok_indices: list[int] = []
         for idx, response in enumerate(responses):
@@ -262,9 +315,10 @@ class LocalizationService:
                 client_id,
                 anchor_errors,
                 n_range_failures,
+                client_anchor_indices,
                 error=(
-                    f"only {len(ok_indices)} of {len(self.anchors)} anchors "
-                    f"ranged (need {self.loc_config.min_ok_anchors})"
+                    f"only {len(ok_indices)} of {len(client_anchor_indices)} "
+                    f"anchors ranged (need {self.loc_config.min_ok_anchors})"
                 ),
             )
 
@@ -273,13 +327,18 @@ class LocalizationService:
             hint = self.trackers.position_hint(client_id, time_s)
         result, solve_error = await self._solve(
             client_id,
-            [self.anchors[i] for i in ok_indices],
+            [client_anchors[i] for i in ok_indices],
             [responses[i].estimate.distance_m for i in ok_indices],
             hint,
+            signature=tuple(client_anchor_indices[i] for i in ok_indices),
         )
         if result is None:
             return self._fail(
-                client_id, anchor_errors, n_range_failures, error=solve_error
+                client_id,
+                anchor_errors,
+                n_range_failures,
+                client_anchor_indices,
+                error=solve_error,
             )
 
         track = None
@@ -309,6 +368,7 @@ class LocalizationService:
             ),
             anchors_colinear=result.anchors_colinear,
             candidates=result.candidates,
+            anchor_indices=client_anchor_indices,
             track=track,
             error=None,
         )
@@ -347,6 +407,7 @@ class LocalizationService:
         anchor_xy: list[Point],
         distances: list[float],
         hint: Point | None,
+        signature: tuple[int, ...],
     ) -> tuple[LocalizationResult | None, str | None]:
         """Park the circle system and await the coalesced batched solve."""
         loop = asyncio.get_running_loop()
@@ -357,7 +418,7 @@ class LocalizationService:
             self._solve_handle = None
         future: asyncio.Future = loop.create_future()
         self._pending.append(
-            _PendingSolve(client_id, anchor_xy, distances, hint, future)
+            _PendingSolve(client_id, anchor_xy, distances, hint, signature, future)
         )
         self._solve_loop = loop
         if len(self._pending) >= self.loc_config.max_solve_clients:
@@ -378,14 +439,17 @@ class LocalizationService:
             self._solve_handle = None
 
     def _flush_solves(self) -> None:
-        """Solve every parked circle system in one batched call per size.
+        """Solve every parked circle system, one batched call per signature.
 
         Runs as a loop callback, so every system parked in the current
         scheduling round (typically: all clients whose ranges resolved
         from one engine flush) solves together.  Systems are grouped by
-        usable-anchor count — the batched solver runs in lockstep over
-        a uniform stack — and a degenerate system is retried alone so
-        its group survives.
+        anchor-set signature — clients on the same usable anchors share
+        identical geometry, so the batched solver runs in lockstep over
+        one shared anchor array (a strict refinement of the old
+        anchor-count grouping, which request-level anchor sets made
+        ambiguous) — and a degenerate system is retried alone so its
+        group survives.
         """
         self._solve_handle = None
         pending = [
@@ -396,12 +460,12 @@ class LocalizationService:
         self._pending = []
         if not pending:
             return
-        by_size: dict[int, list[_PendingSolve]] = {}
+        by_signature: dict[tuple[int, ...], list[_PendingSolve]] = {}
         for p in pending:
-            by_size.setdefault(len(p.distances), []).append(p)
+            by_signature.setdefault(p.signature, []).append(p)
         n_solves = 0
         largest = 0
-        for group in by_size.values():
+        for group in by_signature.values():
             batched = self._solve_group(group)
             # Honest coalescing telemetry: one solve per solver call
             # actually made — a group that fell back to per-client
@@ -415,12 +479,17 @@ class LocalizationService:
         self._stats = self._bump(n_solves=n_solves, largest_solve=largest)
 
     def _solve_group(self, group: list[_PendingSolve]) -> bool:
-        """Solve one uniform-anchor-count group; True if batched."""
+        """Solve one shared-signature group; True if batched.
+
+        All members share one anchor geometry (that is what the
+        signature means), so the anchors pass to the batched solver
+        once, as a shared array.
+        """
         batched = True
         try:
             try:
                 results = locate_transmitter_batch(
-                    [p.anchor_xy for p in group],
+                    group[0].anchor_xy,
                     np.array([p.distances for p in group], dtype=float),
                     tolerance_m=self.loc_config.tolerance_m,
                     position_hints=[p.hint for p in group],
@@ -463,6 +532,7 @@ class LocalizationService:
         client_id: str,
         anchor_errors: list[str | None],
         n_range_failures: int,
+        anchor_indices: tuple[int, ...],
         error: str,
     ) -> PositionFix:
         self._stats = self._bump(
@@ -473,11 +543,12 @@ class LocalizationService:
             position=None,
             residual_rms_m=math.nan,
             used_anchors=(),
-            distances_m=(math.nan,) * len(self.anchors),
+            distances_m=(math.nan,) * len(anchor_indices),
             anchor_errors=tuple(anchor_errors),
             geometry_drops=(),
             anchors_colinear=False,
             candidates=(),
+            anchor_indices=anchor_indices,
             track=None,
             error=error,
         )

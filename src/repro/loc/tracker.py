@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.rf.geometry import Point
+from repro.stream.tracker import EvictingBankBase
 
 
 @dataclass(frozen=True)
@@ -328,30 +329,40 @@ class PositionTracker:
             )
 
 
-class PositionTrackerBank:
-    """One :class:`PositionTracker` per client id, created on first use."""
+class PositionTrackerBank(EvictingBankBase):
+    """One :class:`PositionTracker` per client id, created on first use.
 
-    def __init__(self, config: PositionTrackerConfig | None = None):
+    Bounded by the shared :class:`~repro.stream.tracker.EvictingBankBase`
+    policy: ``max_tracks`` caps live trackers (LRU eviction) and
+    ``idle_ttl_s`` retires clients that stopped fixing — a churning
+    fleet (clients roam in, localize for a while, leave forever) can
+    no longer grow the bank without bound.  Defaults are generous; see
+    the base class.
+    """
+
+    def __init__(
+        self,
+        config: PositionTrackerConfig | None = None,
+        max_tracks: int = 4096,
+        idle_ttl_s: float | None = 900.0,
+    ):
+        super().__init__(max_tracks=max_tracks, idle_ttl_s=idle_ttl_s)
         self.config = config or PositionTrackerConfig()
-        self._trackers: dict[str, PositionTracker] = {}
 
-    def __len__(self) -> int:
-        return len(self._trackers)
-
-    def __contains__(self, client_id: str) -> bool:
-        return client_id in self._trackers
+    def _make_tracker(self, client_id: str) -> PositionTracker:
+        return PositionTracker(client_id, self.config)
 
     def tracker(self, client_id: str) -> PositionTracker:
         """The client's tracker, created (empty) on first access."""
-        if client_id not in self._trackers:
-            self._trackers[client_id] = PositionTracker(client_id, self.config)
-        return self._trackers[client_id]
+        return super().tracker(client_id)
 
     def update(
         self, client_id: str, position: Point, time_s: float
     ) -> PositionTrackState:
         """Route one fix to the client's tracker."""
-        return self.tracker(client_id).update(position, time_s)
+        state = self.tracker(client_id).update(position, time_s)
+        self._touch(client_id, time_s)
+        return state
 
     def position_hint(self, client_id: str, time_s: float) -> Point | None:
         """The track-predicted position, or ``None`` without a track.
@@ -369,12 +380,4 @@ class PositionTrackerBank:
 
     def states(self) -> dict[str, PositionTrackState]:
         """Last reported state of every initialized tracker."""
-        return {
-            client_id: tracker.last_state
-            for client_id, tracker in self._trackers.items()
-            if tracker.last_state is not None
-        }
-
-    def drop(self, client_id: str) -> None:
-        """Forget one client entirely."""
-        self._trackers.pop(client_id, None)
+        return super().states()

@@ -136,6 +136,31 @@ class RangingService:
         self.max_shard_links = max_shard_links
         self.last_stats: ServiceStats | None = None
 
+    @staticmethod
+    def plan_key(request: RangingRequest) -> tuple[bytes, int]:
+        """The band-plan identity of a request.
+
+        Requests sharing a key stack into the same batched solves; the
+        streaming flush pool keys its per-plan workers on it too, so
+        the grouping rule lives in exactly one place.
+        """
+        return (request.frequencies_hz.tobytes(), request.exponent)
+
+    def plan_groups(
+        self, requests: Sequence[RangingRequest]
+    ) -> list[list[int]]:
+        """Indices grouped by band plan, in first-seen order.
+
+        Each group is an independently solvable unit: no estimate
+        depends on requests outside its group, so callers (the
+        streaming flush pool) may solve groups concurrently and in any
+        order.
+        """
+        by_plan: dict[tuple[bytes, int], list[int]] = {}
+        for idx, request in enumerate(requests):
+            by_plan.setdefault(self.plan_key(request), []).append(idx)
+        return list(by_plan.values())
+
     def submit(self, requests: Sequence[RangingRequest]) -> list[RangingResponse]:
         """Estimate ToF for every request, in request order.
 
@@ -151,40 +176,80 @@ class RangingService:
         """
         start = time.perf_counter()
         requests = list(requests)
-        by_plan: dict[tuple[bytes, int], list[int]] = {}
-        for idx, request in enumerate(requests):
-            key = (request.frequencies_hz.tobytes(), request.exponent)
-            by_plan.setdefault(key, []).append(idx)
+        groups = self.plan_groups(requests)
 
         responses: list[RangingResponse | None] = [None] * len(requests)
         n_shards = 0
         n_failed = 0
-        for indices in by_plan.values():
-            for lo in range(0, len(indices), self.max_shard_links):
-                shard = indices[lo : lo + self.max_shard_links]
-                n_shards += 1
-                try:
-                    shard_responses = self._solve_shard(requests, shard)
-                except ISOLATED_LINK_ERRORS:
-                    # One degenerate link inside the batched solve must
-                    # not take its shard down: retry link by link and
-                    # report the failures individually.
-                    shard_responses = [
-                        self._solve_one(requests[i]) for i in shard
-                    ]
-                for i, response in zip(shard, shard_responses):
-                    responses[i] = response
-                    if not response.ok:
-                        n_failed += 1
+        for indices in groups:
+            group_responses, shards, failed = self._solve_plan(requests, indices)
+            n_shards += shards
+            n_failed += failed
+            for i, response in zip(indices, group_responses):
+                responses[i] = response
 
         self.last_stats = ServiceStats(
             n_requests=len(requests),
-            n_plans=len(by_plan),
+            n_plans=len(groups),
             n_shards=n_shards,
             elapsed_s=time.perf_counter() - start,
             n_failed=n_failed,
         )
         return responses
+
+    def submit_grouped(
+        self, requests: Sequence[RangingRequest]
+    ) -> list[RangingResponse]:
+        """Solve one band-plan-uniform group of requests, in order.
+
+        The flush pool's entry point: every request must share one
+        :meth:`plan_key` (mixed plans raise ``ValueError`` — callers
+        partition with :meth:`plan_groups` first).  Unlike
+        :meth:`submit`, this method touches no shared service state
+        (``last_stats`` stays untouched), so concurrent per-plan
+        workers may call it on the same service without a lock; the
+        engine underneath is thread-safe.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        key = self.plan_key(requests[0])
+        for request in requests[1:]:
+            if self.plan_key(request) != key:
+                raise ValueError(
+                    f"submit_grouped needs one band plan; request "
+                    f"{request.link_id!r} differs from "
+                    f"{requests[0].link_id!r} (partition with plan_groups)"
+                )
+        responses, _, _ = self._solve_plan(requests, list(range(len(requests))))
+        return responses
+
+    def _solve_plan(
+        self, requests: Sequence[RangingRequest], indices: Sequence[int]
+    ) -> tuple[list[RangingResponse], int, int]:
+        """Sharded solve of one plan-uniform group; isolation per shard.
+
+        Returns ``(responses in indices order, n_shards, n_failed)``.
+        Pure with respect to the service: safe to run concurrently.
+        """
+        responses: list[RangingResponse] = []
+        n_shards = 0
+        n_failed = 0
+        for lo in range(0, len(indices), self.max_shard_links):
+            shard = list(indices[lo : lo + self.max_shard_links])
+            n_shards += 1
+            try:
+                shard_responses = self._solve_shard(requests, shard)
+            except ISOLATED_LINK_ERRORS:
+                # One degenerate link inside the batched solve must
+                # not take its shard down: retry link by link and
+                # report the failures individually.
+                shard_responses = [self._solve_one(requests[i]) for i in shard]
+            for response in shard_responses:
+                responses.append(response)
+                if not response.ok:
+                    n_failed += 1
+        return responses, n_shards, n_failed
 
     def _solve_shard(
         self, requests: Sequence[RangingRequest], shard: Sequence[int]

@@ -30,6 +30,7 @@ from repro.stream.session import (
     schedule_sweep_arrivals,
 )
 from repro.stream.tracker import (
+    EvictingBankBase,
     LinkTracker,
     TrackerBank,
     TrackerConfig,
@@ -37,6 +38,7 @@ from repro.stream.tracker import (
 )
 
 __all__ = [
+    "EvictingBankBase",
     "LinkTracker",
     "StreamClient",
     "StreamConfig",

@@ -25,6 +25,14 @@ Sweep-level requests (:class:`SweepRequest`) ride the same queue and
 flush through :meth:`BatchTofEngine.estimate_sweeps_batch`, which
 shards the per-link band groups by frequency set — so even streams on
 heterogeneous band plans coalesce whatever they share.
+
+Flushes solve on a **band-plan-keyed worker pool** (see
+:attr:`StreamConfig.flush_workers`): each flush partitions into its
+plan groups and every group dispatches to the size-1 worker its plan
+hashes to.  Heterogeneous-plan flushes therefore overlap their solves
+while any single plan keeps strict solve order on one thread; stats
+updates stay loop-serialized, and a group's callers resolve as soon as
+their group returns.
 """
 
 from __future__ import annotations
@@ -56,20 +64,30 @@ class StreamConfig:
             in the same scheduling round (e.g. one ``asyncio.gather``).
         max_batch_links: Flush immediately once this many requests are
             pending — bounds per-flush latency and memory under load.
-        offload_flush: Run the engine solve of each flush on a size-1
-            worker thread (``run_in_executor``) instead of inline on
-            the event loop.  A long solve then no longer blocks the
-            loop: requests arriving mid-flush keep parking and coalesce
-            into the *next* batch, timers keep firing, and other
-            protocol work proceeds.  The single worker serializes
-            solves, so flush order and engine single-threading are
-            preserved.  ``False`` restores the inline solve (useful for
-            deterministic single-threaded debugging).
+        offload_flush: Run the engine solves of each flush on worker
+            threads (``run_in_executor``) instead of inline on the
+            event loop.  A long solve then no longer blocks the loop:
+            requests arriving mid-flush keep parking and coalesce into
+            the *next* batch, timers keep firing, and other protocol
+            work proceeds.  ``False`` restores the inline solve
+            (useful for deterministic single-threaded debugging).
+        flush_workers: Width of the band-plan-keyed flush pool.  Each
+            flush is partitioned into its plan groups (one per product
+            band plan, one per sweep-structure signature) and every
+            group is dispatched to the worker its plan hashes to — so
+            a heterogeneous-plan flush solves its groups concurrently
+            instead of serializing them behind one thread, while any
+            one plan still runs on exactly one size-1 worker (same-plan
+            solves keep their order, and successive flushes of one
+            plan never race).  ``1`` restores the single shared worker.
+            On a one-core runner the win is overlap/latency, not
+            throughput — gate on parity, not speedup.
     """
 
     max_wait_s: float = 2e-3
     max_batch_links: int = 256
     offload_flush: bool = True
+    flush_workers: int = 4
 
     def __post_init__(self) -> None:
         if self.max_wait_s < 0:
@@ -77,6 +95,10 @@ class StreamConfig:
         if self.max_batch_links < 1:
             raise ValueError(
                 f"max_batch_links must be >= 1, got {self.max_batch_links}"
+            )
+        if self.flush_workers < 1:
+            raise ValueError(
+                f"flush_workers must be >= 1, got {self.flush_workers}"
             )
 
 
@@ -102,12 +124,22 @@ class SweepRequest:
 
 @dataclass(frozen=True)
 class StreamStats:
-    """Cumulative telemetry of one streaming service instance."""
+    """Cumulative telemetry of one streaming service instance.
+
+    ``n_groups`` counts the plan groups flushes dispatched to the
+    worker pool (a single-plan flush is one group, a mixed flush one
+    per plan), and the per-type failure counts split ``n_failed`` by
+    request kind — ``n_failed == n_failed_products + n_failed_sweeps``
+    always holds.
+    """
 
     n_requests: int = 0
     n_flushes: int = 0
     n_failed: int = 0
     largest_flush: int = 0
+    n_groups: int = 0
+    n_failed_products: int = 0
+    n_failed_sweeps: int = 0
 
     @property
     def mean_links_per_flush(self) -> float:
@@ -151,7 +183,13 @@ class StreamingRangingService:
         self._flush_handle: asyncio.TimerHandle | asyncio.Handle | None = None
         self._flush_loop: asyncio.AbstractEventLoop | None = None
         self._stats = StreamStats()
-        self._executor: ThreadPoolExecutor | None = None
+        # The band-plan-keyed flush pool: slot index -> size-1 worker.
+        # A plan is pinned to one slot for the service's life, so one
+        # plan's solves stay ordered on one thread while different
+        # plans overlap on different workers.
+        self._executors: dict[int, ThreadPoolExecutor] = {}
+        self._slot_by_key: dict[object, int] = {}  # LRU order: oldest first
+        self._plans_pinned = 0  # monotonic; drives the round-robin
         self._inflight: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
@@ -219,17 +257,17 @@ class StreamingRangingService:
         await asyncio.sleep(0)
 
     def close(self) -> None:
-        """Release the flush worker thread (idempotent).
+        """Release every flush-pool worker thread (idempotent).
 
         Only needed by owners that create and discard many services
         (tests, short-lived clients); a long-lived deployment keeps the
-        worker for its whole life.  In-flight solves finish, and a
-        submission after ``close`` simply spins up a fresh worker — the
+        pool for its whole life.  In-flight solves finish, and a
+        submission after ``close`` simply spins up fresh workers — the
         service stays usable.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=False)
-            self._executor = None
+        executors, self._executors = self._executors, {}
+        for executor in executors.values():
+            executor.shutdown(wait=False)
 
     # ------------------------------------------------------------------
     # Micro-batching internals
@@ -268,12 +306,12 @@ class StreamingRangingService:
 
         Runs as a loop callback: by the time it fires, every submission
         from the current scheduling round has been parked, so one flush
-        serves them all.  With ``offload_flush`` (the default) the
-        engine solve runs on the size-1 flush worker and only the
-        solve's *result* comes back to the loop to resolve futures —
+        serves them all.  With ``offload_flush`` (the default) each of
+        the flush's plan groups solves on the band-plan pool and only
+        the solves' *results* come back to the loop to resolve futures —
         submissions arriving while a solve is in flight park as usual
-        and coalesce into the next batch.  Without it the solve runs
-        inline, blocking the loop for its duration.
+        and coalesce into the next batch.  Without it the solves run
+        inline, blocking the loop for their duration.
         """
         self._flush_handle = None
         # Requests whose callers are gone (cancelled futures, or futures
@@ -303,40 +341,102 @@ class StreamingRangingService:
         else:
             self._run_flush_inline(batch)
 
+    def _plan_groups(
+        self, batch: list[_Pending]
+    ) -> list[tuple[object, list[_Pending], object, bool]]:
+        """Partition one flush into independently solvable plan groups.
+
+        Product requests group per the backing service's ``plan_key``
+        (its own band-plan rule — respected even when a subclass
+        refines it, so partitioning and ``submit_grouped`` validation
+        can never disagree); sweep requests group per *frequency-set*
+        signature — the set of band centers across the request's
+        sweeps, ignoring sweep count and order.  That keeps PR 3's
+        cross-link sweep coalescing: links with different numbers of
+        sweeps pending still share one ``estimate_sweeps_batch`` call
+        (the engine shards by frequency set internally), while sweeps
+        on genuinely different plans land on different pool workers.
+        Returns ``(pool key, pending, solver, is_sweep)`` tuples in
+        first-seen order; groups share no state, so the pool may solve
+        them concurrently.
+        """
+        groups: dict[object, list[_Pending]] = {}
+        for p in batch:
+            if isinstance(p.request, RangingRequest):
+                key: object = ("products", self.service.plan_key(p.request))
+            else:
+                key = (
+                    "sweeps",
+                    tuple(
+                        sorted(
+                            {
+                                float(center)
+                                for sweep in p.request.sweeps
+                                for center in sweep.center_frequencies_hz
+                            }
+                        )
+                    ),
+                )
+            groups.setdefault(key, []).append(p)
+        return [
+            (
+                key,
+                pending,
+                self._solve_sweeps if key[0] == "sweeps" else self._solve_products,
+                key[0] == "sweeps",
+            )
+            for key, pending in groups.items()
+        ]
+
     def _run_flush_inline(self, batch: list[_Pending]) -> None:
-        """The pre-offload behavior: solve and resolve on the loop thread."""
-        products = [p for p in batch if isinstance(p.request, RangingRequest)]
-        sweeps = [p for p in batch if isinstance(p.request, SweepRequest)]
-        n_failed = 0
-        if products:
-            n_failed += self._solve_then_resolve(products, self._solve_products)
-        if sweeps:
-            n_failed += self._solve_then_resolve(sweeps, self._solve_sweeps)
-        self._record_flush(batch, n_failed)
+        """The pre-offload behavior: solve and resolve on the loop thread.
+
+        Groups solve sequentially here (there is only the one thread),
+        but through the same per-group partition as the pool, so the
+        estimates and stats are identical to the pooled path.
+        """
+        groups = self._plan_groups(batch)
+        n_failed_products = 0
+        n_failed_sweeps = 0
+        for _key, pending, solver, is_sweep in groups:
+            failed = self._solve_then_resolve(pending, solver)
+            if is_sweep:
+                n_failed_sweeps += failed
+            else:
+                n_failed_products += failed
+        self._record_flush(batch, len(groups), n_failed_products, n_failed_sweeps)
 
     async def _flush_offloaded(self, batch: list[_Pending]) -> None:
-        """One flush with its engine solves on the worker thread.
+        """One flush with its engine solves on the band-plan pool.
 
-        Futures are resolved on the loop (after the ``await``), never
-        from the worker — ``Future.set_result`` is not thread-safe.
-        The stats update runs after both solves, still ahead of any
-        awaiting caller resuming, so ``stats`` reads consistently right
-        after a gather over submissions completes.
+        Every plan group of the flush dispatches to the worker its
+        plan hashes to and the solves run concurrently; each group's
+        callers resolve as soon as *their* group returns (a fast plan
+        never waits behind a slow one).  Futures are resolved on the
+        loop (after the ``await``), never from a worker —
+        ``Future.set_result`` is not thread-safe — and the stats
+        update runs loop-serialized after the last group lands, still
+        ahead of any awaiting caller resuming, so ``stats`` reads
+        consistently right after a gather over submissions completes.
         """
         loop = asyncio.get_running_loop()
-        executor = self._flush_executor()
-        products = [p for p in batch if isinstance(p.request, RangingRequest)]
-        sweeps = [p for p in batch if isinstance(p.request, SweepRequest)]
-        n_failed = 0
-        if products:
-            n_failed += await self._offload_solve(
-                loop, executor, products, self._solve_products
+        groups = self._plan_groups(batch)
+        failures = await asyncio.gather(
+            *(
+                self._offload_solve(
+                    loop, self._group_executor(key), pending, solver
+                )
+                for key, pending, solver, _is_sweep in groups
             )
-        if sweeps:
-            n_failed += await self._offload_solve(
-                loop, executor, sweeps, self._solve_sweeps
-            )
-        self._record_flush(batch, n_failed)
+        )
+        n_failed_products = 0
+        n_failed_sweeps = 0
+        for (_key, _pending, _solver, is_sweep), failed in zip(groups, failures):
+            if is_sweep:
+                n_failed_sweeps += failed
+            else:
+                n_failed_products += failed
+        self._record_flush(batch, len(groups), n_failed_products, n_failed_sweeps)
 
     async def _offload_solve(self, loop, executor, pending, solver) -> int:
         requests = [p.request for p in pending]
@@ -355,27 +455,74 @@ class StreamingRangingService:
             return len(pending)
         return self._resolve(pending, responses)
 
-    def _record_flush(self, batch: list[_Pending], n_failed: int) -> None:
+    def _record_flush(
+        self,
+        batch: list[_Pending],
+        n_groups: int,
+        n_failed_products: int,
+        n_failed_sweeps: int,
+    ) -> None:
         self._stats = StreamStats(
             n_requests=self._stats.n_requests + len(batch),
             n_flushes=self._stats.n_flushes + 1,
-            n_failed=self._stats.n_failed + n_failed,
+            n_failed=self._stats.n_failed + n_failed_products + n_failed_sweeps,
             largest_flush=max(self._stats.largest_flush, len(batch)),
+            n_groups=self._stats.n_groups + n_groups,
+            n_failed_products=self._stats.n_failed_products + n_failed_products,
+            n_failed_sweeps=self._stats.n_failed_sweeps + n_failed_sweeps,
         )
 
-    def _flush_executor(self) -> ThreadPoolExecutor:
-        """The lazily-created size-1 flush worker.
+    _MAX_PINNED_PLANS = 1024
 
-        One worker serializes the engine solves of successive flushes
-        (and of overflow follow-ups), preserving the inline path's
-        ordering; the engine's operator cache is thread-safe, so the
-        worker may run next to direct ``RangingService`` callers.
+    def _pool_slot(self, key: object) -> int:
+        """The pool slot a plan is pinned to (first-seen round-robin).
+
+        Deterministic on purpose: the first ``flush_workers`` distinct
+        plans a service sees land on distinct workers (hashing would
+        collide them at random), and a plan keeps its slot for the
+        service's life, so its groups — across successive flushes and
+        overflow follow-ups — always solve on the same single thread,
+        ordered exactly like the old shared worker.
+
+        The pin table itself is bounded so plan churn cannot grow it
+        forever: every use refreshes a pin's recency, and past
+        ``_MAX_PINNED_PLANS`` the *least-recently-used* plan is
+        forgotten — a hot plan therefore never loses its pin, and a
+        cold one only after ~a thousand other plans have flushed since
+        its last solve, by which point nothing of its old slot can
+        still be in flight.  The round-robin runs on a monotonic
+        counter (not the table's size, which saturates at the bound
+        and would otherwise hand every post-saturation plan the same
+        slot).
         """
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="ranging-flush"
+        slot = self._slot_by_key.pop(key, None)
+        if slot is None:
+            slot = self._plans_pinned % self.stream_config.flush_workers
+            self._plans_pinned += 1
+        self._slot_by_key[key] = slot  # (re)insert at LRU back
+        while len(self._slot_by_key) > self._MAX_PINNED_PLANS:
+            oldest = next(iter(self._slot_by_key))
+            if oldest == key:
+                break
+            del self._slot_by_key[oldest]
+        return slot
+
+    def _group_executor(self, key: object) -> ThreadPoolExecutor:
+        """The lazily-created size-1 worker a plan group solves on.
+
+        Distinct plans spread across up to ``flush_workers`` threads
+        and overlap; the engine's operator cache is thread-safe, so
+        the workers may run next to direct ``RangingService`` callers
+        and each other.
+        """
+        slot = self._pool_slot(key)
+        executor = self._executors.get(slot)
+        if executor is None:
+            executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"ranging-flush-{slot}"
             )
-        return self._executor
+            self._executors[slot] = executor
+        return executor
 
     # ------------------------------------------------------------------
     # Solvers — pure request → responses, safe on the flush worker
@@ -383,8 +530,13 @@ class StreamingRangingService:
     def _solve_products(
         self, requests: list[RangingRequest]
     ) -> list[RangingResponse]:
-        """One RangingService submission for all parked product requests."""
-        return self.service.submit(requests)
+        """One plan-uniform RangingService solve for a product group.
+
+        ``submit_grouped`` touches no shared service state, so pool
+        workers on different plans may run it concurrently on the one
+        backing service.
+        """
+        return self.service.submit_grouped(requests)
 
     def _solve_sweeps(
         self, requests: list[SweepRequest]
@@ -425,12 +577,32 @@ class StreamingRangingService:
 
     @staticmethod
     def _resolve(pending: list[_Pending], responses: list[RangingResponse]) -> int:
+        """Deliver one group's responses; never leave a caller parked.
+
+        A backend returning fewer responses than requests used to leave
+        the unmatched tail's futures unresolved — their callers awaited
+        forever.  The tail now resolves to error-carrying responses
+        (counted in ``n_failed``) so a truncating backend degrades into
+        per-link failures instead of a hang.
+        """
         n_failed = 0
         for p, response in zip(pending, responses):
             if not response.ok:
                 n_failed += 1
             if not p.future.done() and not p.future.get_loop().is_closed():
                 p.future.set_result(response)
+        for p in pending[len(responses):]:
+            n_failed += 1
+            orphan = RangingResponse(
+                link_id=p.request.link_id,
+                estimate=None,
+                error=(
+                    f"backend returned {len(responses)} responses for "
+                    f"{len(pending)} requests; this request got none"
+                ),
+            )
+            if not p.future.done() and not p.future.get_loop().is_closed():
+                p.future.set_result(orphan)
         return n_failed
 
     @staticmethod

@@ -333,42 +333,163 @@ class LinkTracker:
             )
 
 
-class TrackerBank:
-    """One :class:`LinkTracker` per link id, created on first update."""
+class EvictingBankBase:
+    """Shared id → tracker bookkeeping with bounded, idle-evicting growth.
 
-    def __init__(self, config: TrackerConfig | None = None):
-        self.config = config or TrackerConfig()
-        self._trackers: dict[str, LinkTracker] = {}
+    Both tracker banks (:class:`TrackerBank` here and
+    :class:`repro.loc.tracker.PositionTrackerBank`) used to grow one
+    tracker per id forever — unbounded memory under a churning fleet
+    (clients associate, range a while, leave, never to return).  This
+    base bounds them two ways, both measured in the *stream's own
+    clock* (the ``time_s`` of the updates, not wall time):
+
+    * ``max_tracks`` — hard cap on live trackers.  When an update would
+      exceed it, the least-recently-updated tracker is evicted (the
+      bank keeps its dict in LRU order: every update moves its id to
+      the back).
+    * ``idle_ttl_s`` — last-update TTL.  On every update, trackers
+      whose last update is more than the TTL behind the newest
+      timestamp the bank has seen are evicted.  ``None`` disables it.
+
+    The defaults (4096 tracks, 900 s) are deliberately generous: no
+    test, example or benchmark in this repository comes near them, so
+    eviction is purely a production safety valve unless tightened.
+    An evicted id is forgotten completely — if it returns, it starts a
+    fresh track (same outcome as :meth:`drop` followed by re-use).
+    ``n_evicted`` counts evictions for telemetry.
+    """
+
+    def __init__(self, max_tracks: int = 4096, idle_ttl_s: float | None = 900.0):
+        if max_tracks < 1:
+            raise ValueError(f"max_tracks must be >= 1, got {max_tracks}")
+        if idle_ttl_s is not None and idle_ttl_s <= 0:
+            raise ValueError(
+                f"idle_ttl_s must be positive (or None), got {idle_ttl_s}"
+            )
+        self.max_tracks = max_tracks
+        self.idle_ttl_s = idle_ttl_s
+        self.n_evicted = 0
+        self._trackers: dict[str, object] = {}  # LRU order: oldest first
+        self._last_time: dict[str, float] = {}
+        self._now = -np.inf  # newest update timestamp seen so far
+
+    def _make_tracker(self, key: str):
+        raise NotImplementedError
 
     def __len__(self) -> int:
         return len(self._trackers)
 
-    def __contains__(self, link_id: str) -> bool:
-        return link_id in self._trackers
+    def __contains__(self, key: str) -> bool:
+        return key in self._trackers
 
-    def tracker(self, link_id: str) -> LinkTracker:
-        """The link's tracker, created (empty) on first access."""
-        if link_id not in self._trackers:
-            self._trackers[link_id] = LinkTracker(link_id, self.config)
-        return self._trackers[link_id]
+    def tracker(self, key: str):
+        """The id's tracker, created (empty) on first access.
 
-    def update(self, link_id: str, tof_s: float, time_s: float) -> TrackState:
-        """Route one raw ToF measurement to the link's tracker."""
-        return self.tracker(link_id).update(tof_s, time_s)
+        A tracker that has never been updated has no last-update time,
+        so the TTL cannot touch it — only the ``max_tracks`` cap can
+        (a pre-created tracker must not be swept away by its busier
+        peers' first updates).
+        """
+        tracker = self._trackers.get(key)
+        if tracker is None:
+            tracker = self._make_tracker(key)
+            self._trackers[key] = tracker
+        return tracker
 
-    def states(self) -> dict[str, TrackState]:
+    def _touch(self, key: str, time_s: float) -> None:
+        """Mark ``key`` live at ``time_s``, then evict stale/overflow."""
+        self._now = max(self._now, time_s)
+        self._trackers[key] = self._trackers.pop(key)  # move to LRU back
+        # _last_time mirrors the recency order (pop + reinsert), so the
+        # TTL scan below can stop at the first fresh entry.
+        self._last_time.pop(key, None)
+        self._last_time[key] = time_s
+        self.evict_idle(self._now, keep=key)
+
+    def evict_idle(self, now_s: float, keep: str | None = None) -> int:
+        """Evict idle and overflow trackers; returns how many went.
+
+        Runs automatically on every update; callable directly for a
+        manual sweep (e.g. a deployment's periodic janitor tick with
+        its own notion of "now").  ``keep`` shields one id — the one
+        being updated — from the cap.  Amortized O(evictions), not
+        O(bank): ``_last_time`` is kept in recency order, so the TTL
+        scan stops at the first fresh entry instead of walking every
+        tracker on every update.
+        """
+        before = self.n_evicted
+        if self.idle_ttl_s is not None:
+            cutoff = now_s - self.idle_ttl_s
+            stale = []
+            for key, last in self._last_time.items():
+                if last >= cutoff:
+                    break  # recency order: everything later is fresher
+                if key != keep:
+                    stale.append(key)
+            for key in stale:
+                self._evict(key)
+        while len(self._trackers) > self.max_tracks:
+            oldest = next(iter(self._trackers))
+            if oldest == keep:  # only possible when max_tracks == 1
+                break
+            self._evict(oldest)
+        return self.n_evicted - before
+
+    def _evict(self, key: str) -> None:
+        self._trackers.pop(key, None)
+        self._last_time.pop(key, None)
+        self.n_evicted += 1
+
+    def states(self) -> dict:
         """Last reported state of every initialized tracker.
 
         These are the states the trackers actually returned — including
-        an honest ``accepted=False`` on a link whose latest sweep was
-        gated out — not re-fabricated snapshots.
+        an honest ``accepted=False`` on an id whose latest measurement
+        was gated out — not re-fabricated snapshots.
         """
         return {
-            link_id: tracker.last_state
-            for link_id, tracker in self._trackers.items()
+            key: tracker.last_state
+            for key, tracker in self._trackers.items()
             if tracker.last_state is not None
         }
 
-    def drop(self, link_id: str) -> None:
-        """Forget one link entirely."""
-        self._trackers.pop(link_id, None)
+    def drop(self, key: str) -> None:
+        """Forget one id entirely."""
+        self._trackers.pop(key, None)
+        self._last_time.pop(key, None)
+
+
+class TrackerBank(EvictingBankBase):
+    """One :class:`LinkTracker` per link id, created on first update.
+
+    Bounded by the :class:`EvictingBankBase` policy: ``max_tracks``
+    caps live trackers (LRU eviction) and ``idle_ttl_s`` retires links
+    that stopped updating — so a churning fleet of short-lived streams
+    cannot grow the bank without bound.
+    """
+
+    def __init__(
+        self,
+        config: TrackerConfig | None = None,
+        max_tracks: int = 4096,
+        idle_ttl_s: float | None = 900.0,
+    ):
+        super().__init__(max_tracks=max_tracks, idle_ttl_s=idle_ttl_s)
+        self.config = config or TrackerConfig()
+
+    def _make_tracker(self, link_id: str) -> LinkTracker:
+        return LinkTracker(link_id, self.config)
+
+    def tracker(self, link_id: str) -> LinkTracker:
+        """The link's tracker, created (empty) on first access."""
+        return super().tracker(link_id)
+
+    def update(self, link_id: str, tof_s: float, time_s: float) -> TrackState:
+        """Route one raw ToF measurement to the link's tracker."""
+        state = self.tracker(link_id).update(tof_s, time_s)
+        self._touch(link_id, time_s)
+        return state
+
+    def states(self) -> dict[str, TrackState]:
+        """Last reported state of every initialized tracker."""
+        return super().states()

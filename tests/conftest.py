@@ -25,6 +25,50 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
 
 
+@pytest.fixture
+def make_streaming():
+    """Factory for StreamingRangingService instances that closes them.
+
+    Every service owns real flush-pool worker threads; a test that
+    builds one inline and forgets ``close()`` leaks those threads into
+    the rest of the suite (and the pool multiplies them).  Tests build
+    services through this factory and teardown releases every pool.
+    """
+    from repro.stream.service import StreamingRangingService
+
+    created: list[StreamingRangingService] = []
+
+    def factory(*args, **kwargs) -> StreamingRangingService:
+        service = StreamingRangingService(*args, **kwargs)
+        created.append(service)
+        return service
+
+    yield factory
+    for service in created:
+        service.close()
+
+
+@pytest.fixture
+def make_loc_service():
+    """Factory for LocalizationService instances that closes them.
+
+    Same rationale as ``make_streaming``: the backing streaming layer
+    owns flush-pool worker threads that must not outlive the test.
+    """
+    from repro.loc.service import LocalizationService
+
+    created: list[LocalizationService] = []
+
+    def factory(*args, **kwargs) -> LocalizationService:
+        service = LocalizationService(*args, **kwargs)
+        created.append(service)
+        return service
+
+    yield factory
+    for service in created:
+        service.close()
+
+
 @pytest.fixture(scope="session")
 def small_plan() -> BandPlan:
     """A 12-band 5 GHz subset — fast but structurally realistic."""

@@ -266,10 +266,10 @@ class TestPositionTracker:
 
 
 class TestLocalizationService:
-    def test_fleet_coalesces_ranging_and_solving(self, rng):
+    def test_fleet_coalesces_ranging_and_solving(self, rng, make_loc_service):
         """M concurrent locate() calls: one engine flush for all M×K
         anchor links, one batched solve for all M circle systems."""
-        service = LocalizationService(ANCHORS, config=FAST_CONFIG)
+        service = make_loc_service(ANCHORS, config=FAST_CONFIG)
         truths = {
             f"c{i}": Point(rng.uniform(1, 9), rng.uniform(1, 7))
             for i in range(5)
@@ -303,10 +303,10 @@ class TestLocalizationService:
         assert service.stats.largest_solve == 5
         assert service.stats.n_fixes == 5 and service.stats.n_failed == 0
 
-    def test_poisoned_anchor_fails_alone(self, rng):
+    def test_poisoned_anchor_fails_alone(self, rng, make_loc_service):
         """NaN CSI toward one anchor degrades that client to the
         remaining anchors; coalesced peers are untouched."""
-        service = LocalizationService(ANCHORS, config=FAST_CONFIG)
+        service = make_loc_service(ANCHORS, config=FAST_CONFIG)
         good_pos, bad_pos = Point(3.0, 3.0), Point(6.0, 5.0)
         poisoned = np.full(len(FREQS), np.nan + 1j * np.nan)
 
@@ -339,8 +339,8 @@ class TestLocalizationService:
         assert math.isnan(bad.distances_m[1])
         assert bad.position.distance_to(bad_pos) < 0.3
 
-    def test_too_few_anchors_fails_with_error(self, rng):
-        service = LocalizationService(ANCHORS, config=FAST_CONFIG)
+    def test_too_few_anchors_fails_with_error(self, rng, make_loc_service):
+        service = make_loc_service(ANCHORS, config=FAST_CONFIG)
         poisoned = np.full(len(FREQS), np.nan + 1j * np.nan)
 
         async def run():
@@ -360,10 +360,10 @@ class TestLocalizationService:
         assert fix.n_anchors_ok == 1
         assert service.stats.n_failed == 1
 
-    def test_ghosted_range_reported_in_geometry_drops(self, rng):
+    def test_ghosted_range_reported_in_geometry_drops(self, rng, make_loc_service):
         """An anchor range ghosted far late survives ranging but is
         dropped by the geometry filter — and the fix says why."""
-        service = LocalizationService(ANCHORS, config=FAST_CONFIG)
+        service = make_loc_service(ANCHORS, config=FAST_CONFIG)
         truth = Point(2.5, 3.5)
 
         async def run():
@@ -390,12 +390,12 @@ class TestLocalizationService:
         )
         assert drop.against in fix.used_anchors
 
-    def test_track_hint_resolves_colinear_mirror(self, rng):
+    def test_track_hint_resolves_colinear_mirror(self, rng, make_loc_service):
         """Colinear anchors cannot tell a client from its mirror image;
         after one hinted fix, the position track picks the side —
         superseding disambiguate_by_motion for moving clients."""
         line = [Point(0.0, 0.0), Point(5.0, 0.0), Point(10.0, 0.0)]
-        service = LocalizationService(
+        service = make_loc_service(
             line, config=FAST_CONFIG, trackers=PositionTrackerBank()
         )
 
@@ -432,7 +432,9 @@ class TestLocalizationService:
         assert fixes[-1].track is not None
         assert fixes[-1].track.n_accepted == 4
 
-    def test_isolated_retry_keeps_configured_tolerance(self, rng, monkeypatch):
+    def test_isolated_retry_keeps_configured_tolerance(
+        self, rng, monkeypatch, make_loc_service
+    ):
         """When the batched solve falls back to per-client retries, the
         retries must honor LocConfig.tolerance_m — not the default —
         and the stats must count the retries as individual solves."""
@@ -444,7 +446,7 @@ class TestLocalizationService:
         monkeypatch.setattr(loc_service, "locate_transmitter_batch", explode)
         # Tolerance wide enough to keep a +14.5 m ghosted range that the
         # 0.3 m default would drop.
-        service = LocalizationService(
+        service = make_loc_service(
             ANCHORS,
             config=FAST_CONFIG,
             loc=loc_service.LocConfig(tolerance_m=5.0),
@@ -496,11 +498,11 @@ class TestLocalizationService:
         assert asyncio.run(run()).ok
         service.close()
         service.close()  # idempotent
-        assert service.ranging._executor is None
+        assert not service.ranging._executors
         assert asyncio.run(run()).ok  # still usable afterwards
         service.close()
 
-    def test_validation(self):
+    def test_validation(self, make_loc_service):
         with pytest.raises(ValueError):
             LocalizationService([Point(0, 0)])
         with pytest.raises(ValueError):
@@ -509,7 +511,7 @@ class TestLocalizationService:
             LocConfig(max_solve_clients=0)
         with pytest.raises(ValueError):
             LocConfig(min_ok_anchors=1)
-        service = LocalizationService(ANCHORS, config=FAST_CONFIG)
+        service = make_loc_service(ANCHORS, config=FAST_CONFIG)
 
         async def run():
             await service.locate(
@@ -518,6 +520,180 @@ class TestLocalizationService:
 
         with pytest.raises(ValueError):
             asyncio.run(run())
+
+
+class TestRequestLevelAnchorSets:
+    """Per-request anchor subsets (the PR-5 multi-AP tentpole)."""
+
+    # Off the rectangle's diagonals: every 3-subset used below is
+    # non-colinear, so no mirror ambiguity muddies the assertions.
+    ANCHORS5 = ANCHORS + [Point(5.0, 3.0)]
+
+    def _requests(self, cid, position, indices, rng):
+        anchors = [self.ANCHORS5[i] for i in indices]
+        return [
+            RangingRequest(f"{cid}:{k}", FREQS, h)
+            for k, h in enumerate(anchor_products(position, anchors, rng))
+        ]
+
+    def test_subset_matches_dedicated_deployment(self, rng, make_loc_service):
+        """A client naming a 3-anchor subset of a 5-anchor deployment
+        gets the same fix a 3-anchor deployment would give it."""
+        subset = (0, 2, 4)
+        truth = Point(3.5, 3.0)
+        rows = anchor_products(
+            truth, [self.ANCHORS5[i] for i in subset], rng
+        )
+        big = make_loc_service(self.ANCHORS5, config=FAST_CONFIG)
+        dedicated = make_loc_service(
+            [self.ANCHORS5[i] for i in subset], config=FAST_CONFIG
+        )
+
+        def reqs(prefix):
+            return [
+                RangingRequest(f"{prefix}:{k}", FREQS, h)
+                for k, h in enumerate(rows)
+            ]
+
+        sub_fix = asyncio.run(
+            big.locate("sub", reqs("sub"), anchor_indices=subset)
+        )
+        ded_fix = asyncio.run(dedicated.locate("ded", reqs("ded")))
+        assert sub_fix.ok and ded_fix.ok
+        assert sub_fix.position.distance_to(ded_fix.position) <= 1e-9
+        assert sub_fix.position.distance_to(truth) < 0.3
+        # Diagnostics are in the client frame; anchor_indices maps back.
+        assert sub_fix.used_anchors == ded_fix.used_anchors == (0, 1, 2)
+        assert sub_fix.anchor_indices == subset
+        assert ded_fix.anchor_indices == (0, 1, 2)
+        assert len(sub_fix.distances_m) == 3
+
+    def test_clients_sharing_a_signature_coalesce(self, rng, make_loc_service):
+        """Two clients on one subset batch into one solve; a third on a
+        different subset solves separately — but all in one flush."""
+        service = make_loc_service(self.ANCHORS5, config=FAST_CONFIG)
+        set_a, set_b = (0, 1, 2), (1, 3, 4)
+        truths = {
+            "a1": Point(2.0, 3.0),
+            "a2": Point(7.0, 5.0),
+            "b1": Point(4.0, 6.0),
+        }
+        subsets = {"a1": set_a, "a2": set_a, "b1": set_b}
+
+        async def run():
+            return await asyncio.gather(
+                *(
+                    service.locate(
+                        cid,
+                        self._requests(cid, truths[cid], subsets[cid], rng),
+                        anchor_indices=subsets[cid],
+                    )
+                    for cid in truths
+                )
+            )
+
+        fixes = asyncio.run(run())
+        for fix in fixes:
+            assert fix.ok
+            assert fix.position.distance_to(truths[fix.client_id]) < 0.3
+            assert fix.anchor_indices == subsets[fix.client_id]
+        # One micro-batch flush for all 3 × 3 anchor links; two batched
+        # solves — one per anchor-set signature.
+        assert service.ranging.stats.n_flushes == 1
+        assert service.ranging.stats.largest_flush == 9
+        assert service.stats.n_solves == 2
+        assert service.stats.largest_solve == 2
+
+    def test_subset_diagnostics_stay_in_client_frame(self, rng, make_loc_service):
+        """A ghosted range inside a subset is reported at the client's
+        position index, with anchor_indices giving the deployment map."""
+        service = make_loc_service(
+            self.ANCHORS5, config=FAST_CONFIG, loc=LocConfig(tolerance_m=0.3)
+        )
+        subset = (4, 1, 2, 3)  # deliberately not sorted, not starting at 0
+        truth = Point(5.0, 3.5)
+        rows = anchor_products(
+            truth, [self.ANCHORS5[i] for i in subset], rng
+        )
+        # Ghost the client-frame position 2 (deployment anchor 2).
+        ghost_tau = (
+            2.0 * (self.ANCHORS5[2].distance_to(truth) + 40.0) / SPEED_OF_LIGHT
+        )
+        rows[2] = steering_vector(FREQS, ghost_tau)
+        fix = asyncio.run(
+            service.locate(
+                "g",
+                [
+                    RangingRequest(f"g:{k}", FREQS, h)
+                    for k, h in enumerate(rows)
+                ],
+                anchor_indices=subset,
+            )
+        )
+        assert fix.ok
+        assert 2 not in fix.used_anchors  # client frame
+        (drop,) = fix.geometry_drops
+        assert drop.index == 2
+        assert fix.anchor_indices[drop.index] == 2  # deployment frame
+        assert fix.position.distance_to(truth) < 0.3
+
+    def test_anchor_set_validation(self, rng, make_loc_service):
+        service = make_loc_service(ANCHORS, config=FAST_CONFIG)
+        request = RangingRequest("x", FREQS, np.ones(len(FREQS)))
+
+        async def locate(**kwargs):
+            await service.locate("v", **kwargs)
+
+        with pytest.raises(ValueError, match="outside"):
+            asyncio.run(
+                locate(requests=[request, request], anchor_indices=(0, 9))
+            )
+        with pytest.raises(ValueError, match="duplicate"):
+            asyncio.run(
+                locate(requests=[request, request], anchor_indices=(1, 1))
+            )
+        with pytest.raises(ValueError, match=">= 2"):
+            asyncio.run(locate(requests=[request], anchor_indices=(0,)))
+        with pytest.raises(ValueError, match="requests for"):
+            asyncio.run(
+                locate(requests=[request], anchor_indices=(0, 1, 2))
+            )
+
+
+class TestPositionTrackerBankEviction:
+    """Idle eviction bounds the per-client bank (PR-5 leak fix)."""
+
+    def test_max_tracks_and_ttl(self):
+        bank = PositionTrackerBank(max_tracks=2, idle_ttl_s=None)
+        bank.update("a", Point(0.0, 0.0), 0.0)
+        bank.update("b", Point(1.0, 0.0), 1.0)
+        bank.update("c", Point(2.0, 0.0), 2.0)
+        assert len(bank) == 2 and "a" not in bank
+        ttl_bank = PositionTrackerBank(idle_ttl_s=10.0)
+        ttl_bank.update("old", Point(0.0, 0.0), 0.0)
+        ttl_bank.update("live", Point(1.0, 0.0), 20.0)
+        assert "old" not in ttl_bank and "live" in ttl_bank
+        assert ttl_bank.n_evicted == 1
+
+    def test_evicted_client_loses_its_hint(self):
+        bank = PositionTrackerBank(idle_ttl_s=10.0)
+        bank.update("u", Point(1.0, 1.0), 0.0)
+        bank.update("u", Point(1.2, 1.0), 1.0)
+        assert bank.position_hint("u", 2.0) is not None
+        bank.update("v", Point(5.0, 5.0), 50.0)  # u goes stale
+        assert bank.position_hint("u", 51.0) is None
+
+    def test_defaults_never_evict_in_suite_scale_use(self):
+        bank = PositionTrackerBank()
+        for i in range(64):
+            bank.update(f"client-{i}", Point(float(i), 0.0), float(i))
+        assert len(bank) == 64 and bank.n_evicted == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PositionTrackerBank(max_tracks=0)
+        with pytest.raises(ValueError):
+            PositionTrackerBank(idle_ttl_s=-1.0)
 
 
 class TestFleetExperiment:
@@ -538,6 +714,25 @@ class TestFleetExperiment:
         assert result.mean_links_per_flush == pytest.approx(9.0)
         assert result.mean_clients_per_solve == pytest.approx(3.0)
 
+    def test_fleet_experiment_multi_ap_subsets(self):
+        """The multi-AP regime end to end: every client hears only a
+        3-anchor subset of the 5-anchor deployment, locates through
+        request-level anchor sets, and still fixes accurately."""
+        from repro.experiments.runner import run_fleet_localization_experiment
+
+        result = run_fleet_localization_experiment(
+            n_clients=4,
+            n_anchors=5,
+            n_ticks=2,
+            anchors_per_client=3,
+            outlier_probability=0.0,
+            noise=0.02,
+        )
+        assert result.n_fixes == 8 and result.n_failed == 0
+        assert result.median_fix_error_m < 0.1
+        # 4 clients × 3 anchors per tick, still one flush per tick.
+        assert result.mean_links_per_flush == pytest.approx(12.0)
+
     def test_fleet_experiment_validation(self):
         from repro.experiments.runner import run_fleet_localization_experiment
 
@@ -547,3 +742,11 @@ class TestFleetExperiment:
             run_fleet_localization_experiment(n_anchors=2)
         with pytest.raises(ValueError):
             run_fleet_localization_experiment(n_ticks=0)
+        with pytest.raises(ValueError):
+            run_fleet_localization_experiment(
+                n_anchors=4, anchors_per_client=2
+            )
+        with pytest.raises(ValueError):
+            run_fleet_localization_experiment(
+                n_anchors=4, anchors_per_client=5
+            )

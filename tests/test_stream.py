@@ -56,14 +56,14 @@ def one_link(rng, freqs, tau=30e-9):
 
 
 class TestStreamingEquivalence:
-    def test_concurrent_streams_match_one_shot_batch(self, rng):
+    def test_concurrent_streams_match_one_shot_batch(self, rng, make_streaming):
         """N concurrent 1-link streams == one N-link submit, ≤ 1e-12 s."""
         requests = [
             RangingRequest(f"s{i}", FREQS, one_link(rng, FREQS, 15e-9 + 6e-9 * i))
             for i in range(6)
         ]
         one_shot = RangingService(FAST_CONFIG).submit(requests)
-        streaming = StreamingRangingService(FAST_CONFIG)
+        streaming = make_streaming(FAST_CONFIG)
 
         async def run():
             return await asyncio.gather(*(streaming.submit(r) for r in requests))
@@ -76,11 +76,11 @@ class TestStreamingEquivalence:
         assert streaming.stats.n_flushes == 1
         assert streaming.stats.largest_flush == len(requests)
 
-    def test_sequential_submits_also_match(self, rng):
+    def test_sequential_submits_also_match(self, rng, make_streaming):
         """Even one-at-a-time streams (flush per request) stay exact."""
         request = RangingRequest("solo", FREQS, one_link(rng, FREQS))
         want = RangingService(FAST_CONFIG).submit([request])[0]
-        streaming = StreamingRangingService(FAST_CONFIG, StreamConfig(max_wait_s=0.0))
+        streaming = make_streaming(FAST_CONFIG, StreamConfig(max_wait_s=0.0))
 
         async def run():
             return await streaming.submit(request)
@@ -88,9 +88,9 @@ class TestStreamingEquivalence:
         got = asyncio.run(run())
         assert abs(got.estimate.tof_s - want.estimate.tof_s) <= 1e-12
 
-    def test_mixed_band_plans_coalesce_in_one_flush(self, rng):
-        """Streams on different plans share a flush; grouping happens
-        inside the service layer exactly as in a mixed batch."""
+    def test_mixed_band_plans_coalesce_in_one_flush(self, rng, make_streaming):
+        """Streams on different plans share a flush; the flush then
+        dispatches one plan group per band plan to the worker pool."""
         small = US_BAND_PLAN.subset_5g().decimate(2).center_frequencies_hz
         requests = [
             RangingRequest("a", FREQS, one_link(rng, FREQS)),
@@ -98,7 +98,7 @@ class TestStreamingEquivalence:
             RangingRequest("c", FREQS, one_link(rng, FREQS, 40e-9)),
         ]
         want = RangingService(FAST_CONFIG).submit(requests)
-        streaming = StreamingRangingService(FAST_CONFIG)
+        streaming = make_streaming(FAST_CONFIG)
 
         async def run():
             return await asyncio.gather(*(streaming.submit(r) for r in requests))
@@ -107,9 +107,11 @@ class TestStreamingEquivalence:
         for a, b in zip(got, want):
             assert abs(a.estimate.tof_s - b.estimate.tof_s) <= 1e-12
         assert streaming.stats.n_flushes == 1
-        assert streaming.service.last_stats.n_plans == 2
+        assert streaming.stats.n_groups == 2
 
-    def test_sweep_requests_match_sweeps_batch(self, rng, small_plan, fast_config):
+    def test_sweep_requests_match_sweeps_batch(
+        self, rng, small_plan, fast_config, make_streaming
+    ):
         from repro.rf.environment import free_space
         from repro.rf.geometry import Point
         from repro.wifi.hardware import INTEL_5300
@@ -128,7 +130,7 @@ class TestStreamingEquivalence:
             )
             sweeps_per_link.append([link.sweep(2)])
         cal = LinkCalibration(tof_bias_s=1e-9, coarse_bias_s=350e-9)
-        streaming = StreamingRangingService(fast_config)
+        streaming = make_streaming(fast_config)
         want = streaming.engine.estimate_sweeps_batch(
             sweeps_per_link, [cal, cal]
         )
@@ -147,7 +149,7 @@ class TestStreamingEquivalence:
 
 
 class TestStreamIsolation:
-    def test_poisoned_stream_fails_alone(self, rng):
+    def test_poisoned_stream_fails_alone(self, rng, make_streaming):
         """NaN CSI on one stream must not stall or kill coalesced peers."""
         poisoned = np.full(len(FREQS), np.nan + 1j * np.nan)
         requests = [
@@ -158,7 +160,7 @@ class TestStreamIsolation:
         want = RangingService(FAST_CONFIG).submit(
             [requests[0], requests[2]]
         )
-        streaming = StreamingRangingService(FAST_CONFIG)
+        streaming = make_streaming(FAST_CONFIG)
 
         async def run():
             return await asyncio.wait_for(
@@ -174,7 +176,9 @@ class TestStreamIsolation:
         assert abs(got[2].estimate.tof_s - want[1].estimate.tof_s) <= 1e-12
         assert streaming.stats.n_failed == 1
 
-    def test_dead_sweep_stream_fails_alone(self, rng, small_plan, fast_config):
+    def test_dead_sweep_stream_fails_alone(
+        self, rng, small_plan, fast_config, make_streaming
+    ):
         """A sweep-level stream with garbage CSI fails alone too."""
         from repro.rf.environment import free_space
         from repro.rf.geometry import Point
@@ -195,7 +199,7 @@ class TestStreamIsolation:
         for m in poisoned:
             m.forward.csi[:] = np.nan
             m.reverse.csi[:] = np.nan
-        streaming = StreamingRangingService(fast_config)
+        streaming = make_streaming(fast_config)
 
         async def run():
             return await asyncio.wait_for(
@@ -212,8 +216,8 @@ class TestStreamIsolation:
 
 
 class TestMicroBatching:
-    def test_max_batch_links_forces_early_flush(self, rng):
-        streaming = StreamingRangingService(
+    def test_max_batch_links_forces_early_flush(self, rng, make_streaming):
+        streaming = make_streaming(
             FAST_CONFIG, StreamConfig(max_wait_s=60.0, max_batch_links=2)
         )
         requests = [
@@ -232,8 +236,8 @@ class TestMicroBatching:
         assert streaming.stats.n_flushes == 2
         assert streaming.stats.largest_flush == 2
 
-    def test_drain_flushes_without_waiting_out_the_window(self, rng):
-        streaming = StreamingRangingService(
+    def test_drain_flushes_without_waiting_out_the_window(self, rng, make_streaming):
+        streaming = make_streaming(
             FAST_CONFIG, StreamConfig(max_wait_s=60.0)
         )
 
@@ -248,8 +252,8 @@ class TestMicroBatching:
 
         assert asyncio.run(run()).ok
 
-    def test_stats_accumulate_across_flushes(self, rng):
-        streaming = StreamingRangingService(FAST_CONFIG)
+    def test_stats_accumulate_across_flushes(self, rng, make_streaming):
+        streaming = make_streaming(FAST_CONFIG)
 
         async def one(i):
             return await streaming.submit(
@@ -305,10 +309,10 @@ class TestMicroBatching:
             assert client.stats.n_flushes < 6
             assert client.stats.n_requests == 6
 
-    def test_service_survives_a_torn_down_loop(self, rng):
+    def test_service_survives_a_torn_down_loop(self, rng, make_streaming):
         """A loop dying mid-window (asyncio.run + wait_for timeout) must
         not wedge the service: the next loop schedules its own flush."""
-        streaming = StreamingRangingService(
+        streaming = make_streaming(
             FAST_CONFIG, StreamConfig(max_wait_s=60.0)
         )
         request = RangingRequest("orphan", FREQS, one_link(rng, FREQS))
@@ -333,15 +337,15 @@ class TestMicroBatching:
         # the live caller's request reached the engine and the stats.
         assert streaming.stats.n_requests == 1
 
-    def test_unexpected_failure_rejects_instead_of_hanging(self, rng):
+    def test_unexpected_failure_rejects_instead_of_hanging(self, rng, make_streaming):
         """Any non-isolatable backend error must reach the callers as an
         exception — never a silent hang (sweep retry path included)."""
 
         class ExplodingService(RangingService):
-            def submit(self, requests):
+            def submit_grouped(self, requests):
                 raise RuntimeError("backend down")
 
-        streaming = StreamingRangingService(
+        streaming = make_streaming(
             service=ExplodingService(FAST_CONFIG)
         )
 
@@ -396,11 +400,13 @@ class TestMicroBatching:
         with pytest.raises(ValueError):
             StreamConfig(max_batch_links=0)
         with pytest.raises(ValueError):
+            StreamConfig(flush_workers=0)
+        with pytest.raises(ValueError):
             SweepRequest("empty", ())
 
 
 class TestFlushOffload:
-    def test_midflush_submits_coalesce_into_next_batch(self, rng):
+    def test_midflush_submits_coalesce_into_next_batch(self, rng, make_streaming):
         """The ROADMAP offload item, pinned: while a (deliberately
         blocked) engine solve runs on the flush worker, the event loop
         stays live and submissions arriving mid-flush park and coalesce
@@ -415,14 +421,14 @@ class TestFlushOffload:
                 super().__init__(config)
                 self._gate_first = True
 
-            def submit(self, requests):
+            def submit_grouped(self, requests):
                 if self._gate_first:
                     self._gate_first = False
                     entered.set()
                     assert release.wait(timeout=60.0), "flush never released"
-                return super().submit(requests)
+                return super().submit_grouped(requests)
 
-        streaming = StreamingRangingService(
+        streaming = make_streaming(
             service=GatedService(FAST_CONFIG),
             stream=StreamConfig(max_wait_s=0.0),
         )
@@ -466,12 +472,12 @@ class TestFlushOffload:
         assert streaming.stats.n_requests == 3
         streaming.close()
 
-    def test_inline_flush_flag_preserves_old_behavior(self, rng):
+    def test_inline_flush_flag_preserves_old_behavior(self, rng, make_streaming):
         """offload_flush=False solves on the loop thread: no worker is
         ever created, and results still match the one-shot path."""
         request = RangingRequest("inline", FREQS, one_link(rng, FREQS))
         want = RangingService(FAST_CONFIG).submit([request])[0]
-        streaming = StreamingRangingService(
+        streaming = make_streaming(
             FAST_CONFIG, StreamConfig(offload_flush=False)
         )
 
@@ -480,12 +486,12 @@ class TestFlushOffload:
 
         got = asyncio.run(run())
         assert abs(got.estimate.tof_s - want.estimate.tof_s) <= 1e-12
-        assert streaming._executor is None  # inline path never spawned one
+        assert not streaming._executors  # inline path never spawned workers
 
-    def test_drain_awaits_inflight_offloaded_flushes(self, rng):
+    def test_drain_awaits_inflight_offloaded_flushes(self, rng, make_streaming):
         """After drain() returns, every caller's future is resolved —
         the guarantee the inline flush gave for free."""
-        streaming = StreamingRangingService(
+        streaming = make_streaming(
             FAST_CONFIG, StreamConfig(max_wait_s=60.0)
         )
 
@@ -501,10 +507,10 @@ class TestFlushOffload:
         assert asyncio.run(run()).ok
         streaming.close()
 
-    def test_close_is_idempotent_and_service_stays_usable(self, rng):
-        """close() releases the worker thread; a later submission just
-        spins up a fresh one instead of wedging the service."""
-        streaming = StreamingRangingService(FAST_CONFIG)
+    def test_close_is_idempotent_and_service_stays_usable(self, rng, make_streaming):
+        """close() releases the pool's worker threads; a later
+        submission just spins up fresh ones instead of wedging."""
+        streaming = make_streaming(FAST_CONFIG)
 
         async def one(link_id):
             return await streaming.submit(
@@ -512,11 +518,468 @@ class TestFlushOffload:
             )
 
         assert asyncio.run(one("w")).ok
+        assert streaming._executors  # the pool spun up
         streaming.close()
         streaming.close()
-        assert streaming._executor is None
+        assert not streaming._executors
         assert asyncio.run(one("late")).ok
         streaming.close()
+
+
+class TestFlushPool:
+    """The band-plan-keyed flush pool (the PR-5 tentpole)."""
+
+    def test_pooled_matches_inline_everywhere(
+        self, rng, small_plan, fast_config, make_streaming
+    ):
+        """Pooled flushes == inline flushes at ≤ 1e-12 s, for a flush
+        mixing two product band plans and sweep requests."""
+        from repro.rf.environment import free_space
+        from repro.rf.geometry import Point
+        from repro.wifi.hardware import INTEL_5300
+        from repro.wifi.radio import SimulatedLink
+
+        small = US_BAND_PLAN.subset_5g().decimate(2).center_frequencies_hz
+        products = [
+            RangingRequest("p0", FREQS, one_link(rng, FREQS, 20e-9)),
+            RangingRequest("p1", small, one_link(rng, small, 35e-9)),
+            RangingRequest("p2", FREQS, one_link(rng, FREQS, 50e-9)),
+            RangingRequest("p3", small, one_link(rng, small, 15e-9)),
+        ]
+        link = SimulatedLink(
+            environment=free_space(),
+            tx_position=Point(0.0, 0.0),
+            rx_position=Point(4.0, 0.0),
+            tx_state=INTEL_5300.sample_device_state(rng),
+            rx_state=INTEL_5300.sample_device_state(rng),
+            band_plan=small_plan,
+            rng=rng,
+        )
+        sweeps = [link.sweep(2) for _ in range(2)]
+
+        def run_through(streaming):
+            async def run():
+                return await asyncio.gather(
+                    *(streaming.submit(r) for r in products),
+                    *(
+                        streaming.submit_sweeps(f"sw{i}", [sweep])
+                        for i, sweep in enumerate(sweeps)
+                    ),
+                )
+
+            return asyncio.run(run())
+
+        pooled_service = make_streaming(fast_config)
+        inline_service = make_streaming(
+            fast_config, StreamConfig(offload_flush=False)
+        )
+        pooled = run_through(pooled_service)
+        inline = run_through(inline_service)
+        assert [r.link_id for r in pooled] == [r.link_id for r in inline]
+        for a, b in zip(pooled, inline):
+            assert a.ok and b.ok
+            assert abs(a.estimate.tof_s - b.estimate.tof_s) <= 1e-12
+        # Both paths partition identically: 2 product plans + 1 sweep
+        # signature = 3 groups in 1 flush.
+        for streaming in (pooled_service, inline_service):
+            assert streaming.stats.n_flushes == 1
+            assert streaming.stats.n_groups == 3
+            assert streaming.stats.n_requests == 6
+
+    def test_heterogeneous_plan_flushes_overlap(self, rng, make_streaming):
+        """The tentpole's point, pinned with an instrumented engine:
+        two plan groups of one flush solve *concurrently*.  Each
+        group's solve refuses to finish until it has seen the other
+        group start — impossible on the old single worker (this test
+        would then fail its 30 s handshake, not hang, thanks to the
+        wait timeouts)."""
+        small = US_BAND_PLAN.subset_5g().decimate(2).center_frequencies_hz
+        started = {"wide": threading.Event(), "narrow": threading.Event()}
+        windows: dict[str, tuple[float, float]] = {}
+
+        class CrossGatedService(RangingService):
+            def submit_grouped(self, requests):
+                mine = "wide" if len(requests[0].frequencies_hz) == len(FREQS) else "narrow"
+                other = "narrow" if mine == "wide" else "wide"
+                t0 = time.perf_counter()
+                started[mine].set()
+                assert started[other].wait(timeout=30.0), (
+                    f"{mine} plan solved alone: groups serialized, no overlap"
+                )
+                out = super().submit_grouped(requests)
+                windows[mine] = (t0, time.perf_counter())
+                return out
+
+        streaming = make_streaming(
+            service=CrossGatedService(FAST_CONFIG),
+            stream=StreamConfig(max_wait_s=0.0),
+        )
+
+        async def run():
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    streaming.submit(
+                        RangingRequest("wide", FREQS, one_link(rng, FREQS))
+                    ),
+                    streaming.submit(
+                        RangingRequest("narrow", small, one_link(rng, small))
+                    ),
+                ),
+                timeout=60.0,
+            )
+
+        responses = asyncio.run(run())
+        assert all(r.ok for r in responses)
+        assert streaming.stats.n_flushes == 1
+        assert streaming.stats.n_groups == 2
+        # Both solves' wall-clock windows genuinely overlapped.
+        (a0, a1), (b0, b1) = windows["wide"], windows["narrow"]
+        assert a0 < b1 and b0 < a1
+
+    def test_one_plan_keeps_one_ordered_worker(self, rng, make_streaming):
+        """A plan is pinned to a single size-1 worker: successive
+        flushes of the same plan solve on the same thread (ordering),
+        while a different plan gets a different worker."""
+        threads_seen: dict[str, list[str]] = {"wide": [], "narrow": []}
+        small = US_BAND_PLAN.subset_5g().decimate(2).center_frequencies_hz
+
+        class RecordingService(RangingService):
+            def submit_grouped(self, requests):
+                kind = "wide" if len(requests[0].frequencies_hz) == len(FREQS) else "narrow"
+                threads_seen[kind].append(threading.current_thread().name)
+                return super().submit_grouped(requests)
+
+        streaming = make_streaming(service=RecordingService(FAST_CONFIG))
+
+        async def one(request):
+            return await streaming.submit(request)
+
+        for i in range(2):  # two separate flushes per plan
+            assert asyncio.run(
+                one(RangingRequest(f"w{i}", FREQS, one_link(rng, FREQS)))
+            ).ok
+            assert asyncio.run(
+                one(RangingRequest(f"n{i}", small, one_link(rng, small)))
+            ).ok
+        assert len(set(threads_seen["wide"])) == 1
+        assert len(set(threads_seen["narrow"])) == 1
+        assert set(threads_seen["wide"]).isdisjoint(threads_seen["narrow"])
+
+    def test_flush_workers_one_restores_shared_worker(self, rng, make_streaming):
+        """flush_workers=1 pins every plan to the same single thread —
+        the pre-pool behavior, still exact."""
+        small = US_BAND_PLAN.subset_5g().decimate(2).center_frequencies_hz
+        threads_seen: list[str] = []
+
+        class RecordingService(RangingService):
+            def submit_grouped(self, requests):
+                threads_seen.append(threading.current_thread().name)
+                return super().submit_grouped(requests)
+
+        streaming = make_streaming(
+            service=RecordingService(FAST_CONFIG),
+            stream=StreamConfig(flush_workers=1),
+        )
+
+        async def run():
+            return await asyncio.gather(
+                streaming.submit(RangingRequest("a", FREQS, one_link(rng, FREQS))),
+                streaming.submit(RangingRequest("b", small, one_link(rng, small))),
+            )
+
+        responses = asyncio.run(run())
+        assert all(r.ok for r in responses)
+        assert len(threads_seen) == 2 and len(set(threads_seen)) == 1
+
+    def test_mixed_flush_ordering_and_per_type_failure_counts(
+        self, rng, small_plan, fast_config, make_streaming
+    ):
+        """A flush mixing products and sweeps, each with one poisoned
+        member: responses come back in submission order and the stats
+        split the failures by request type."""
+        from repro.rf.environment import free_space
+        from repro.rf.geometry import Point
+        from repro.wifi.hardware import INTEL_5300
+        from repro.wifi.radio import SimulatedLink
+
+        link = SimulatedLink(
+            environment=free_space(),
+            tx_position=Point(0.0, 0.0),
+            rx_position=Point(3.0, 0.0),
+            tx_state=INTEL_5300.sample_device_state(rng),
+            rx_state=INTEL_5300.sample_device_state(rng),
+            band_plan=small_plan,
+            rng=rng,
+        )
+        good_sweep = link.sweep(2)
+        bad_sweep = link.sweep(2)
+        for m in bad_sweep:
+            m.forward.csi[:] = np.nan
+            m.reverse.csi[:] = np.nan
+        poisoned = np.full(len(FREQS), np.nan + 1j * np.nan)
+        streaming = make_streaming(fast_config)
+
+        async def run():
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    streaming.submit(
+                        RangingRequest("p-ok", FREQS, one_link(rng, FREQS))
+                    ),
+                    streaming.submit_sweeps("s-ok", [good_sweep]),
+                    streaming.submit(RangingRequest("p-bad", FREQS, poisoned)),
+                    streaming.submit_sweeps("s-bad", [bad_sweep]),
+                ),
+                timeout=60.0,
+            )
+
+        responses = asyncio.run(run())
+        assert [r.link_id for r in responses] == ["p-ok", "s-ok", "p-bad", "s-bad"]
+        assert responses[0].ok and responses[1].ok
+        assert not responses[2].ok and responses[2].error
+        assert not responses[3].ok and responses[3].error
+        stats = streaming.stats
+        assert stats.n_flushes == 1
+        assert stats.n_failed_products == 1
+        assert stats.n_failed_sweeps == 1
+        assert stats.n_failed == 2
+
+    def test_pin_table_churn_keeps_hot_plans_and_spreads_new_ones(
+        self, make_streaming
+    ):
+        """Plan churn past the pin-table bound must neither unpin a
+        hot plan (its worker ordering guarantee would break) nor
+        collapse new plans onto one slot (the saturated-table
+        round-robin bug)."""
+        streaming = make_streaming(FAST_CONFIG)
+        streaming._MAX_PINNED_PLANS = 3
+        hot = ("products", (b"hot-plan", 2))
+        hot_slot = streaming._pool_slot(hot)
+        churn_slots = set()
+        for i in range(12):
+            churn_slots.add(
+                streaming._pool_slot(("products", (f"cold-{i}".encode(), 2)))
+            )
+            # The hot plan is re-used every round: LRU keeps its pin.
+            assert streaming._pool_slot(hot) == hot_slot
+            assert len(streaming._slot_by_key) <= 3
+        # Post-saturation plans still spread across the pool.
+        assert len(churn_slots) == streaming.stream_config.flush_workers
+
+    def test_sweep_counts_do_not_split_the_group(
+        self, rng, small_plan, fast_config, make_streaming
+    ):
+        """Sweep requests with *different sweep counts* on one band
+        plan still coalesce into a single group (one
+        estimate_sweeps_batch call) — the pool keys sweeps by
+        frequency set, not by request structure, so staggered links
+        keep PR 3's cross-link sweep amortization."""
+        from repro.rf.environment import free_space
+        from repro.rf.geometry import Point
+        from repro.wifi.hardware import INTEL_5300
+        from repro.wifi.radio import SimulatedLink
+
+        link = SimulatedLink(
+            environment=free_space(),
+            tx_position=Point(0.0, 0.0),
+            rx_position=Point(3.0, 0.0),
+            tx_state=INTEL_5300.sample_device_state(rng),
+            rx_state=INTEL_5300.sample_device_state(rng),
+            band_plan=small_plan,
+            rng=rng,
+        )
+        streaming = make_streaming(fast_config)
+
+        async def run():
+            return await asyncio.gather(
+                streaming.submit_sweeps("one", [link.sweep(2)]),
+                streaming.submit_sweeps("two", [link.sweep(2), link.sweep(2)]),
+            )
+
+        responses = asyncio.run(run())
+        assert all(r.ok for r in responses)
+        assert streaming.stats.n_flushes == 1
+        assert streaming.stats.n_groups == 1
+
+    def test_drain_while_pooled_flush_mid_solve(self, rng, make_streaming):
+        """drain() called while a pooled group solve is in flight (and
+        another request parked behind it) returns only once every
+        caller's future is resolved."""
+        release = threading.Event()
+        entered = threading.Event()
+
+        class GatedService(RangingService):
+            def __init__(self, config):
+                super().__init__(config)
+                self._gate_first = True
+
+            def submit_grouped(self, requests):
+                if self._gate_first:
+                    self._gate_first = False
+                    entered.set()
+                    assert release.wait(timeout=60.0), "solve never released"
+                return super().submit_grouped(requests)
+
+        streaming = make_streaming(
+            service=GatedService(FAST_CONFIG),
+            stream=StreamConfig(max_wait_s=0.0),
+        )
+
+        async def run():
+            first = asyncio.ensure_future(
+                streaming.submit(RangingRequest("a", FREQS, one_link(rng, FREQS)))
+            )
+            for _ in range(10_000):
+                if entered.is_set():
+                    break
+                await asyncio.sleep(0.001)
+            assert entered.is_set()
+            # Parks while the first solve is blocked mid-flight.
+            second = asyncio.ensure_future(
+                streaming.submit(
+                    RangingRequest("b", FREQS, one_link(rng, FREQS, 40e-9))
+                )
+            )
+            await asyncio.sleep(0.01)
+            loop = asyncio.get_running_loop()
+            loop.call_later(0.05, release.set)
+            await asyncio.wait_for(streaming.drain(), timeout=60.0)
+            assert first.done() and second.done(), (
+                "drain returned with a caller still parked"
+            )
+            return first.result(), second.result()
+
+        a, b = asyncio.run(run())
+        assert a.ok and b.ok
+
+
+class TestResolveTruncation:
+    """Regression: a backend returning fewer responses than requests
+    used to leave the tail callers awaiting forever (the ``zip`` in
+    ``_resolve`` silently dropped them)."""
+
+    def test_truncating_backend_fails_tail_instead_of_hanging(
+        self, rng, make_streaming
+    ):
+        class TruncatingService(RangingService):
+            def submit_grouped(self, requests):
+                return super().submit_grouped(requests)[:-1]
+
+        streaming = make_streaming(service=TruncatingService(FAST_CONFIG))
+        requests = [
+            RangingRequest(f"t{i}", FREQS, one_link(rng, FREQS, 20e-9 + 5e-9 * i))
+            for i in range(3)
+        ]
+
+        async def run():
+            # Pre-fix, this wait_for times out: the tail future never
+            # resolves.  Post-fix it returns an error response.
+            return await asyncio.wait_for(
+                asyncio.gather(*(streaming.submit(r) for r in requests)),
+                timeout=30.0,
+            )
+
+        responses = asyncio.run(run())
+        assert responses[0].ok and responses[1].ok
+        assert not responses[2].ok
+        assert "this request got none" in responses[2].error
+        assert streaming.stats.n_failed == 1
+        assert streaming.stats.n_failed_products == 1
+
+    def test_overlong_backend_response_list_is_tolerated(
+        self, rng, make_streaming
+    ):
+        """The mirror bug: extra responses are ignored, not delivered
+        to the wrong caller."""
+
+        class PaddingService(RangingService):
+            def submit_grouped(self, requests):
+                responses = super().submit_grouped(requests)
+                return responses + [responses[-1]]
+
+        streaming = make_streaming(service=PaddingService(FAST_CONFIG))
+        want = RangingService(FAST_CONFIG).submit(
+            [RangingRequest("solo", FREQS, one_link(rng, FREQS))]
+        )[0]
+
+        async def run():
+            return await asyncio.wait_for(
+                streaming.submit(
+                    RangingRequest("solo", FREQS, one_link(rng, FREQS))
+                ),
+                timeout=30.0,
+            )
+
+        got = asyncio.run(run())
+        assert got.ok
+        assert abs(got.estimate.tof_s - want.estimate.tof_s) <= 1e-12
+        assert streaming.stats.n_failed == 0
+
+
+class TestTrackerBankEviction:
+    """Idle eviction bounds the per-link tracker bank (PR-5 leak fix)."""
+
+    def test_max_tracks_evicts_least_recently_updated(self):
+        bank = TrackerBank(max_tracks=2, idle_ttl_s=None)
+        bank.update("a", 10e-9, 0.0)
+        bank.update("b", 20e-9, 1.0)
+        bank.update("a", 10e-9, 2.0)  # refresh a: b is now the LRU
+        bank.update("c", 30e-9, 3.0)
+        assert len(bank) == 2
+        assert "b" not in bank
+        assert "a" in bank and "c" in bank
+        assert bank.n_evicted == 1
+
+    def test_idle_ttl_evicts_stale_links(self):
+        bank = TrackerBank(idle_ttl_s=10.0)
+        bank.update("old", 10e-9, 0.0)
+        bank.update("live", 20e-9, 5.0)
+        bank.update("live", 20e-9, 20.0)  # old is now 20 s stale
+        assert "old" not in bank
+        assert "live" in bank
+        assert bank.n_evicted == 1
+
+    def test_evicted_link_restarts_fresh(self):
+        bank = TrackerBank(max_tracks=1, idle_ttl_s=None)
+        bank.update("a", 10e-9, 0.0)
+        bank.update("a", 10e-9, 1.0)
+        bank.update("b", 20e-9, 2.0)  # evicts a
+        state = bank.update("a", 50e-9, 3.0)  # returns as a brand-new track
+        assert state.n_accepted == 1
+
+    def test_manual_evict_idle_sweep(self):
+        bank = TrackerBank(idle_ttl_s=10.0)
+        bank.update("a", 10e-9, 0.0)
+        bank.update("b", 20e-9, 1.0)
+        assert bank.evict_idle(now_s=100.0) == 2
+        assert len(bank) == 0
+
+    def test_defaults_never_evict_in_suite_scale_use(self):
+        bank = TrackerBank()
+        for i in range(64):
+            bank.update(f"link-{i}", 10e-9, float(i))
+        assert len(bank) == 64
+        assert bank.n_evicted == 0
+
+    def test_precreated_tracker_survives_first_update(self):
+        """A tracker created via tracker() before the bank's first
+        update has no last-update time yet — the TTL must not sweep it
+        away on a peer's first (large-timestamp) update."""
+        bank = TrackerBank(idle_ttl_s=10.0)
+        pre = bank.tracker("pre")
+        bank.update("other", 10e-9, 1000.0)
+        assert "pre" in bank
+        assert bank.tracker("pre") is pre
+        assert bank.n_evicted == 0
+        # Once it updates, it ages like everyone else.
+        bank.update("pre", 10e-9, 1000.0)
+        bank.update("other", 10e-9, 2000.0)
+        assert "pre" not in bank
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrackerBank(max_tracks=0)
+        with pytest.raises(ValueError):
+            TrackerBank(idle_ttl_s=0.0)
 
 
 class TestLinkTracker:
@@ -597,7 +1060,7 @@ class TestLinkTracker:
 
 
 class TestStreamSession:
-    def test_mac_scheduled_replay_tracks_all_links(self, rng):
+    def test_mac_scheduled_replay_tracks_all_links(self, rng, make_streaming):
         freqs = US_BAND_PLAN.subset_5g().decimate(2).center_frequencies_hz
         distances = {"u1": 5.0, "u2": 8.0}
 
@@ -610,7 +1073,7 @@ class TestStreamSession:
         )
         # Both links sweep at 12 Hz for 0.5 s: six arrivals each.
         assert len(arrivals) == 12
-        service = StreamingRangingService(FAST_CONFIG, StreamConfig(max_wait_s=1e-3))
+        service = make_streaming(FAST_CONFIG, StreamConfig(max_wait_s=1e-3))
         session = StreamSession(service, TrackerBank(), coalesce_window_s=5e-3)
         points = session.run(arrivals)
         assert len(points) == len(arrivals)
@@ -621,7 +1084,7 @@ class TestStreamSession:
         # Same-tick arrivals coalesced: fewer flushes than requests.
         assert service.stats.n_flushes <= len(arrivals) // 2
 
-    def test_poisoned_link_does_not_stall_session(self, rng):
+    def test_poisoned_link_does_not_stall_session(self, rng, make_streaming):
         freqs = US_BAND_PLAN.subset_5g().decimate(2).center_frequencies_hz
         poisoned = np.full(len(freqs), np.nan + 1j * np.nan)
         arrivals = [
@@ -631,7 +1094,7 @@ class TestStreamSession:
                 1.0 / 12.0, RangingRequest("ok", freqs, one_link(rng, freqs))
             ),
         ]
-        service = StreamingRangingService(FAST_CONFIG)
+        service = make_streaming(FAST_CONFIG)
         session = StreamSession(service, TrackerBank())
         points = session.run(arrivals)
         assert [p.ok for p in points] == [True, False, True]

@@ -51,6 +51,7 @@ from repro.core.deflation_batch import (
     full_aperture_refit_batch,
     prune_ghost_atoms_batch,
 )
+from repro.core.hints import SolveHint, WarmStartStats, ensure_hints
 from repro.core.ndft import capped_window_s, get_grid_operator
 from repro.core.profile import MultipathProfile
 from repro.core.sparse import invert_ndft_batch
@@ -59,8 +60,35 @@ from repro.core.tof import (
     TofEstimate,
     TofEstimator,
     TofEstimatorConfig,
+    paths_residual_rel,
 )
 from repro.wifi.csi import CsiSweep
+
+
+class _WarmTelemetry:
+    """Mutable per-call accumulator behind ``last_warm_stats``.
+
+    One instance per public estimate call, threaded through the group
+    stacks it spawns and reduced to an immutable
+    :class:`~repro.core.hints.WarmStartStats` at the end — keeping the
+    engine's public state a single atomic assignment.
+    """
+
+    __slots__ = ("n_stale", "iterations")
+
+    def __init__(self) -> None:
+        self.n_stale = 0
+        self.iterations: list[int] = []
+
+    def snapshot(
+        self, n_links: int, hints: Sequence[SolveHint | None]
+    ) -> WarmStartStats:
+        return WarmStartStats(
+            n_links=n_links,
+            n_hinted=sum(1 for h in hints if h is not None),
+            n_stale=self.n_stale,
+            fista_iterations=tuple(self.iterations),
+        )
 
 
 class BatchTofEngine:
@@ -69,6 +97,13 @@ class BatchTofEngine:
     Args:
         config: Estimator settings, shared by every link in a batch.
             Per-link state (calibration) is passed per call instead.
+
+    Attributes:
+        last_warm_stats: Warm-start telemetry of the most recent public
+            estimate call — hinted/stale link counts and the per-solve
+            FISTA iteration counts the ``streaming_warm`` benchmark
+            series compares.  Built locally and assigned once per call,
+            so concurrent readers always see a consistent snapshot.
     """
 
     def __init__(self, config: TofEstimatorConfig | None = None):
@@ -78,6 +113,7 @@ class BatchTofEngine:
         # drift from scalar ones.  Its calibration stays identity; the
         # engine applies per-link calibrations itself.
         self._estimator = TofEstimator(self.config)
+        self.last_warm_stats = WarmStartStats()
 
     # ------------------------------------------------------------------
     # Public API
@@ -88,6 +124,7 @@ class BatchTofEngine:
         channels: np.ndarray,
         exponent: int = 2,
         calibrations: Sequence[LinkCalibration] | None = None,
+        hints: Sequence[SolveHint | None] | None = None,
     ) -> list[TofEstimate]:
         """ToF for ``N`` links from stacked band products.
 
@@ -102,6 +139,10 @@ class BatchTofEngine:
                 reciprocity square, 8 for the 2.4 GHz quirk's 4th power).
             calibrations: Optional per-link calibrations (identity when
                 omitted).
+            hints: Optional per-link raw-τ-domain temporal priors (see
+                :class:`~repro.core.hints.SolveHint`).  Hinted and
+                unhinted links coexist in one stacked solve; a stale
+                hint degrades to that link's cold solve.
 
         Returns:
             One :class:`TofEstimate` per row of ``channels``.
@@ -119,8 +160,11 @@ class BatchTofEngine:
             )
         n_links = stacked.shape[0]
         cals = self._check_calibrations(calibrations, n_links)
+        hint_list = ensure_hints(hints, n_links)
+        telemetry = _WarmTelemetry()
         groups = self._estimate_group_stack(
-            "direct", freqs, stacked, exponent, [None] * n_links
+            "direct", freqs, stacked, exponent, [None] * n_links,
+            hints=hint_list, telemetry=telemetry,
         )
         estimates = []
         for group, cal in zip(groups, cals):
@@ -133,12 +177,14 @@ class BatchTofEngine:
                     n_bands=group.n_bands,
                 )
             )
+        self.last_warm_stats = telemetry.snapshot(n_links, hint_list)
         return estimates
 
     def estimate_sweeps_batch(
         self,
         sweeps_per_link: Sequence[Sequence[CsiSweep]],
         calibrations: Sequence[LinkCalibration] | None = None,
+        hints: Sequence[SolveHint | None] | None = None,
     ) -> list[TofEstimate]:
         """ToF for ``N`` links from their CSI sweeps.
 
@@ -153,6 +199,9 @@ class BatchTofEngine:
             sweeps_per_link: For each link, the sweeps to average.
             calibrations: Optional per-link calibrations (identity when
                 omitted).
+            hints: Optional per-link raw-τ-domain temporal priors; each
+                link's hint warm-starts every band group it lands in
+                (the engine rescales per group exponent).
 
         Returns:
             One :class:`TofEstimate` per link, in input order.
@@ -160,6 +209,8 @@ class BatchTofEngine:
         est = self._estimator
         n_links = len(sweeps_per_link)
         cals = self._check_calibrations(calibrations, n_links)
+        hint_list = ensure_hints(hints, n_links)
+        telemetry = _WarmTelemetry()
 
         # Per-link preprocessing, via the scalar estimator's own helper
         # (single source of the gating/grouping semantics).
@@ -188,7 +239,11 @@ class BatchTofEngine:
             exponent = link_jobs[first_i][first_j][3]
             stacked = np.vstack([link_jobs[i][j][2] for i, j in members])
             gates = [link_jobs[i][j][4] for i, j in members]
-            groups = self._estimate_group_stack(name, freqs, stacked, exponent, gates)
+            groups = self._estimate_group_stack(
+                name, freqs, stacked, exponent, gates,
+                hints=[hint_list[i] for i, _ in members],
+                telemetry=telemetry,
+            )
             for (i, j), group in zip(members, groups):
                 group_results[(i, j)] = group
 
@@ -207,6 +262,7 @@ class BatchTofEngine:
                     coarse_round_trip_s=coarse_rts[i],
                 )
             )
+        self.last_warm_stats = telemetry.snapshot(n_links, hint_list)
         return estimates
 
     # ------------------------------------------------------------------
@@ -219,6 +275,8 @@ class BatchTofEngine:
         stacked: np.ndarray,
         exponent: int,
         gates: Sequence[float | None],
+        hints: Sequence[SolveHint | None] | None = None,
+        telemetry: "_WarmTelemetry | None" = None,
     ) -> list[GroupEstimate]:
         """One band group for every link at once.
 
@@ -228,27 +286,49 @@ class BatchTofEngine:
         the stack (:meth:`_hybrid_group_stack`).  Any other method falls
         back to the scalar group estimator link by link, riding on the
         operator cache.
+
+        ``hints`` arrive in the raw τ domain and are scaled into this
+        group's delay domain here (``exponent × τ``).
         """
         est = self._estimator
         cfg = self.config
+        n_links = stacked.shape[0]
+        hint_list = ensure_hints(hints, n_links)
+        telemetry = telemetry if telemetry is not None else _WarmTelemetry()
         if cfg.method == "hybrid":
-            return self._hybrid_group_stack(name, freqs, stacked, exponent, gates)
+            return self._hybrid_group_stack(
+                name, freqs, stacked, exponent, gates, hint_list, telemetry
+            )
         if cfg.method != "ista":
             return [
-                est._estimate_group(name, freqs, stacked[i], exponent, gates[i])
-                for i in range(stacked.shape[0])
+                est._estimate_group(
+                    name, freqs, stacked[i], exponent, gates[i],
+                    hint=hint_list[i],
+                )
+                for i in range(n_links)
             ]
         coarse_mask = est._coarse_mask(freqs)
         coarse_freqs = freqs[coarse_mask]
         coarse_stack = np.ascontiguousarray(stacked[:, coarse_mask])
         window = capped_window_s(coarse_freqs, cfg.max_profile_delay_s)
         op = get_grid_operator(coarse_freqs, window, cfg.grid_step_s)
+        scaled = [
+            h.scaled(float(exponent)) if h is not None else None
+            for h in hint_list
+        ]
+        # ista consumes hints as a FISTA seed only: the convex solve
+        # lands at the same fixed point either way (within the solver's
+        # stop tolerance), so no staleness machinery is needed.
+        initial = self._warm_initial(op, coarse_stack, scaled)
+        iterations = np.zeros(n_links, dtype=np.int64)
         solutions = invert_ndft_batch(
-            coarse_stack, coarse_freqs, op.taus_s, cfg.sparse, operator=op
+            coarse_stack, coarse_freqs, op.taus_s, cfg.sparse, operator=op,
+            initial=initial, iterations_out=iterations,
         )
+        telemetry.iterations.extend(int(v) for v in iterations)
         span = float(freqs.max() - freqs.min())
         groups = []
-        for i in range(stacked.shape[0]):
+        for i in range(n_links):
             profile = MultipathProfile(
                 op.taus_s,
                 solutions[i],
@@ -274,6 +354,8 @@ class BatchTofEngine:
         stacked: np.ndarray,
         exponent: int,
         gates: Sequence[float | None],
+        hints: Sequence[SolveHint | None],
+        telemetry: "_WarmTelemetry",
     ) -> list[GroupEstimate]:
         """The hybrid (deflation) method over the whole stack.
 
@@ -284,6 +366,11 @@ class BatchTofEngine:
         full-aperture refit, the first-peak rule, and — when diagnostic
         profiles are requested — one batched Algorithm 1 inversion in
         place of the scalar path's per-link one.
+
+        Warm starts ride the extraction (windowed matched filter, with
+        the kernel's cold fallback for stale hints) and the diagnostic
+        profile inversion (hinted iterate, skipped for links the
+        extraction flagged stale so their profiles stay exactly cold).
         """
         est = self._estimator
         cfg = self.config
@@ -293,9 +380,15 @@ class BatchTofEngine:
         coarse_stack = np.ascontiguousarray(stacked[:, coarse_mask])
         window = capped_window_s(coarse_freqs, cfg.max_profile_delay_s)
 
+        scaled = [
+            h.scaled(float(exponent)) if h is not None else None for h in hints
+        ]
+        stale = np.zeros(n_links, dtype=bool)
         paths_per_link = extract_paths_batch(
-            coarse_stack, coarse_freqs, window, cfg.deflation
+            coarse_stack, coarse_freqs, window, cfg.deflation,
+            hints=scaled, stale_out=stale,
         )
+        telemetry.n_stale += int(stale.sum())
         targets = [
             gate_target_mean_s(gate, cfg.coarse_gate_margin_s, exponent)
             for gate in gates
@@ -331,9 +424,18 @@ class BatchTofEngine:
 
         if cfg.compute_profile:
             op = get_grid_operator(coarse_freqs, window, cfg.grid_step_s)
-            solutions = invert_ndft_batch(
-                coarse_stack, coarse_freqs, op.taus_s, cfg.sparse, operator=op
+            # Stale-flagged links get a zero seed row, i.e. the exact
+            # cold profile — their hint already failed once this call.
+            initial = self._warm_initial(
+                op, coarse_stack, scaled, skip=stale,
+                fresh_paths=paths_per_link,
             )
+            iterations = np.zeros(n_links, dtype=np.int64)
+            solutions = invert_ndft_batch(
+                coarse_stack, coarse_freqs, op.taus_s, cfg.sparse, operator=op,
+                initial=initial, iterations_out=iterations,
+            )
+            telemetry.iterations.extend(int(v) for v in iterations)
             profiles = [
                 MultipathProfile(
                     op.taus_s,
@@ -358,9 +460,79 @@ class BatchTofEngine:
                 n_bands=len(freqs),
                 exponent=exponent,
                 profile=profiles[i],
+                paths=tuple(paths_per_link[i]),
+                residual_rel=paths_residual_rel(
+                    freqs, stacked[i], paths_per_link[i]
+                ),
             )
             for i in range(n_links)
         ]
+
+    @staticmethod
+    def _warm_initial(
+        op,
+        coarse_stack: np.ndarray,
+        scaled_hints: Sequence[SolveHint | None],
+        skip: np.ndarray | None = None,
+        fresh_paths: Sequence[Sequence] | None = None,
+    ) -> np.ndarray | None:
+        """Per-link FISTA seed rows from group-domain hints.
+
+        A link's candidate seeds, in precedence order: its hint's
+        profile iterate when that iterate lives on this operator's grid
+        (same length — band plan and window unchanged since the
+        previous solve); its hinted paths rasterized onto the grid; and
+        — in the hybrid path, where the hint-guided extraction has
+        already run on *this* snapshot — the freshly extracted paths.
+        The first seed explaining at least half the channel power wins
+        (one small GEMV per candidate): a link whose channel moved
+        since the hint was minted fails the first two guards (stale
+        amplitudes decorrelate across the aperture) but still warms
+        from the fresh extraction, while seeding FISTA worse than zero
+        would *add* iterations, so with every candidate rejected the
+        link silently degrades to the cold start.  Returns ``None``
+        when no link contributes a seed.
+        """
+        taus = op.taus_s
+
+        def rasterize(delays, amplitudes) -> np.ndarray:
+            seed = np.zeros(len(taus), dtype=complex)
+            for d, a in zip(delays, amplitudes):
+                seed[int(np.argmin(np.abs(taus - d)))] += a
+            return seed
+
+        candidates: dict[int, list[np.ndarray]] = {}
+        for i, hint in enumerate(scaled_hints):
+            if hint is None or (skip is not None and skip[i]):
+                continue
+            seeds: list[np.ndarray] = []
+            iterate = hint.profile_iterate
+            if iterate is not None and len(iterate) == len(taus):
+                seeds.append(np.asarray(iterate, dtype=complex))
+            if hint.path_delays_s and hint.path_amplitudes:
+                seeds.append(
+                    rasterize(hint.path_delays_s, hint.path_amplitudes)
+                )
+            if fresh_paths is not None and fresh_paths[i]:
+                seeds.append(
+                    rasterize(
+                        [p.delay_s for p in fresh_paths[i]],
+                        [p.amplitude for p in fresh_paths[i]],
+                    )
+                )
+            if seeds:
+                candidates[i] = seeds
+        if not candidates:
+            return None
+        rows = np.zeros((len(scaled_hints), len(taus)), dtype=complex)
+        tot2 = np.einsum("lb,lb->l", coarse_stack, coarse_stack.conj()).real
+        for i, seeds in candidates.items():
+            for seed in seeds:
+                resid = coarse_stack[i] - op.F @ seed
+                if np.vdot(resid, resid).real <= 0.5 * tot2[i]:
+                    rows[i] = seed
+                    break
+        return rows
 
     @staticmethod
     def _check_calibrations(

@@ -1,0 +1,252 @@
+"""Temporal warm-start hints for the sparse ToF solvers.
+
+At a streaming service's 12 Hz tick rate a link's channel barely moves
+between solves: path delays drift by fractions of a nanosecond while
+every flush re-runs matched filtering over the full CRT window and
+FISTA from the zero iterate.  A :class:`SolveHint` packages what the
+previous solve (and the link's Kalman tracker) already know —
+
+* the previous path delays and amplitudes,
+* a predicted direct-path delay (tracker extrapolation),
+* the previous solve's relative residual (the staleness yardstick),
+* the previous L1 profile iterate (FISTA's warm start),
+
+so the kernels can restrict the deflation delay search to a window
+around the hinted paths and start the batched FISTA at the hinted
+iterate.  The hint is advisory end to end: a missing, stale or wildly
+wrong hint degrades to the cold solve (the deflation kernel re-solves
+any hinted link whose warm residual stays above the staleness bound),
+never to an error or a wrong answer.
+
+Domain convention: hints are built and carried in the **raw τ domain**
+(uncalibrated one-way time of flight, the unit of
+``TofEstimate.raw_tof_s``).  The engine scales a hint into each band
+group's delay domain (``exponent × τ`` — 2τ for the reciprocity
+square, 8τ for the 2.4 GHz quirk) via :meth:`SolveHint.scaled`; layers
+sourcing predictions from *calibrated* trackers must add the link's
+``tof_bias_s`` back before building the hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+DEFAULT_HINT_WINDOW_S = 12e-9
+"""Half-width slack (raw τ domain) around the hinted paths.
+
+Generous against one streaming tick of motion (a 10 m/s radial at
+12 Hz moves the direct path ~2.8 ns in τ) yet a small fraction of the
+200 ns CRT window, so a hinted link's matched-filter scan touches a
+few hundred grid points instead of the full grid.
+"""
+
+STALE_RESIDUAL_REL = 0.005
+"""Residual-power floor above which a hinted extraction is stale.
+
+A warm extraction confined to the hinted window that leaves more than
+this fraction of the channel power unexplained missed real content
+(the paths moved out of the window, or the hint was garbage); the link
+is re-solved cold.  The floor must sit *below* the footprint of a
+missed path absorbed by its 50 ns lattice pseudo-alias — the alias
+correlates ≈ 0.82 with the truth, so even a weak aliased path strands
+~2 % of the channel power — yet above the ~1e-3 noise floor of a
+converged solve.  Channels that legitimately converge above the floor
+are protected by the :data:`STALE_SLACK` multiple of their own prior
+residual, so the floor only bites when the prior was tiny or absent.
+"""
+
+STALE_SLACK = 4.0
+"""Stale bound as a multiple of the hint's own prior residual.
+
+Heavily-spread channels legitimately converge above
+:data:`STALE_RESIDUAL_REL`; the bound is
+``max(STALE_RESIDUAL_REL, STALE_SLACK × prior_residual_rel)`` so a
+link whose cold solves already sit at 10 % residual is not declared
+stale forever.
+"""
+
+
+@dataclass(frozen=True)
+class SolveHint:
+    """Per-link temporal prior carried on a ranging request.
+
+    Attributes:
+        path_delays_s: The previous solve's path delays (raw τ domain,
+            sorted ascending).  The deflation kernel restricts its
+            matched-filter argmax to a window spanning them.
+        path_amplitudes: Complex amplitudes matching ``path_delays_s``
+            (used to rasterize a FISTA seed when no profile iterate is
+            available).
+        predicted_delay_s: Tracker-predicted direct-path delay (raw τ
+            domain).  Shifts the search window along the track's
+            motion; alone (without paths) it cannot seed a solve.
+        delay_window_s: Half-width slack around the hinted paths;
+            :data:`DEFAULT_HINT_WINDOW_S` when ``None``.
+        prior_residual_rel: The previous solve's relative residual
+            power — scales the staleness bound (see
+            :data:`STALE_SLACK`).
+        profile_iterate: The previous solve's complex L1 solution on
+            the group's coarse delay grid; the batched FISTA starts
+            here (and early-exits when it is already converged) when
+            its length matches the grid, else falls back to
+            rasterizing ``path_delays_s``.
+    """
+
+    path_delays_s: tuple[float, ...] = ()
+    path_amplitudes: tuple[complex, ...] = ()
+    predicted_delay_s: float | None = None
+    delay_window_s: float | None = None
+    prior_residual_rel: float | None = None
+    profile_iterate: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        delays = tuple(float(d) for d in self.path_delays_s)
+        if any(not np.isfinite(d) or d < 0.0 for d in delays):
+            raise ValueError(
+                f"hint path delays must be finite and non-negative, got {delays}"
+            )
+        if any(delays[i] > delays[i + 1] for i in range(len(delays) - 1)):
+            raise ValueError(f"hint path delays must be sorted, got {delays}")
+        amps = tuple(complex(a) for a in self.path_amplitudes)
+        if amps and len(amps) != len(delays):
+            raise ValueError(
+                f"got {len(amps)} hint amplitudes for {len(delays)} delays"
+            )
+        object.__setattr__(self, "path_delays_s", delays)
+        object.__setattr__(self, "path_amplitudes", amps)
+        if self.predicted_delay_s is not None and not np.isfinite(
+            self.predicted_delay_s
+        ):
+            raise ValueError(
+                f"predicted delay must be finite, got {self.predicted_delay_s}"
+            )
+        if self.delay_window_s is not None and self.delay_window_s <= 0.0:
+            raise ValueError(
+                f"delay window must be positive, got {self.delay_window_s}"
+            )
+        if self.prior_residual_rel is not None and not (
+            0.0 <= self.prior_residual_rel
+        ):
+            raise ValueError(
+                "prior residual must be non-negative, got "
+                f"{self.prior_residual_rel}"
+            )
+        if self.profile_iterate is not None:
+            iterate = np.asarray(self.profile_iterate, dtype=complex)
+            if iterate.ndim != 1:
+                raise ValueError(
+                    f"profile iterate must be 1-D, got shape {iterate.shape}"
+                )
+            iterate = iterate.copy()
+            iterate.setflags(write=False)
+            object.__setattr__(self, "profile_iterate", iterate)
+
+    @property
+    def has_paths(self) -> bool:
+        """Whether the hint can seed a solve (it carries paths)."""
+        return bool(self.path_delays_s)
+
+    def scaled(self, factor: float) -> SolveHint:
+        """The hint mapped into a group's delay domain (``factor × τ``).
+
+        Delays, the predicted delay and the window slack scale; the
+        profile iterate does not (it already lives on the group's own
+        coarse grid, or fails the length check and is ignored there).
+        The window materializes to :data:`DEFAULT_HINT_WINDOW_S` here
+        so downstream kernels never re-apply the default at the wrong
+        scale.
+        """
+        window = (
+            self.delay_window_s
+            if self.delay_window_s is not None
+            else DEFAULT_HINT_WINDOW_S
+        )
+        return SolveHint(
+            path_delays_s=tuple(d * factor for d in self.path_delays_s),
+            path_amplitudes=self.path_amplitudes,
+            predicted_delay_s=(
+                None
+                if self.predicted_delay_s is None
+                else self.predicted_delay_s * factor
+            ),
+            delay_window_s=window * factor,
+            prior_residual_rel=self.prior_residual_rel,
+            profile_iterate=self.profile_iterate,
+        )
+
+    def window_bounds(self, max_delay_s: float) -> tuple[float, float] | None:
+        """The delay-search window ``(lo, hi)`` this hint pins, clamped.
+
+        Spans the hinted paths plus the window slack; when a predicted
+        delay disagrees with the hinted first path (the track moved),
+        the window stretches to cover both, never shrinks.  Clamped to
+        ``[0, max_delay_s]`` — the CRT-unique window — so a diverged
+        prediction can never push the search out of the solvable range.
+        Returns ``None`` when the hint carries no paths or the clamped
+        window is empty (the caller then solves cold).
+        """
+        if not self.path_delays_s:
+            return None
+        window = (
+            self.delay_window_s
+            if self.delay_window_s is not None
+            else DEFAULT_HINT_WINDOW_S
+        )
+        lo = self.path_delays_s[0]
+        hi = self.path_delays_s[-1]
+        if self.predicted_delay_s is not None:
+            shift = self.predicted_delay_s - self.path_delays_s[0]
+            lo += min(shift, 0.0)
+            hi += max(shift, 0.0)
+        lo = max(lo - window, 0.0)
+        hi = min(hi + window, max_delay_s)
+        if hi <= lo:
+            return None
+        return lo, hi
+
+    def stale_bound(self) -> float:
+        """The relative-residual level above which this hint is stale."""
+        prior = self.prior_residual_rel or 0.0
+        return max(STALE_RESIDUAL_REL, STALE_SLACK * prior)
+
+
+@dataclass(frozen=True)
+class WarmStartStats:
+    """Telemetry of one engine call's warm-start behavior.
+
+    ``fista_iterations`` carries one entry per (link, band-group)
+    profile inversion actually run — the quantity the
+    ``streaming_warm`` benchmark series compares warm versus cold.
+    """
+
+    n_links: int = 0
+    n_hinted: int = 0
+    n_stale: int = 0
+    fista_iterations: tuple[int, ...] = ()
+
+    @property
+    def mean_fista_iterations(self) -> float:
+        """Mean FISTA iterations per profile solve (0 when none ran)."""
+        if not self.fista_iterations:
+            return 0.0
+        return float(np.mean(self.fista_iterations))
+
+
+def ensure_hints(
+    hints: Sequence[SolveHint | None] | None, n_links: int
+) -> list[SolveHint | None]:
+    """Per-link hints, defaulted to all-``None`` and length-checked."""
+    if hints is None:
+        return [None] * n_links
+    out = list(hints)
+    if len(out) != n_links:
+        raise ValueError(f"got {len(out)} hints for {n_links} links")
+    for h in out:
+        if h is not None and not isinstance(h, SolveHint):
+            raise TypeError(
+                f"hints must be SolveHint or None, got {type(h).__name__}"
+            )
+    return out

@@ -123,6 +123,8 @@ def invert_ndft_batch(
     taus_s: np.ndarray,
     config: SparseSolverConfig | None = None,
     operator: NdftOperator | None = None,
+    initial: np.ndarray | None = None,
+    iterations_out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Algorithm 1 for a stack of links sharing one frequency set.
 
@@ -137,12 +139,27 @@ def invert_ndft_batch(
     the rest keep iterating — the same trajectory the scalar loop would
     have produced for it, just computed in lockstep.
 
+    Warm starts: a non-zero row of ``initial`` seeds that link's
+    iterate (a temporal prior from the link's previous solve) and opts
+    the link into *extra* convergence tests on the iterations between
+    regular checks, so an already-converged seed freezes after a single
+    step instead of riding out the check cadence.  All-zero rows are
+    exactly the cold start: every GEMM, threshold and stop test here is
+    column-independent, so cold links in a mixed batch follow the cold
+    trajectory bit for bit, and a warm link behaves identically whether
+    solved alone or stacked with cold ones.
+
     Args:
         channels: ``(n_links, n_frequencies)`` stacked measurements.
         frequencies_hz: The shared non-uniform measurement frequencies.
         taus_s: Candidate-delay grid shared by every link.
         config: Solver settings (shared).
         operator: Precomputed operator; fetched from the cache if None.
+        initial: Optional ``(n_links, len(taus_s))`` starting iterates;
+            all-zero rows start cold.
+        iterations_out: Optional int array of length ``n_links``;
+            filled with the iteration at which each link froze (0 for
+            links whose channel is exactly zero).
 
     Returns:
         ``(n_links, len(taus_s))`` complex profiles, row ``i`` for link ``i``.
@@ -180,6 +197,20 @@ def invert_ndft_batch(
 
     n_links = H_rows.shape[0]
     m = len(taus)
+    if initial is not None:
+        initial = np.asarray(initial, dtype=complex)
+        if initial.shape != (n_links, m):
+            raise ValueError(
+                f"initial iterates shape {initial.shape} does not match "
+                f"({n_links}, {m})"
+            )
+    if iterations_out is not None:
+        if len(iterations_out) != n_links:
+            raise ValueError(
+                f"iterations_out length {len(iterations_out)} does not "
+                f"match {n_links} links"
+            )
+        iterations_out[:] = 0
     out = np.zeros((n_links, m), dtype=complex)
     H = np.ascontiguousarray(H_rows.T)  # (n, N): links as columns
     correlation = np.abs(Fh @ H)  # (m, N)
@@ -192,7 +223,12 @@ def invert_ndft_batch(
     thr = gamma * alphas[active]
     tol2 = cfg.tolerance_rel**2
     n_active = active.size
-    P = np.zeros((m, n_active), dtype=complex)
+    if initial is not None:
+        P = np.ascontiguousarray(initial[active].T)
+        warm = np.any(P != 0.0, axis=0)
+    else:
+        P = np.zeros((m, n_active), dtype=complex)
+        warm = np.zeros(n_active, dtype=bool)
     momentum = P
     t_k = 1.0
     # Scratch buffers (re-sliced when converged columns are retired):
@@ -210,6 +246,7 @@ def invert_ndft_batch(
         P_next = _soft_threshold_columns(grad, thr)
         diff = P_next - P
         check = iteration % cfg.check_every == 0 or iteration == cfg.max_iterations
+        done = None
         if check:
             # The scalar stop rule ``||Δp|| < tol·||p||`` compared in
             # squares (one fused reduction per column, no square roots).
@@ -217,6 +254,21 @@ def invert_ndft_batch(
             scale2 = np.maximum(
                 np.einsum("ij,ij->j", P_next, P_next.conj()).real, 1e-60
             )
+            done = step2 < tol2 * scale2
+        elif warm.any():
+            # Off-cadence stop test for warm columns only: a seed that
+            # arrives converged should freeze at iteration 1, not wait
+            # out check_every.  Cold columns are never tested (let
+            # alone frozen) here, preserving their cold trajectory.
+            w = np.flatnonzero(warm)
+            dw = diff[:, w]
+            pw = P_next[:, w]
+            step2_w = np.einsum("ij,ij->j", dw, dw.conj()).real
+            scale2_w = np.maximum(
+                np.einsum("ij,ij->j", pw, pw.conj()).real, 1e-60
+            )
+            done = np.zeros(active.size, dtype=bool)
+            done[w[step2_w < tol2 * scale2_w]] = True
         if cfg.accelerated:
             t_next = (1.0 + np.sqrt(1.0 + 4.0 * t_k**2)) / 2.0
             np.multiply(diff, (t_k - 1.0) / t_next, out=diff)
@@ -224,11 +276,12 @@ def invert_ndft_batch(
             momentum = diff
             t_k = t_next
         P = P_next
-        if not check:
+        if done is None:
             continue
-        done = step2 < tol2 * scale2
         if done.any():
             out[active[done]] = P[:, done].T
+            if iterations_out is not None:
+                iterations_out[active[done]] = iteration
             keep = ~done
             active = active[keep]
             if active.size == 0:
@@ -236,11 +289,14 @@ def invert_ndft_batch(
             P = np.ascontiguousarray(P[:, keep])
             H_a = np.ascontiguousarray(H_a[:, keep])
             thr = thr[keep]
+            warm = warm[keep]
             if cfg.accelerated:
                 momentum = np.ascontiguousarray(momentum[:, keep])
             residual = np.empty((len(freqs), active.size), dtype=complex)
             grad = np.empty((m, active.size), dtype=complex)
     out[active] = P.T
+    if iterations_out is not None:
+        iterations_out[active] = cfg.max_iterations
     return out
 
 

@@ -15,7 +15,9 @@ per-link workloads sit one layer up, in :mod:`repro.stream`, whose
 micro-batcher coalesces concurrent streams into this facade's batches.
 """
 
+from repro.core.hints import SolveHint
 from repro.net.service import (
+    LinkRequest,
     RangingRequest,
     RangingResponse,
     RangingService,
@@ -25,10 +27,12 @@ from repro.net.tcp import TcpConfig, TcpFlowSimulation, TcpTrace
 from repro.net.video import VideoConfig, VideoStreamSimulation, VideoTrace
 
 __all__ = [
+    "LinkRequest",
     "RangingRequest",
     "RangingResponse",
     "RangingService",
     "ServiceStats",
+    "SolveHint",
     "TcpConfig",
     "TcpFlowSimulation",
     "TcpTrace",

@@ -16,13 +16,14 @@ shard layout and throughput, which the CI benchmark records.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.core.batch import BatchTofEngine
 from repro.core.cfo import LinkCalibration
+from repro.core.hints import SolveHint
 from repro.core.tof import TofEstimate, TofEstimatorConfig
 
 ISOLATED_LINK_ERRORS = (ValueError, np.linalg.LinAlgError)
@@ -38,11 +39,55 @@ the hybrid path's least-squares refits raise it on degenerate products
 
 
 @dataclass(frozen=True)
-class RangingRequest:
-    """One link's measurement, ready for inversion.
+class LinkRequest:
+    """What every per-link serving request shares.
+
+    The product-level :class:`RangingRequest` and the sweep-level
+    :class:`~repro.stream.service.SweepRequest` used to duplicate this
+    envelope (and its validation) independently; both are now thin
+    subclasses.  The base carries:
 
     Attributes:
         link_id: Caller's identifier, echoed in the response.
+        hint: Optional :class:`~repro.core.hints.SolveHint` — a
+            temporal prior (previous paths, tracker-predicted delay, in
+            the raw τ domain) threaded down to the engine's warm-start
+            path.  Advisory: a stale hint degrades to the cold solve.
+        metadata: Opaque caller payload, ignored by every serving
+            layer and echoed nowhere — a place for request correlation
+            ids and the like.
+    """
+
+    link_id: str
+    hint: SolveHint | None = field(default=None, kw_only=True)
+    metadata: Any = field(default=None, kw_only=True)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.link_id, str) or not self.link_id:
+            raise ValueError(
+                f"link_id must be a non-empty string, got {self.link_id!r}"
+            )
+        if self.hint is not None and not isinstance(self.hint, SolveHint):
+            raise TypeError(
+                f"request {self.link_id!r}: hint must be a SolveHint, "
+                f"got {type(self.hint).__name__}"
+            )
+
+    def plan_signature(self) -> object:
+        """A hashable key of the request's solve-grouping identity.
+
+        Requests sharing a signature stack into the same batched engine
+        calls; different request kinds never share one (each subclass
+        namespaces its own).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RangingRequest(LinkRequest):
+    """One link's measurement, ready for inversion.
+
+    Attributes:
         frequencies_hz: Band center frequencies of the measurement.
         products: Averaged reciprocity products, one per frequency.
         exponent: Delay-axis scale of the products (2 for the
@@ -51,13 +96,18 @@ class RangingRequest:
             omitted).
     """
 
-    link_id: str
-    frequencies_hz: np.ndarray
-    products: np.ndarray
+    frequencies_hz: np.ndarray = None
+    products: np.ndarray = None
     exponent: int = 2
     calibration: LinkCalibration | None = None
 
     def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.frequencies_hz is None or self.products is None:
+            raise ValueError(
+                f"request {self.link_id!r}: frequencies and products "
+                "are required"
+            )
         freqs = np.asarray(self.frequencies_hz, dtype=float)
         products = np.asarray(self.products, dtype=complex)
         if freqs.ndim != 1 or products.shape != freqs.shape:
@@ -67,6 +117,10 @@ class RangingRequest:
             )
         object.__setattr__(self, "frequencies_hz", freqs)
         object.__setattr__(self, "products", products)
+
+    def plan_signature(self) -> tuple[bytes, int]:
+        """Band-plan identity: requests sharing it solve in one stack."""
+        return (self.frequencies_hz.tobytes(), self.exponent)
 
 
 @dataclass(frozen=True)
@@ -137,14 +191,16 @@ class RangingService:
         self.last_stats: ServiceStats | None = None
 
     @staticmethod
-    def plan_key(request: RangingRequest) -> tuple[bytes, int]:
+    def plan_key(request: RangingRequest) -> object:
         """The band-plan identity of a request.
 
         Requests sharing a key stack into the same batched solves; the
-        streaming flush pool keys its per-plan workers on it too, so
-        the grouping rule lives in exactly one place.
+        streaming flush pool keys its per-plan workers on it too.  The
+        rule itself lives on the request
+        (:meth:`LinkRequest.plan_signature`), so new request kinds
+        carry their own grouping identity.
         """
-        return (request.frequencies_hz.tobytes(), request.exponent)
+        return request.plan_signature()
 
     def plan_groups(
         self, requests: Sequence[RangingRequest]
@@ -260,11 +316,19 @@ class RangingService:
         calibrations = [
             requests[i].calibration or LinkCalibration() for i in shard
         ]
+        hints = [requests[i].hint for i in shard]
+        kwargs = {}
+        if any(h is not None for h in hints):
+            # Only pass the keyword when a hint is actually present, so
+            # injected test engines with the pre-hint signature keep
+            # working on hint-free traffic.
+            kwargs["hints"] = hints
         estimates = self.engine.estimate_products_batch(
             first.frequencies_hz,
             stacked,
             exponent=first.exponent,
             calibrations=calibrations,
+            **kwargs,
         )
         return [
             RangingResponse(link_id=requests[i].link_id, estimate=estimate)

@@ -16,6 +16,8 @@ closed loop, many-client deployments):
   mac.sim-scheduled sweep arrivals through service and trackers.
 """
 
+from repro.core.hints import SolveHint
+from repro.net.service import LinkRequest, RangingRequest, RangingResponse
 from repro.stream.client import StreamClient
 from repro.stream.service import (
     StreamConfig,
@@ -39,7 +41,11 @@ from repro.stream.tracker import (
 
 __all__ = [
     "EvictingBankBase",
+    "LinkRequest",
     "LinkTracker",
+    "RangingRequest",
+    "RangingResponse",
+    "SolveHint",
     "StreamClient",
     "StreamConfig",
     "StreamSession",

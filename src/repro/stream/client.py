@@ -21,7 +21,12 @@ from typing import Sequence
 from repro.core.cfo import LinkCalibration
 from repro.core.tof import TofEstimatorConfig
 from repro.net.service import RangingRequest, RangingResponse
-from repro.stream.service import StreamConfig, StreamingRangingService, StreamStats
+from repro.stream.service import (
+    StreamConfig,
+    StreamingRangingService,
+    StreamStats,
+    SweepRequest,
+)
 from repro.wifi.csi import CsiSweep
 
 
@@ -74,7 +79,8 @@ class StreamClient:
     ) -> RangingResponse:
         """Range one link from raw CSI sweeps; blocks until resolved."""
         return self._call(
-            self.service.submit_sweeps(link_id, sweeps, calibration), timeout_s
+            self.service.submit(SweepRequest(link_id, tuple(sweeps), calibration)),
+            timeout_s,
         )
 
     @property

@@ -172,8 +172,4 @@ class StreamSession:
         return points
 
     def _submit(self, request: RangingRequest | SweepRequest):
-        if isinstance(request, SweepRequest):
-            return self.service.submit_sweeps(
-                request.link_id, request.sweeps, request.calibration
-            )
         return self.service.submit(request)

@@ -68,6 +68,14 @@ class TrackerConfig:
             window instead of being locked out.
         initial_velocity_sigma_mps: Prior 1σ on the unknown initial
             radial velocity.
+        max_range_m: Physical ceiling on *predicted* ranges.  A track
+            coasting on a stale velocity extrapolates linearly without
+            bound; predictions feed warm-start hints (and operator
+            displays), so they are clamped to ``[0, max_range_m]`` —
+            the filter state itself is never touched.  The default is
+            the CRT-unique window of the 5 GHz subset (~200 ns ≈ 60 m
+            round-trip) with headroom: beyond it a hinted delay is
+            unusable anyway.
     """
 
     measurement_sigma_m: float = 0.05
@@ -77,6 +85,7 @@ class TrackerConfig:
     min_gate_m: float = 0.12
     max_jump_m: float = 0.75
     initial_velocity_sigma_mps: float = 1.0
+    max_range_m: float = 150.0
 
     def __post_init__(self) -> None:
         if self.measurement_sigma_m <= 0:
@@ -102,6 +111,10 @@ class TrackerConfig:
             raise ValueError(
                 "initial velocity sigma must be positive, got "
                 f"{self.initial_velocity_sigma_mps}"
+            )
+        if self.max_range_m <= 0:
+            raise ValueError(
+                f"max_range_m must be positive, got {self.max_range_m}"
             )
 
 
@@ -206,10 +219,29 @@ class LinkTracker:
         return float(self._time_s)
 
     def predicted_range_m(self, time_s: float) -> float:
-        """Range extrapolated to ``time_s`` without mutating the state."""
+        """Range extrapolated to ``time_s`` without mutating the state.
+
+        Clamped to ``[0, max_range_m]``: a track coasting on a stale
+        velocity extrapolates linearly and a long-enough gap would
+        predict a negative or physically absurd range — which, fed
+        into a warm-start hint, would aim the solver's delay window at
+        garbage.  The clamp bounds the prediction, never the state.
+        """
         self._require_initialized()
         dt = time_s - self._time_s
-        return float(self._x[0] + dt * self._x[1]) * SPEED_OF_LIGHT
+        raw = float(self._x[0] + dt * self._x[1]) * SPEED_OF_LIGHT
+        return min(max(raw, 0.0), self.config.max_range_m)
+
+    def predicted_tof_s(self, time_s: float | None = None) -> float:
+        """ToF extrapolated to ``time_s`` (default: the last tick).
+
+        The warm-start hint source: same clamped extrapolation as
+        :meth:`predicted_range_m`, in the filter's own domain.
+        """
+        self._require_initialized()
+        if time_s is None:
+            time_s = self._time_s
+        return self.predicted_range_m(time_s) / SPEED_OF_LIGHT
 
     # ------------------------------------------------------------------
     # Updates
@@ -489,6 +521,20 @@ class TrackerBank(EvictingBankBase):
         state = self.tracker(link_id).update(tof_s, time_s)
         self._touch(link_id, time_s)
         return state
+
+    def predicted_tof_s(
+        self, link_id: str, time_s: float | None = None
+    ) -> float | None:
+        """The link's clamped ToF prediction, or ``None`` without a track.
+
+        The streaming service's warm-start path calls this per enqueue;
+        an absent or not-yet-initialized link yields ``None`` (no hint)
+        rather than an error, and the lookup never creates a tracker.
+        """
+        tracker = self._trackers.get(link_id)
+        if tracker is None or not tracker.initialized:
+            return None
+        return tracker.predicted_tof_s(time_s)
 
     def states(self) -> dict[str, TrackState]:
         """Last reported state of every initialized tracker."""

@@ -1,0 +1,437 @@
+"""Temporal warm-start solving: hints, Δ-solves and their safety nets.
+
+The contract under test: a :class:`~repro.core.hints.SolveHint` that
+matches the channel reproduces the cold solve bit-for-bit (≤ 1e-12 s)
+while spending strictly fewer FISTA iterations; a stale or garbage hint
+degrades gracefully to the cold answer (never a wrong one); hints flow
+end-to-end from :class:`~repro.stream.tracker.TrackerBank` predictions
+through :class:`~repro.stream.service.StreamingRangingService` into the
+engine without any caller-visible API change; and the deprecated
+``submit_sweeps`` spelling keeps working under a ``DeprecationWarning``.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchTofEngine
+from repro.core.hints import (
+    DEFAULT_HINT_WINDOW_S,
+    SolveHint,
+    WarmStartStats,
+    ensure_hints,
+)
+from repro.core.ndft import steering_vector
+from repro.core.tof import TofEstimator, TofEstimatorConfig
+from repro.net.service import LinkRequest, RangingRequest, RangingService
+from repro.rf.constants import SPEED_OF_LIGHT
+from repro.stream import (
+    StreamConfig,
+    SweepRequest,
+    TrackerBank,
+    TrackerConfig,
+)
+from repro.stream.tracker import LinkTracker
+from repro.wifi.bands import US_BAND_PLAN
+
+FREQS = US_BAND_PLAN.subset_5g().center_frequencies_hz
+
+HYBRID = TofEstimatorConfig(method="hybrid", quirk_2g4=False)
+ISTA = TofEstimatorConfig(method="ista", quirk_2g4=False)
+
+
+def make_links(n_links, seed=42, noise=0.02):
+    """Multipath channels in the benchmark's 3-path idiom."""
+    gen = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n_links):
+        taus = np.sort(gen.uniform(5e-9, 90e-9, 3))
+        amps = gen.uniform(0.3, 1.0, 3) * np.exp(
+            1j * gen.uniform(-np.pi, np.pi, 3)
+        )
+        h = sum(a * steering_vector(FREQS, 2 * t) for a, t in zip(amps, taus))
+        h = h + noise * (
+            gen.normal(size=len(FREQS)) + 1j * gen.normal(size=len(FREQS))
+        )
+        rows.append(h)
+    return np.vstack(rows)
+
+
+class TestHintEquivalence:
+    """Exact hints: identical answers, strictly fewer iterations."""
+
+    @pytest.mark.parametrize("seed", [7, 42, 1234])
+    def test_exact_hint_matches_cold_with_fewer_iterations(self, seed):
+        H = make_links(6, seed)
+        engine = BatchTofEngine(HYBRID)
+        cold = engine.estimate_products_batch(FREQS, H, exponent=2)
+        cold_stats = engine.last_warm_stats
+        hints = [e.solve_hint() for e in cold]
+        warm = engine.estimate_products_batch(FREQS, H, exponent=2, hints=hints)
+        warm_stats = engine.last_warm_stats
+        for w, c in zip(warm, cold):
+            assert abs(w.tof_s - c.tof_s) <= 1e-12
+        assert warm_stats.n_hinted == len(H)
+        assert (
+            warm_stats.mean_fista_iterations < cold_stats.mean_fista_iterations
+        )
+
+    def test_exact_hint_ista_method(self):
+        H = make_links(4)
+        engine = BatchTofEngine(ISTA)
+        cold = engine.estimate_products_batch(FREQS, H, exponent=2)
+        cold_stats = engine.last_warm_stats
+        hints = [e.solve_hint() for e in cold]
+        warm = engine.estimate_products_batch(FREQS, H, exponent=2, hints=hints)
+        warm_stats = engine.last_warm_stats
+        for w, c in zip(warm, cold):
+            assert abs(w.tof_s - c.tof_s) <= 1e-12
+        assert (
+            warm_stats.mean_fista_iterations < cold_stats.mean_fista_iterations
+        )
+
+    def test_scalar_estimator_accepts_hint_and_matches_batch(self):
+        H = make_links(4)
+        engine = BatchTofEngine(HYBRID)
+        cold = engine.estimate_products_batch(FREQS, H, exponent=2)
+        est = TofEstimator(HYBRID)
+        for i, c in enumerate(cold):
+            scalar = est.estimate_from_products(
+                FREQS, H[i], exponent=2, hint=c.solve_hint()
+            )
+            assert abs(scalar.tof_s - c.tof_s) <= 1e-12
+
+    def test_mixed_hinted_and_unhinted_batch_matches_cold(self):
+        H = make_links(6)
+        engine = BatchTofEngine(HYBRID)
+        cold = engine.estimate_products_batch(FREQS, H, exponent=2)
+        hints = [
+            c.solve_hint() if i % 2 == 0 else None for i, c in enumerate(cold)
+        ]
+        mixed = engine.estimate_products_batch(FREQS, H, exponent=2, hints=hints)
+        for w, c in zip(mixed, cold):
+            assert abs(w.tof_s - c.tof_s) <= 1e-12
+
+
+class TestStaleHintFallback:
+    """Wrong hints must cost iterations, never correctness."""
+
+    @pytest.mark.parametrize("seed", [7, 42, 99])
+    def test_shifted_hint_falls_back_to_cold(self, seed):
+        H = make_links(6, seed)
+        engine = BatchTofEngine(HYBRID)
+        cold = engine.estimate_products_batch(FREQS, H, exponent=2)
+        shifted = [
+            SolveHint(
+                path_delays_s=tuple(
+                    t + 70e-9 for t in c.solve_hint().path_delays_s
+                ),
+                path_amplitudes=c.solve_hint().path_amplitudes,
+            )
+            for c in cold
+        ]
+        warm = engine.estimate_products_batch(
+            FREQS, H, exponent=2, hints=shifted
+        )
+        for w, c in zip(warm, cold):
+            assert abs(w.tof_s - c.tof_s) <= 1e-12
+
+    def test_garbage_hint_falls_back_to_cold(self):
+        H = make_links(6)
+        engine = BatchTofEngine(HYBRID)
+        cold = engine.estimate_products_batch(FREQS, H, exponent=2)
+        garbage = [
+            SolveHint(path_delays_s=(400e-9,), path_amplitudes=(1.0 + 0j,))
+            for _ in cold
+        ]
+        warm = engine.estimate_products_batch(
+            FREQS, H, exponent=2, hints=garbage
+        )
+        for w, c in zip(warm, cold):
+            assert abs(w.tof_s - c.tof_s) <= 1e-12
+
+    def test_stale_links_are_counted(self):
+        """Plausible-but-wrong hints trip the staleness nets visibly."""
+        H = make_links(6)
+        engine = BatchTofEngine(HYBRID)
+        cold = engine.estimate_products_batch(FREQS, H, exponent=2)
+        wrong = [
+            SolveHint(
+                path_delays_s=tuple(
+                    t + 70e-9 for t in c.solve_hint().path_delays_s
+                ),
+                path_amplitudes=c.solve_hint().path_amplitudes,
+            )
+            for c in cold
+        ]
+        engine.estimate_products_batch(FREQS, H, exponent=2, hints=wrong)
+        stats = engine.last_warm_stats
+        assert stats.n_hinted == len(H)
+        assert stats.n_stale > 0
+
+
+class TestSolveHint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolveHint(
+                path_delays_s=(1e-9,), path_amplitudes=(1.0 + 0j, 2.0 + 0j)
+            )
+        with pytest.raises(ValueError):
+            SolveHint(path_delays_s=(3e-9, 1e-9))
+        with pytest.raises(ValueError):
+            SolveHint(path_delays_s=(-1e-9,))
+        with pytest.raises(ValueError):
+            SolveHint(delay_window_s=-1e-9)
+        with pytest.raises(ValueError):
+            SolveHint(prior_residual_rel=-0.5)
+
+    def test_scaled_materializes_default_window(self):
+        hint = SolveHint(path_delays_s=(10e-9,), path_amplitudes=(1.0 + 0j,))
+        scaled = hint.scaled(2.0)
+        assert scaled.path_delays_s == (20e-9,)
+        assert scaled.delay_window_s == pytest.approx(
+            2.0 * DEFAULT_HINT_WINDOW_S
+        )
+
+    def test_window_bounds_clamp_to_crt_window(self):
+        hint = SolveHint(
+            path_delays_s=(195e-9,),
+            path_amplitudes=(1.0 + 0j,),
+            delay_window_s=12e-9,
+        )
+        lo, hi = hint.window_bounds(200e-9)
+        assert lo >= 0.0
+        assert hi <= 200e-9
+        assert SolveHint().window_bounds(200e-9) is None
+
+    def test_stale_bound_floors_at_half_percent(self):
+        assert SolveHint().stale_bound() >= 0.005
+        assert SolveHint(prior_residual_rel=0.05).stale_bound() == pytest.approx(
+            0.2
+        )
+
+    def test_ensure_hints(self):
+        assert ensure_hints(None, 3) == [None, None, None]
+        with pytest.raises(ValueError):
+            ensure_hints([None], 3)
+
+    def test_warm_stats_mean(self):
+        stats = WarmStartStats(
+            n_links=2, n_hinted=1, n_stale=0, fista_iterations=(10, 20)
+        )
+        assert stats.mean_fista_iterations == pytest.approx(15.0)
+
+
+class TestRequestApi:
+    def test_shared_base_validates_link_id_and_hint(self):
+        with pytest.raises(ValueError):
+            RangingRequest("", FREQS, np.ones(len(FREQS), complex))
+        with pytest.raises(TypeError):
+            RangingRequest(
+                "a",
+                FREQS,
+                np.ones(len(FREQS), complex),
+                hint="not-a-hint",
+            )
+        with pytest.raises(ValueError):
+            RangingRequest("a", None, None)
+
+    def test_requests_share_the_frozen_base(self, ideal_link):
+        prod = RangingRequest("a", FREQS, np.ones(len(FREQS), complex))
+        sweep = SweepRequest("b", (ideal_link.sweep(1),))
+        assert isinstance(prod, LinkRequest)
+        assert isinstance(sweep, LinkRequest)
+        assert prod.hint is None and sweep.hint is None
+        with pytest.raises(ValueError):
+            SweepRequest("c", ())
+
+    def test_reexports(self):
+        import repro.net as net
+        import repro.stream as stream
+
+        assert net.SolveHint is SolveHint
+        assert stream.SolveHint is SolveHint
+        assert stream.LinkRequest is LinkRequest
+        assert stream.RangingRequest is RangingRequest
+
+    def test_hint_rides_service_submit(self):
+        H = make_links(2)
+        service = RangingService(HYBRID)
+        cold = service.submit(
+            [RangingRequest(f"l{i}", FREQS, H[i]) for i in range(2)]
+        )
+        warm = service.submit(
+            [
+                RangingRequest(
+                    f"l{i}", FREQS, H[i], hint=cold[i].estimate.solve_hint()
+                )
+                for i in range(2)
+            ]
+        )
+        for w, c in zip(warm, cold):
+            assert abs(w.estimate.tof_s - c.estimate.tof_s) <= 1e-12
+        assert service.engine.last_warm_stats.n_hinted == 2
+
+
+class TestTrackerClamp:
+    """A diverged track must never emit an unphysical prediction."""
+
+    def test_diverged_track_prediction_is_clamped(self):
+        tracker = LinkTracker(TrackerConfig(max_range_m=150.0))
+        # Feed a runaway outward trajectory, then coast far into the
+        # future: the extrapolated raw range blows past any deployable
+        # distance.
+        for i in range(12):
+            tracker.update((5.0 + 12.0 * i) / SPEED_OF_LIGHT, 0.25 * i)
+        predicted = tracker.predicted_range_m(1000.0)
+        assert 0.0 <= predicted <= 150.0
+        assert tracker.predicted_tof_s(1000.0) >= 0.0
+
+    def test_inward_divergence_clamps_at_zero(self):
+        tracker = LinkTracker(TrackerConfig(max_range_m=150.0))
+        for i in range(12):
+            tracker.update(max(60.0 - 12.0 * i, 1.0) / SPEED_OF_LIGHT, 0.25 * i)
+        assert tracker.predicted_range_m(1000.0) >= 0.0
+
+    def test_bank_prediction_paths_are_clamped(self):
+        bank = TrackerBank(TrackerConfig(max_range_m=80.0))
+        for i in range(12):
+            bank.update("runaway", (5.0 + 12.0 * i) / SPEED_OF_LIGHT, 0.25 * i)
+        tof = bank.predicted_tof_s("runaway", 1000.0)
+        assert tof is not None
+        assert 0.0 <= tof <= 80.0 / SPEED_OF_LIGHT
+        assert bank.predicted_tof_s("absent") is None
+
+    def test_config_rejects_nonpositive_ceiling(self):
+        with pytest.raises(ValueError):
+            TrackerConfig(max_range_m=0.0)
+
+
+@pytest.mark.asyncio
+class TestStreamingWarmStart:
+    async def _range_twice(self, service, H):
+        first = await asyncio.gather(
+            *(
+                service.submit(RangingRequest(f"l{i}", FREQS, H[i]))
+                for i in range(len(H))
+            )
+        )
+        second = await asyncio.gather(
+            *(
+                service.submit(RangingRequest(f"l{i}", FREQS, H[i]))
+                for i in range(len(H))
+            )
+        )
+        return first, second
+
+    def test_warm_stream_matches_cold_stream(self, make_streaming):
+        """warm_start=True changes iteration counts, not answers."""
+        H = make_links(4)
+        config = StreamConfig(max_wait_s=600.0, max_batch_links=4)
+        cold = make_streaming(HYBRID, config)
+        cold_first, cold_second = asyncio.run(self._range_twice(cold, H))
+
+        warm_cfg = StreamConfig(
+            max_wait_s=600.0, max_batch_links=4, warm_start=True
+        )
+        warm = make_streaming(HYBRID, warm_cfg)
+        warm_first, warm_second = asyncio.run(self._range_twice(warm, H))
+
+        for w, c in zip(warm_first + warm_second, cold_first + cold_second):
+            assert w.ok and c.ok
+            assert abs(w.estimate.tof_s - c.estimate.tof_s) <= 1e-12
+        # The second round rode cached hints from the first.
+        assert warm.engine.last_warm_stats.n_hinted == len(H)
+
+    def test_cold_stream_never_sees_hints(self, make_streaming):
+        H = make_links(3)
+        config = StreamConfig(max_wait_s=600.0, max_batch_links=3)
+        service = make_streaming(HYBRID, config)
+        asyncio.run(self._range_twice(service, H))
+        assert service.engine.last_warm_stats.n_hinted == 0
+
+    def test_tracker_predictions_source_hints(self, make_streaming):
+        """With no solve history, the bank's prediction seeds the hint."""
+        trackers = TrackerBank()
+        for i in range(8):
+            trackers.update("l0", 30e-9, 0.1 * i)
+        warm_cfg = StreamConfig(
+            max_wait_s=600.0, max_batch_links=1, warm_start=True
+        )
+        service = make_streaming(HYBRID, warm_cfg, trackers=trackers)
+        H = make_links(1)
+
+        async def once():
+            return await service.submit(RangingRequest("l0", FREQS, H[0]))
+
+        response = asyncio.run(once())
+        assert response.ok
+        assert service.engine.last_warm_stats.n_hinted == 1
+
+    def test_explicit_hint_wins_over_cache(self, make_streaming):
+        H = make_links(1)
+        engine = BatchTofEngine(HYBRID)
+        exact = engine.estimate_products_batch(FREQS, H, exponent=2)[
+            0
+        ].solve_hint()
+        warm_cfg = StreamConfig(
+            max_wait_s=600.0, max_batch_links=1, warm_start=True
+        )
+        service = make_streaming(HYBRID, warm_cfg)
+
+        async def once():
+            return await service.submit(
+                RangingRequest("l0", FREQS, H[0], hint=exact)
+            )
+
+        response = asyncio.run(once())
+        assert response.ok
+        assert abs(
+            response.estimate.tof_s
+            - engine.estimate_products_batch(FREQS, H, exponent=2)[0].tof_s
+        ) <= 1e-12
+        assert service.engine.last_warm_stats.n_hinted == 1
+
+
+class TestRunnerWarmStart:
+    def test_tracking_experiment_runs_warm(self):
+        """The moving-fleet experiment works identically warm."""
+        from repro.experiments.runner import run_streaming_tracking_experiment
+
+        cold = run_streaming_tracking_experiment(n_links=2, duration_s=0.5)
+        warm = run_streaming_tracking_experiment(
+            n_links=2, duration_s=0.5, warm_start=True
+        )
+        assert warm.n_requests == cold.n_requests
+        assert warm.n_failed == cold.n_failed
+        assert np.isfinite(warm.raw_rmse_m)
+        assert warm.tracked_rmse_m <= cold.tracked_rmse_m * 10
+
+
+class TestDeprecatedSubmitAlias:
+    def test_submit_sweeps_warns_and_delegates(
+        self, ideal_link, fast_config, make_streaming
+    ):
+        service = make_streaming(
+            fast_config, StreamConfig(max_wait_s=600.0, max_batch_links=1)
+        )
+        sweep = ideal_link.sweep(1)
+
+        async def legacy():
+            with pytest.warns(DeprecationWarning, match="submit_sweeps"):
+                return await service.submit_sweeps("link", [sweep])
+
+        response = asyncio.run(legacy())
+        assert response.ok
+
+    def test_submit_rejects_foreign_types(self, make_streaming):
+        service = make_streaming(
+            HYBRID, StreamConfig(max_wait_s=600.0, max_batch_links=1)
+        )
+
+        async def bad():
+            await service.submit("not-a-request")
+
+        with pytest.raises(TypeError):
+            asyncio.run(bad())

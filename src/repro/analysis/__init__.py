@@ -1,0 +1,43 @@
+"""Repo-native static analysis for the Chronos serving stack.
+
+The stack's correctness rests on invariants no generic linter knows
+about: blocking work must stay off the asyncio event loop, shared state
+must only be written under its declared lock, the request/hint API must
+stay frozen, and every physical quantity must carry its unit in its
+name (sub-nanosecond ranging dies quietly on an ns-vs-s or m-vs-ticks
+mixup).  This package encodes those invariants as AST checkers with
+ruff-style diagnostics:
+
+========  =============================================================
+Rule      Invariant
+========  =============================================================
+REP001    No blocking calls inside ``async def`` (``time.sleep``,
+          ``Future.result()``, ``Lock.acquire()``, or a direct
+          engine/service solve) — route through ``run_in_executor``.
+REP002    Writes to ``# guarded-by: <lock>`` state must happen inside
+          ``with <lock>:`` — a lightweight lexical race detector.
+REP003    Request/hint/config types (``LinkRequest`` and subclasses,
+          ``SolveHint``, ``*Config``) must be ``@dataclass(frozen=True)``.
+REP004    Float fields and parameters in ``core``/``rf``/``wifi`` must
+          name their unit (``_s``, ``_m``, ``_hz``, ``_db``, ``_rad``,
+          …) or be explicitly allowlisted as unitless.
+REP005    The deprecated ``submit_sweeps`` API must not be called in
+          shipped code (use the unified ``submit(request)``).
+========  =============================================================
+
+Run it as ``python -m repro.analysis check <paths>``; suppress a single
+finding with ``# noqa: REPxxx`` on the flagged line.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Checker, Diagnostic, SourceFile, check_paths
+from repro.analysis.rules import ALL_CHECKERS
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "Diagnostic",
+    "SourceFile",
+    "check_paths",
+]

@@ -1,0 +1,210 @@
+"""REP004 — float quantities in the physics layers must name their unit.
+
+Sub-nanosecond ranging is exactly the regime where an ns-vs-s or
+m-vs-grid-ticks mixup survives every test that only checks shapes: the
+numbers stay finite, the answer is silently wrong by nine orders of
+magnitude.  The repo's defense is lexical and total: every
+float-annotated parameter and field in the physics-bearing packages
+(``core``, ``rf``, ``wifi``) carries its unit as a name suffix —
+``tau_s``, ``distance_m``, ``frequencies_hz``, ``snr_db``,
+``phase_rad`` — so a mismatched assignment *reads* wrong at the call
+site.
+
+Checked: function/method parameters and class-level (dataclass) fields
+whose annotation is ``float`` (or ``float | None`` / ``Optional[float]``)
+in any file under a ``core``, ``rf`` or ``wifi`` directory.  A name
+passes when it ends in a recognized unit suffix
+(:data:`UNIT_SUFFIXES`) or is a known dimensionless quantity
+(:data:`UNITLESS_ALLOWLIST` — ratios, gains, regularizers, counts that
+happen to be float).  Anything else is a finding; genuinely unitless
+one-offs are suppressed inline with ``# noqa: REP004``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Diagnostic, SourceFile
+
+#: Recognized unit-name suffixes (seconds, meters, hertz, decibels,
+#: radians/degrees, and their common compounds).
+UNIT_SUFFIXES: tuple[str, ...] = (
+    "_s",       # seconds (covers compounds like _db_per_s via endswith)
+    "_m",       # meters
+    "_hz",      # hertz
+    "_db",      # decibels (ratio in dB)
+    "_dbm",     # absolute power
+    "_dbi",     # antenna gain
+    "_rad",     # radians
+    "_deg",     # degrees
+    "_mps",     # meters/second
+    "_m2",      # square meters
+    "_s2",      # seconds squared (variances)
+)
+
+#: Suffixes naming recognized *dimensionless* conventions: relative
+#: fractions (``residual_rel``), parts-per-million (``oscillator_ppm``),
+#: path-loss exponents, and normalized linear powers/amplitudes (whose
+#: dB-scaled variants carry ``_db``).
+DIMENSIONLESS_SUFFIXES: tuple[str, ...] = (
+    "_rel",
+    "_ppm",
+    "_exponent",
+    "_power",
+    "_amplitude",
+)
+
+#: Parameters whose entire name *is* the unit (``db_to_linear(db)``).
+EXACT_UNIT_NAMES: frozenset[str] = frozenset(
+    {"s", "m", "hz", "db", "dbm", "rad", "deg", "mps"}
+)
+
+#: Dimensionless float names the physics layers legitimately use.
+UNITLESS_ALLOWLIST: frozenset[str] = frozenset(
+    {
+        "exponent",          # delay-axis scale factor (2τ / 8τ)
+        "factor",            # generic scale factor
+        "scale",
+        "fraction",
+        "ratio",
+        "weight",
+        "alpha",             # solver step / mixing coefficients
+        "beta",
+        "gamma",             # FISTA momentum
+        "lam",               # L1 regularization weight
+        "lipschitz",         # ||F||² — the FISTA step-size constant
+        "threshold",         # generic solver threshold (domain-relative)
+        "scalar",            # Point.__mul__ and friends
+        "t",                 # affine interpolation parameter in [0, 1]
+        "k",                 # MAD outlier multiplier
+        "outlier_k",
+        "power",             # normalized linear power (dB variant: _db)
+        "amplitude",         # normalized linear amplitude
+        "reflection_coefficient",
+        "transmission_coefficient",
+        "permittivity",      # relative permittivity ε_r
+        "conductivity",      # S/m by convention in materials tables
+        "roughness",
+        "snr",               # linear SNR ratio (dB variant is snr_db)
+        "x",                 # Point/Segment coordinates: meters by the
+        "y",                 # geometry primitives' class contract
+        "z",
+    }
+)
+
+
+def _is_float_annotation(annotation: ast.expr | None) -> bool:
+    """Whether an annotation denotes ``float`` (incl. ``float | None``)."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "float"
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            parsed = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return False
+        return _is_float_annotation(parsed)
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        sides = [annotation.left, annotation.right]
+        has_float = any(
+            isinstance(s, ast.Name) and s.id == "float" for s in sides
+        )
+        others_ok = all(
+            (isinstance(s, ast.Name) and s.id == "float")
+            or (isinstance(s, ast.Constant) and s.value is None)
+            for s in sides
+        )
+        return has_float and others_ok
+    if isinstance(annotation, ast.Subscript):
+        base = annotation.value
+        if isinstance(base, ast.Name) and base.id == "Optional":
+            return _is_float_annotation(annotation.slice)
+        if isinstance(base, ast.Attribute) and base.attr == "Optional":
+            return _is_float_annotation(annotation.slice)
+    return False
+
+
+def name_has_unit(name: str) -> bool:
+    """Whether a name carries a recognized unit suffix or is allowlisted.
+
+    Leading underscores are ignored (``_lipschitz`` matches the
+    ``lipschitz`` allowlist entry), so private fields follow the same
+    convention as their public counterparts.
+    """
+    bare = name.lstrip("_")
+    return (
+        bare in UNITLESS_ALLOWLIST
+        or bare in EXACT_UNIT_NAMES
+        or bare.endswith(UNIT_SUFFIXES)
+        or bare.endswith(DIMENSIONLESS_SUFFIXES)
+    )
+
+
+class UnitSuffixChecker:
+    """REP004: physical floats carry their unit in their name."""
+
+    code = "REP004"
+    name = "unit-suffix"
+
+    #: Directory names whose files are in scope.
+    SCOPED_DIRS = frozenset({"core", "rf", "wifi"})
+
+    def check(self, source: SourceFile) -> Iterator[Diagnostic]:
+        if not self.SCOPED_DIRS.intersection(source.path.parts):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_signature(source, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_fields(source, node)
+
+    def _check_signature(
+        self, source: SourceFile, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        args = [
+            *func.args.posonlyargs,
+            *func.args.args,
+            *func.args.kwonlyargs,
+        ]
+        for arg in args:
+            if arg.arg in ("self", "cls"):
+                continue
+            if not _is_float_annotation(arg.annotation):
+                continue
+            if name_has_unit(arg.arg):
+                continue
+            finding = source.diag(
+                arg,
+                self.code,
+                f"float parameter '{arg.arg}' of '{func.name}()' does not "
+                "name its unit (expected a suffix like "
+                "'_s'/'_m'/'_hz'/'_db'/'_rad', or an allowlisted "
+                "dimensionless name)",
+            )
+            if finding is not None:
+                yield finding
+
+    def _check_fields(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Diagnostic]:
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.AnnAssign):
+                continue
+            if not isinstance(stmt.target, ast.Name):
+                continue
+            if not _is_float_annotation(stmt.annotation):
+                continue
+            field_name = stmt.target.id
+            if name_has_unit(field_name):
+                continue
+            finding = source.diag(
+                stmt,
+                self.code,
+                f"float field '{cls.name}.{field_name}' does not name its "
+                "unit (expected a suffix like '_s'/'_m'/'_hz'/'_db'/'_rad', "
+                "or an allowlisted dimensionless name)",
+            )
+            if finding is not None:
+                yield finding

@@ -1,0 +1,52 @@
+"""REP005 — deprecated serving APIs must not be called in shipped code.
+
+The unified request API (``submit(request)``) replaced the
+per-kind ``submit_sweeps`` entry point; the alias survives only to
+warn.  This rule supersedes the CI grep gate with an AST-level ban:
+a *call* whose callee is named ``submit_sweeps`` is flagged, while the
+alias's own ``def`` (and the tests that pin its DeprecationWarning,
+which live outside the checked tree) are not.
+
+New deprecations are one entry in :data:`DEPRECATED_CALLS` away.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Diagnostic, SourceFile
+
+#: callee name -> replacement hint.
+DEPRECATED_CALLS: dict[str, str] = {
+    "submit_sweeps": "build a SweepRequest and pass it to submit(request)",
+}
+
+
+class DeprecatedApiChecker:
+    """REP005: shipped code never calls a deprecated serving API."""
+
+    code = "REP005"
+    name = "deprecated-api"
+
+    def check(self, source: SourceFile) -> Iterator[Diagnostic]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            replacement = DEPRECATED_CALLS.get(name)
+            if replacement is None:
+                continue
+            finding = source.diag(
+                node,
+                self.code,
+                f"call to deprecated '{name}()'; {replacement}",
+            )
+            if finding is not None:
+                yield finding

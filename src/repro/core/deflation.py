@@ -391,7 +391,7 @@ def prune_ghost_atoms(
     frequencies_hz: np.ndarray,
     shifts_s: list[float],
     max_delay_s: float,
-    rel_margin: float = 0.05,
+    margin_rel: float = 0.05,
     final_alpha_rel: float = 0.1,
     merge_tolerance_s: float = 0.4e-9,
     target_mean_delay_s: float | None = None,
@@ -402,7 +402,7 @@ def prune_ghost_atoms(
     Every atom is tested against copies of itself displaced by the known
     ghost shifts (both directions).  The placement that minimizes the
     joint least-squares residual wins.  When several placements fit
-    within ``rel_margin`` of the best, the residual alone cannot decide
+    within ``margin_rel`` of the best, the residual alone cannot decide
     (the lattice bands are blind to the shift); the tie-break then uses
     ``target_mean_delay_s`` — the slope-derived energy-weighted mean
     delay, which has **no lattice ambiguity**: the placement whose
@@ -431,7 +431,7 @@ def prune_ghost_atoms(
         freqs,
         shifts_s,
         max_delay_s,
-        rel_margin=rel_margin,
+        margin_rel=margin_rel,
         merge_tolerance_s=merge_tolerance_s,
         target_mean_delay_s=target_mean_delay_s,
         score_candidates=score_candidates,
@@ -446,7 +446,7 @@ def relocate_ghost_delays(
     freqs: np.ndarray,
     shifts_s: list[float],
     max_delay_s: float,
-    rel_margin: float = 0.05,
+    margin_rel: float = 0.05,
     merge_tolerance_s: float = 0.4e-9,
     target_mean_delay_s: float | None = None,
     score_candidates=None,
@@ -496,7 +496,7 @@ def relocate_ghost_delays(
             admissible = [
                 (float(mean), c)
                 for rss, mean, c in zip(rss_all, mean_all, candidates)
-                if rss <= best_rss * (1.0 + rel_margin)
+                if rss <= best_rss * (1.0 + margin_rel)
             ]
             if target_mean_delay_s is not None:
                 chosen = min(admissible, key=lambda mc: abs(mc[0] - target_mean_delay_s))[1]
@@ -532,7 +532,7 @@ def finalize_pruned_paths(delays: np.ndarray, amps: np.ndarray) -> list[RefinedP
 def _polish(
     residual: np.ndarray,
     freqs: np.ndarray,
-    tau0: float,
+    tau0_s: float,
     half_window_s: float,
     max_delay_s: float = np.inf,
 ) -> float:
@@ -544,11 +544,11 @@ def _polish(
     delay the aperture cannot distinguish from an alias inside it.
     """
 
-    def correlation(tau: float) -> float:
-        return float(np.abs(np.vdot(steering_vector(freqs, tau), residual)))
+    def correlation(tau_s: float) -> float:
+        return float(np.abs(np.vdot(steering_vector(freqs, tau_s), residual)))
 
-    lo = max(tau0 - half_window_s, 0.0)
-    hi = min(tau0 + half_window_s, max_delay_s)
+    lo = max(tau0_s - half_window_s, 0.0)
+    hi = min(tau0_s + half_window_s, max_delay_s)
     scan = np.linspace(lo, hi, 17)
     coarse = float(scan[int(np.argmax(scan_correlations(residual, freqs, scan)))])
     step = float(scan[1] - scan[0])

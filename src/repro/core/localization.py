@@ -86,20 +86,22 @@ class LocalizationResult:
         return not (self.anchors_colinear and len(self.candidates) > 1)
 
 
-def circle_intersections(c1: Point, r1: float, c2: Point, r2: float) -> list[Point]:
+def circle_intersections(
+    c1: Point, r1_m: float, c2: Point, r2_m: float
+) -> list[Point]:
     """Intersection points of two circles (0, 1 or 2 points).
 
     Concentric circles and containment/separation cases return ``[]``.
     """
-    if r1 < 0 or r2 < 0:
-        raise ValueError(f"radii must be non-negative, got {r1}, {r2}")
+    if r1_m < 0 or r2_m < 0:
+        raise ValueError(f"radii must be non-negative, got {r1_m}, {r2_m}")
     d = c1.distance_to(c2)
     if d < 1e-12:
         return []
-    if d > r1 + r2 or d < abs(r1 - r2):
+    if d > r1_m + r2_m or d < abs(r1_m - r2_m):
         return []
-    a = (r1**2 - r2**2 + d**2) / (2.0 * d)
-    h_sq = r1**2 - a**2
+    a = (r1_m**2 - r2_m**2 + d**2) / (2.0 * d)
+    h_sq = r1_m**2 - a**2
     h = math.sqrt(max(h_sq, 0.0))
     direction = (c2 - c1) * (1.0 / d)
     mid = c1 + a * direction

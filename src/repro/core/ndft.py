@@ -167,8 +167,19 @@ class NdftOperator:
     frequencies_hz: np.ndarray
     taus_s: np.ndarray
     F: np.ndarray = field(init=False)
-    _adjoint: np.ndarray | None = field(default=None, init=False, repr=False)
-    _lipschitz: float | None = field(default=None, init=False, repr=False)
+    # Lazy memoization fields.  Cached operators are shared across the
+    # RangingService worker pool, so a first-touch race on these would
+    # recompute the SVD per thread and publish a half-written float/array
+    # reference; both properties double-check under _op_lock instead.
+    _op_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+    _adjoint: np.ndarray | None = field(  # guarded-by: self._op_lock
+        default=None, init=False, repr=False
+    )
+    _lipschitz: float | None = field(  # guarded-by: self._op_lock
+        default=None, init=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         # Private copies: cached operators outlive their callers, and a
@@ -194,27 +205,33 @@ class NdftOperator:
     def adjoint(self) -> np.ndarray:
         """``Fᴴ``, materialized once (the gradient uses it every step)."""
         if self._adjoint is None:
-            adj = np.ascontiguousarray(self.F.conj().T)
-            adj.setflags(write=False)
-            self._adjoint = adj
+            with self._op_lock:
+                if self._adjoint is None:
+                    adj = np.ascontiguousarray(self.F.conj().T)
+                    adj.setflags(write=False)
+                    self._adjoint = adj
         return self._adjoint
 
     @property
     def lipschitz(self) -> float:
         """``||F||²`` — the FISTA step-size constant, computed once."""
         if self._lipschitz is None:
-            self._lipschitz = float(np.linalg.norm(self.F, 2) ** 2)
+            with self._op_lock:
+                if self._lipschitz is None:
+                    self._lipschitz = float(np.linalg.norm(self.F, 2) ** 2)
         return self._lipschitz
 
 
-_OPERATOR_CACHE: OrderedDict[tuple[bytes, bytes], NdftOperator] = OrderedDict()
-_OPERATOR_CACHE_MAXSIZE = 32
 # One lock guards the OrderedDict *and* the counters: move_to_end /
 # popitem interleaved from concurrent RangingService threads corrupt the
 # LRU bookkeeping (move_to_end raises KeyError racing a clear/eviction).
 _OPERATOR_CACHE_LOCK = threading.Lock()
-_cache_hits = 0
-_cache_misses = 0
+_OPERATOR_CACHE: OrderedDict[  # guarded-by: _OPERATOR_CACHE_LOCK
+    tuple[bytes, bytes], NdftOperator
+] = OrderedDict()
+_OPERATOR_CACHE_MAXSIZE = 32
+_cache_hits = 0  # guarded-by: _OPERATOR_CACHE_LOCK
+_cache_misses = 0  # guarded-by: _OPERATOR_CACHE_LOCK
 
 
 def get_operator(frequencies_hz: np.ndarray, taus_s: np.ndarray) -> NdftOperator:

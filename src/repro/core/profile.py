@@ -268,8 +268,8 @@ def _polish_single_delay(
     others = np.delete(np.arange(len(delays)), index)
     residual = h - ndft_matrix(freqs, delays[others]) @ amps[others]
 
-    def correlation(tau: float) -> float:
-        return float(np.abs(np.vdot(steering_vector(freqs, tau), residual)))
+    def correlation(tau_s: float) -> float:
+        return float(np.abs(np.vdot(steering_vector(freqs, tau_s), residual)))
 
     lo = max(delays[index] - half_window_s, 0.0)
     hi = delays[index] + half_window_s
@@ -292,14 +292,14 @@ def scan_correlations(
     return np.abs(phases @ residual)
 
 
-def _golden_max(fn, lo: float, hi: float, tol: float = 1e-13) -> float:
+def _golden_max(fn, lo_s: float, hi_s: float, tol_s: float = 1e-13) -> float:
     """Golden-section maximization of a unimodal scalar function."""
     invphi = (np.sqrt(5.0) - 1.0) / 2.0
-    a, b = lo, hi
+    a, b = lo_s, hi_s
     c = b - invphi * (b - a)
     d = a + invphi * (b - a)
     fc, fd = fn(c), fn(d)
-    while (b - a) > tol:
+    while (b - a) > tol_s:
         if fc > fd:
             b, d, fd = d, c, fc
             c = b - invphi * (b - a)

@@ -504,10 +504,10 @@ class TofEstimator:
         )
 
     def _ista_profile(
-        self, window: float, freqs: np.ndarray, products: np.ndarray
+        self, window_s: float, freqs: np.ndarray, products: np.ndarray
     ) -> MultipathProfile:
         """Algorithm 1's multipath profile on the coarse band set."""
-        op = get_grid_operator(freqs, window, self.config.grid_step_s)
+        op = get_grid_operator(freqs, window_s, self.config.grid_step_s)
         solution = invert_ndft(
             products, freqs, op.taus_s, self.config.sparse, operator=op
         )
@@ -545,15 +545,15 @@ class TofEstimator:
 
     def _make_profile(
         self,
-        window: float,
+        window_s: float,
         freqs: np.ndarray,
         products: np.ndarray,
         paths: list[RefinedPath],
     ) -> MultipathProfile:
         """Diagnostic profile: Algorithm 1, or rasterized extracted paths."""
         if self.config.compute_profile:
-            return self._ista_profile(window, freqs, products)
-        grid = tau_grid(window, self.config.grid_step_s)
+            return self._ista_profile(window_s, freqs, products)
+        grid = tau_grid(window_s, self.config.grid_step_s)
         amps = np.zeros(len(grid), dtype=complex)
         for p in paths:
             idx = int(np.argmin(np.abs(grid - p.delay_s)))
@@ -590,8 +590,8 @@ class TofEstimator:
                 others = np.delete(np.arange(len(delays)), k)
                 residual = products - ndft_matrix(freqs, delays[others]) @ amps[others]
 
-                def correlation(tau: float) -> float:
-                    steering = np.exp(-2.0j * np.pi * freqs * tau)
+                def correlation(tau_s: float) -> float:
+                    steering = np.exp(-2.0j * np.pi * freqs * tau_s)
                     return float(np.abs(np.vdot(steering, residual)))
 
                 lo = max(delays[k] - polish_window_s, 0.0)

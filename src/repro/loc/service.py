@@ -41,6 +41,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -76,12 +77,21 @@ class LocConfig:
         tolerance_m: Slack for the §12.2 geometry-consistency filter.
         min_ok_anchors: Fewest usable anchor ranges a client may have
             before its fix fails outright (the solver needs 2).
+        offload_solve: Run the batched position solves on a worker
+            thread (``run_in_executor``) instead of inline in the flush
+            callback.  The geometry filter plus least-squares over a
+            large fleet tick is real CPU work; inline it stalls the
+            event loop — and with it the ranging layer's own flush
+            timers — for the duration.  ``False`` restores the inline
+            solve (deterministic single-threaded debugging), matching
+            the streaming layer's ``offload_flush`` switch.
     """
 
     solve_wait_s: float = 0.0
     max_solve_clients: int = 1024
     tolerance_m: float = 0.3
     min_ok_anchors: int = 2
+    offload_solve: bool = True
 
     def __post_init__(self) -> None:
         if self.solve_wait_s < 0:
@@ -224,6 +234,12 @@ class LocalizationService:
         self._solve_handle: asyncio.TimerHandle | asyncio.Handle | None = None
         self._solve_loop: asyncio.AbstractEventLoop | None = None
         self._stats = LocStats()
+        # Lazily-created size-1 worker the offloaded position solves
+        # run on.  Size 1 on purpose: solves stay ordered (and the
+        # solver layer needs no thread safety of its own), the win is
+        # keeping the loop free, not solver parallelism.
+        self._solve_executor: ThreadPoolExecutor | None = None
+        self._inflight: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
     # Public API
@@ -307,10 +323,17 @@ class LocalizationService:
         # position j refers to requests[j] / client_anchors[j].
         anchor_errors: list[str | None] = []
         ok_indices: list[int] = []
+        ok_distances_m: list[float] = []  # parallel to ok_indices
         for idx, response in enumerate(responses):
-            if response.ok and math.isfinite(response.estimate.distance_m):
+            estimate = response.estimate
+            if (
+                response.ok
+                and estimate is not None
+                and math.isfinite(estimate.distance_m)
+            ):
                 anchor_errors.append(None)
                 ok_indices.append(idx)
+                ok_distances_m.append(estimate.distance_m)
             else:
                 anchor_errors.append(
                     response.error or "non-finite distance estimate"
@@ -334,7 +357,7 @@ class LocalizationService:
         result, solve_error = await self._solve(
             client_id,
             [client_anchors[i] for i in ok_indices],
-            [responses[i].estimate.distance_m for i in ok_indices],
+            ok_distances_m,
             hint,
             signature=tuple(client_anchor_indices[i] for i in ok_indices),
         )
@@ -353,14 +376,15 @@ class LocalizationService:
         self._stats = self._bump(
             n_fixes=1, n_anchor_range_failures=n_range_failures
         )
+        distance_by_index = dict(zip(ok_indices, ok_distances_m))
         return PositionFix(
             client_id=client_id,
             position=result.position,
             residual_rms_m=result.residual_rms_m,
             used_anchors=tuple(ok_indices[i] for i in result.used_indices),
             distances_m=tuple(
-                responses[i].estimate.distance_m if err is None else math.nan
-                for i, err in enumerate(anchor_errors)
+                distance_by_index.get(i, math.nan)
+                for i in range(len(anchor_errors))
             ),
             anchor_errors=tuple(anchor_errors),
             geometry_drops=tuple(
@@ -380,22 +404,47 @@ class LocalizationService:
         )
 
     async def drain(self) -> None:
-        """Flush parked ranging and position solves now."""
+        """Flush parked ranging and position solves now.
+
+        With offloaded solves, also awaits every in-flight solve task
+        on this loop, so callers' futures are resolved by the time
+        ``drain`` returns — the same guarantee the inline solve gave
+        for free.
+        """
         await self.ranging.drain()
         if self._pending:
             self._cancel_scheduled_solve()
             self._flush_solves()
+        loop = asyncio.get_running_loop()
+        while True:
+            # Tasks created on a loop that has since died have no
+            # caller left to deliver to; awaiting them here would raise.
+            self._inflight = {
+                t for t in self._inflight if not t.get_loop().is_closed()
+            }
+            mine = [
+                t
+                for t in self._inflight
+                if not t.done() and t.get_loop() is loop
+            ]
+            if not mine:
+                break
+            await asyncio.gather(*mine, return_exceptions=True)
         await asyncio.sleep(0)
 
     def close(self) -> None:
-        """Release the backing ranging service's flush worker (idempotent).
+        """Release the worker threads this service owns (idempotent).
 
         Owners that create and discard many services (tests,
-        experiments) should call this — the streaming layer's size-1
-        flush executor is a real thread.  The service stays usable; a
-        later round simply spins the worker back up.
+        experiments) should call this — the streaming layer's flush
+        executors and the position-solve worker are real threads.  The
+        service stays usable; a later round simply spins the workers
+        back up.
         """
         self.ranging.close()
+        executor, self._solve_executor = self._solve_executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
 
     # ------------------------------------------------------------------
     # Internals
@@ -498,6 +547,12 @@ class LocalizationService:
         anchor-count grouping, which request-level anchor sets made
         ambiguous) — and a degenerate system is retried alone so its
         group survives.
+
+        With ``offload_solve`` (the default) the solver calls run on
+        the solve worker and only their *results* come back to the
+        loop to resolve futures — a fleet-sized least-squares tick no
+        longer freezes the loop (and every ranging timer on it) for
+        its duration.  Without it the solves run inline, as before.
         """
         self._solve_handle = None
         pending = [
@@ -511,10 +566,18 @@ class LocalizationService:
         by_signature: dict[tuple[int, ...], list[_PendingSolve]] = {}
         for p in pending:
             by_signature.setdefault(p.signature, []).append(p)
+        groups = list(by_signature.values())
+        if self.loc_config.offload_solve:
+            task = asyncio.get_running_loop().create_task(
+                self._run_solves(groups)
+            )
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+            return
         n_solves = 0
         largest = 0
-        for group in by_signature.values():
-            batched = self._solve_group(group)
+        for group in groups:
+            batched = self._resolve_group(group, *self._solve_group_safe(group))
             # Honest coalescing telemetry: one solve per solver call
             # actually made — a group that fell back to per-client
             # retries records them individually, so
@@ -526,12 +589,45 @@ class LocalizationService:
         # its own coalescing.
         self._stats = self._bump(n_solves=n_solves, largest_solve=largest)
 
-    def _solve_group(self, group: list[_PendingSolve]) -> bool:
-        """Solve one shared-signature group; True if batched.
+    async def _run_solves(self, groups: list[list[_PendingSolve]]) -> None:
+        """Offloaded flush body: solve on the worker, resolve on the loop.
 
-        All members share one anchor geometry (that is what the
-        signature means), so the anchors pass to the batched solver
-        once, as a shared array.
+        Futures are resolved only after the ``await`` (on the loop —
+        ``Future.set_result`` is not thread-safe), and the stats update
+        runs loop-serialized after the last group lands, the same
+        ordering discipline as the streaming layer's offloaded flush.
+        """
+        loop = asyncio.get_running_loop()
+        if self._solve_executor is None:
+            self._solve_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="loc-solve"
+            )
+        n_solves = 0
+        largest = 0
+        for group in groups:
+            outcomes, error, batched = await loop.run_in_executor(
+                self._solve_executor, self._solve_group_safe, group
+            )
+            self._resolve_group(group, outcomes, error, batched)
+            n_solves += 1 if batched else len(group)
+            largest = max(largest, len(group) if batched else 1)
+        self._stats = self._bump(n_solves=n_solves, largest_solve=largest)
+
+    def _solve_group_safe(
+        self, group: list[_PendingSolve]
+    ) -> tuple[
+        list[tuple[LocalizationResult | None, str | None]] | None,
+        Exception | None,
+        bool,
+    ]:
+        """Solve one shared-signature group; pure compute, no futures.
+
+        Returns ``(outcomes, fatal_error, batched)``.  Safe to run on
+        the solve worker: it touches no loop or service state, so the
+        caller resolves futures (and bumps stats) on the loop.  All
+        members share one anchor geometry (that is what the signature
+        means), so the anchors pass to the batched solver once, as a
+        shared array.
         """
         batched = True
         try:
@@ -549,9 +645,23 @@ class LocalizationService:
                 batched = False
                 outcomes = [self._solve_alone(p) for p in group]
         except Exception as exc:  # noqa: BLE001 — a dying solve must not hang callers
+            return None, exc, batched
+        return outcomes, None, batched
+
+    @staticmethod
+    def _resolve_group(
+        group: list[_PendingSolve],
+        outcomes: list[tuple[LocalizationResult | None, str | None]] | None,
+        error: Exception | None,
+        batched: bool,
+    ) -> bool:
+        """Deliver one group's solve results to its callers (loop only)."""
+        if outcomes is None:
             for p in group:
                 if not p.future.done() and not p.future.get_loop().is_closed():
-                    p.future.set_exception(exc)
+                    p.future.set_exception(
+                        error if error is not None else RuntimeError("solve failed")
+                    )
             return batched
         for p, outcome in zip(group, outcomes):
             if not p.future.done() and not p.future.get_loop().is_closed():

@@ -96,8 +96,11 @@ class RangingRequest(LinkRequest):
             omitted).
     """
 
-    frequencies_hz: np.ndarray = None
-    products: np.ndarray = None
+    # Defaulted to None only so the kw-only envelope fields of
+    # LinkRequest can precede them; __post_init__ rejects the Nones, so
+    # a constructed request always carries real arrays.
+    frequencies_hz: np.ndarray = None  # type: ignore[assignment]
+    products: np.ndarray = None  # type: ignore[assignment]
     exponent: int = 2
     calibration: LinkCalibration | None = None
 
@@ -183,7 +186,7 @@ class RangingService:
         config: TofEstimatorConfig | None = None,
         max_shard_links: int = 256,
         engine: BatchTofEngine | None = None,
-    ):
+    ) -> None:
         if max_shard_links < 1:
             raise ValueError(f"shards need at least one link, got {max_shard_links}")
         self.engine = engine or BatchTofEngine(config)
@@ -212,7 +215,7 @@ class RangingService:
         streaming flush pool) may solve groups concurrently and in any
         order.
         """
-        by_plan: dict[tuple[bytes, int], list[int]] = {}
+        by_plan: dict[object, list[int]] = {}
         for idx, request in enumerate(requests):
             by_plan.setdefault(self.plan_key(request), []).append(idx)
         return list(by_plan.values())
@@ -317,7 +320,7 @@ class RangingService:
             requests[i].calibration or LinkCalibration() for i in shard
         ]
         hints = [requests[i].hint for i in shard]
-        kwargs = {}
+        kwargs: dict[str, Any] = {}
         if any(h is not None for h in hints):
             # Only pass the keyword when a hint is actually present, so
             # injected test engines with the pre-hint signature keep

@@ -397,6 +397,9 @@ def rectangular_room(
     )
 
 
-def partition(x1: float, y1: float, x2: float, y2: float, material: Material = DRYWALL) -> Wall:
-    """Convenience constructor for an inner wall segment."""
-    return Wall(Segment(Point(x1, y1), Point(x2, y2)), material)
+def partition(
+    x1_m: float, y1_m: float, x2_m: float, y2_m: float,
+    material: Material = DRYWALL,
+) -> Wall:
+    """Convenience constructor for an inner wall segment (coords in meters)."""
+    return Wall(Segment(Point(x1_m, y1_m), Point(x2_m, y2_m)), material)

@@ -92,14 +92,14 @@ class Segment:
             self.a.y + t * (self.b.y - self.a.y),
         )
 
-    def contains_point(self, p: Point, tol: float = 1e-9) -> bool:
-        """True when ``p`` lies on the segment within ``tol`` meters."""
+    def contains_point(self, p: Point, tol_m: float = 1e-9) -> bool:
+        """True when ``p`` lies on the segment within ``tol_m`` meters."""
         ab = self.b - self.a
         ap = p - self.a
-        if abs(ab.cross(ap)) > tol * max(ab.norm(), 1.0):
+        if abs(ab.cross(ap)) > tol_m * max(ab.norm(), 1.0):
             return False
         t = ap.dot(ab) / max(ab.dot(ab), _EPS)
-        return -tol <= t <= 1.0 + tol
+        return -tol_m <= t <= 1.0 + tol_m
 
 
 def mirror_point(p: Point, wall: Segment) -> Point:

@@ -39,10 +39,11 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import threading
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.cfo import LinkCalibration
 from repro.core.hints import SolveHint
@@ -237,10 +238,22 @@ class StreamingRangingService:
         # The band-plan-keyed flush pool: slot index -> size-1 worker.
         # A plan is pinned to one slot for the service's life, so one
         # plan's solves stay ordered on one thread while different
-        # plans overlap on different workers.
-        self._executors: dict[int, ThreadPoolExecutor] = {}
-        self._slot_by_key: dict[object, int] = {}  # LRU order: oldest first
-        self._plans_pinned = 0  # monotonic; drives the round-robin
+        # plans overlap on different workers.  One RLock (re-entrant:
+        # _group_executor takes it and calls _pool_slot, which takes it
+        # again) guards all three pieces of pool state — close() may
+        # run from any owner thread while a StreamClient loop is
+        # pinning a new plan, and an unguarded swap there could hand a
+        # group an executor that close() already shut down, or leak a
+        # worker that close() never saw.
+        self._pool_lock = threading.RLock()
+        self._executors: dict[  # guarded-by: self._pool_lock
+            int, ThreadPoolExecutor
+        ] = {}
+        self._slot_by_key: dict[  # guarded-by: self._pool_lock
+            object, int
+        ] = {}  # LRU order: oldest first
+        # Monotonic; drives the round-robin.
+        self._plans_pinned = 0  # guarded-by: self._pool_lock
         self._inflight: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
@@ -333,7 +346,8 @@ class StreamingRangingService:
         submission after ``close`` simply spins up fresh workers — the
         service stays usable.
         """
-        executors, self._executors = self._executors, {}
+        with self._pool_lock:
+            executors, self._executors = self._executors, {}
         for executor in executors.values():
             executor.shutdown(wait=False)
 
@@ -490,24 +504,24 @@ class StreamingRangingService:
         first-seen order; groups share no state, so the pool may solve
         them concurrently.
         """
-        groups: dict[object, list[_Pending]] = {}
+        groups: dict[object, tuple[object, list[_Pending], object, bool]] = {}
         for p in batch:
             if isinstance(p.request, RangingRequest):
                 key: object = ("products", self.service.plan_key(p.request))
+                solver: object = self._solve_products
+                is_sweep = False
             else:
                 # SweepRequest.plan_signature: a "sweeps"-marked
                 # frequency-set key, disjoint from product keys.
                 key = p.request.plan_signature()
-            groups.setdefault(key, []).append(p)
-        return [
-            (
-                key,
-                pending,
-                self._solve_sweeps if key[0] == "sweeps" else self._solve_products,
-                key[0] == "sweeps",
-            )
-            for key, pending in groups.items()
-        ]
+                solver = self._solve_sweeps
+                is_sweep = True
+            entry = groups.get(key)
+            if entry is None:
+                entry = (key, [], solver, is_sweep)
+                groups[key] = entry
+            entry[1].append(p)
+        return list(groups.values())
 
     def _run_flush_inline(self, batch: list[_Pending]) -> None:
         """The pre-offload behavior: solve and resolve on the loop thread.
@@ -616,17 +630,18 @@ class StreamingRangingService:
         and would otherwise hand every post-saturation plan the same
         slot).
         """
-        slot = self._slot_by_key.pop(key, None)
-        if slot is None:
-            slot = self._plans_pinned % self.stream_config.flush_workers
-            self._plans_pinned += 1
-        self._slot_by_key[key] = slot  # (re)insert at LRU back
-        while len(self._slot_by_key) > self._MAX_PINNED_PLANS:
-            oldest = next(iter(self._slot_by_key))
-            if oldest == key:
-                break
-            del self._slot_by_key[oldest]
-        return slot
+        with self._pool_lock:
+            slot = self._slot_by_key.pop(key, None)
+            if slot is None:
+                slot = self._plans_pinned % self.stream_config.flush_workers
+                self._plans_pinned += 1
+            self._slot_by_key[key] = slot  # (re)insert at LRU back
+            while len(self._slot_by_key) > self._MAX_PINNED_PLANS:
+                oldest = next(iter(self._slot_by_key))
+                if oldest == key:
+                    break
+                del self._slot_by_key[oldest]
+            return slot
 
     def _group_executor(self, key: object) -> ThreadPoolExecutor:
         """The lazily-created size-1 worker a plan group solves on.
@@ -636,14 +651,15 @@ class StreamingRangingService:
         the workers may run next to direct ``RangingService`` callers
         and each other.
         """
-        slot = self._pool_slot(key)
-        executor = self._executors.get(slot)
-        if executor is None:
-            executor = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix=f"ranging-flush-{slot}"
-            )
-            self._executors[slot] = executor
-        return executor
+        with self._pool_lock:
+            slot = self._pool_slot(key)
+            executor = self._executors.get(slot)
+            if executor is None:
+                executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"ranging-flush-{slot}"
+                )
+                self._executors[slot] = executor
+            return executor
 
     # ------------------------------------------------------------------
     # Solvers — pure request → responses, safe on the flush worker
@@ -675,7 +691,7 @@ class StreamingRangingService:
         self, requests: list[SweepRequest]
     ) -> list[RangingResponse]:
         hints = [request.hint for request in requests]
-        kwargs = {}
+        kwargs: dict[str, Any] = {}
         if any(h is not None for h in hints):
             # Keyword only when a hint is present, so injected test
             # engines with the pre-hint signature keep working on

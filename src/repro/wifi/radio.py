@@ -167,13 +167,13 @@ class SimulatedLink:
                 freqs=freqs,
                 offsets=offsets,
                 h_true=h_true,
-                chain_delay=self.tx_state.tx_chain_delay_s + self.rx_state.rx_chain_delay_s,
+                chain_delay_s=self.tx_state.tx_chain_delay_s + self.rx_state.rx_chain_delay_s,
                 chain_ripple_rad=(
                     self.tx_state.tx_ripple_rad(band.channel)
                     + self.rx_state.rx_ripple_rad(band.channel)
                 ),
                 delay_model=self.rx_state.profile.detection_delay,
-                cfo_phase=lo_phase + fom.sample_jitter_rad(self.rng),
+                cfo_phase_rad=lo_phase + fom.sample_jitter_rad(self.rng),
                 kappa=1.0 + 0.0j,
                 timestamp_s=t,
             )
@@ -183,13 +183,13 @@ class SimulatedLink:
                 freqs=freqs,
                 offsets=offsets,
                 h_true=h_true,
-                chain_delay=self.rx_state.tx_chain_delay_s + self.tx_state.rx_chain_delay_s,
+                chain_delay_s=self.rx_state.tx_chain_delay_s + self.tx_state.rx_chain_delay_s,
                 chain_ripple_rad=(
                     self.rx_state.tx_ripple_rad(band.channel)
                     + self.tx_state.rx_ripple_rad(band.channel)
                 ),
                 delay_model=self.tx_state.profile.detection_delay,
-                cfo_phase=rev_phase + fom.sample_jitter_rad(self.rng),
+                cfo_phase_rad=rev_phase + fom.sample_jitter_rad(self.rng),
                 kappa=self._kappa,
                 timestamp_s=t + turnaround,
             )
@@ -203,18 +203,18 @@ class SimulatedLink:
         freqs: np.ndarray,
         offsets: np.ndarray,
         h_true: np.ndarray,
-        chain_delay: float,
+        chain_delay_s: float,
         chain_ripple_rad: float,
         delay_model,
-        cfo_phase: float,
+        cfo_phase_rad: float,
         kappa: complex,
         timestamp_s: float,
     ) -> BandCsi:
         """One direction's measured CSI for one packet."""
-        csi = h_true * np.exp(-2.0j * np.pi * freqs * chain_delay)
+        csi = h_true * np.exp(-2.0j * np.pi * freqs * chain_delay_s)
         delta = delay_model.sample(self.rng)
         csi = csi * np.exp(-2.0j * np.pi * offsets * delta)
-        csi = csi * kappa * np.exp(1j * (cfo_phase + chain_ripple_rad))
+        csi = csi * kappa * np.exp(1j * (cfo_phase_rad + chain_ripple_rad))
         csi = awgn(csi, self._snr_db, self.rng)
         quirked = (
             band.is_2g4

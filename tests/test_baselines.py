@@ -85,7 +85,10 @@ class TestMatchedFilter:
 
 
 class TestMusic:
-    def _band_csi(self, delays, amps, band=Band(36, 5.18e9)):
+    _BAND = Band(36, 5.18e9)
+
+    def _band_csi(self, delays, amps, band=None):
+        band = band or self._BAND
         freqs = subcarrier_frequencies(band.center_hz)
         h = channel_at(from_delays(delays, amps), freqs)
         return BandCsi(band=band, csi=h)

@@ -123,3 +123,106 @@ class TestOperatorCacheThreadSafety:
             assert all(r.ok for r in out)
             for r in out:
                 assert r.estimate.tof_s == pytest.approx(30e-9, abs=0.5e-9)
+
+
+class TestOperatorLazyMemoization:
+    """The per-operator lock behind NdftOperator's lazy properties.
+
+    Cached operators are shared across service worker threads; before
+    the lock, a first-touch race on ``lipschitz`` ran one full SVD per
+    racing thread and the last writer won (wasted work, and a reader
+    could observe a torn publish on ``_adjoint``).
+    """
+
+    def test_lipschitz_computed_once_across_threads(self, monkeypatch):
+        clear_operator_cache()
+        op = get_grid_operator(FREQS, 100e-9, 1e-9)
+        calls: list[int] = []
+        real_norm = np.linalg.norm
+        barrier = threading.Barrier(8)
+
+        def counting_norm(*args, **kwargs):
+            calls.append(threading.get_ident())
+            return real_norm(*args, **kwargs)
+
+        monkeypatch.setattr(np.linalg, "norm", counting_norm)
+        results: list[float] = []
+
+        def worker(k):
+            barrier.wait()
+            results.append(op.lipschitz)
+
+        errors = _run_threads(worker)
+        assert errors == []
+        assert len(calls) == 1  # double-checked locking: one SVD total
+        assert len(set(results)) == 1
+
+    def test_adjoint_single_shared_array_across_threads(self):
+        clear_operator_cache()
+        op = get_grid_operator(FREQS, 100e-9, 1e-9)
+        barrier = threading.Barrier(8)
+        results = []
+
+        def worker(k):
+            barrier.wait()
+            results.append(op.adjoint)
+
+        errors = _run_threads(worker)
+        assert errors == []
+        assert all(r is results[0] for r in results)
+        assert not results[0].flags.writeable
+
+
+class TestFlushPoolThreadSafety:
+    """The RLock guarding the streaming layer's band-plan flush pool."""
+
+    def _service(self, workers=2):
+        from repro.stream.service import StreamConfig, StreamingRangingService
+
+        return StreamingRangingService(stream=StreamConfig(flush_workers=workers))
+
+    def test_concurrent_pinning_yields_one_executor_per_plan(self):
+        """8 threads racing to pin one brand-new plan must agree on a
+        single slot and a single worker (no orphaned executors)."""
+        service = self._service()
+        barrier = threading.Barrier(8)
+        results = []
+
+        def worker(k):
+            barrier.wait()
+            results.append(service._group_executor(("products", "planA")))
+
+        try:
+            errors = _run_threads(worker)
+            assert errors == []
+            assert all(r is results[0] for r in results)
+            assert service._plans_pinned == 1
+            assert len(service._executors) == 1
+        finally:
+            service.close()
+
+    def test_close_racing_pinning_leaks_no_worker(self):
+        """close() swapping the pool out from under a pinner must not
+        strand an executor where no close() can ever reach it."""
+        service = self._service()
+        created = []
+        barrier = threading.Barrier(8)
+
+        def worker(k):
+            barrier.wait()
+            if k % 2 == 0:
+                for i in range(40):
+                    created.append(
+                        service._group_executor(("products", f"plan{i % 4}"))
+                    )
+            else:
+                for _ in range(40):
+                    service.close()
+
+        errors = _run_threads(worker)
+        assert errors == []
+        service.close()
+        # Every worker ever handed out is now shut down: nothing leaked
+        # into a dict that close() no longer sees.
+        assert all(ex._shutdown for ex in created)
+        assert service._executors == {}

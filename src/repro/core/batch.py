@@ -53,6 +53,7 @@ from repro.core.deflation_batch import (
 )
 from repro.core.hints import SolveHint, WarmStartStats, ensure_hints
 from repro.core.ndft import capped_window_s, get_grid_operator
+from repro.obs import COUNT_BUCKETS, REGISTRY, timed_span
 from repro.core.profile import MultipathProfile
 from repro.core.sparse import invert_ndft_batch
 from repro.core.tof import (
@@ -99,11 +100,15 @@ class BatchTofEngine:
             Per-link state (calibration) is passed per call instead.
 
     Attributes:
-        last_warm_stats: Warm-start telemetry of the most recent public
-            estimate call — hinted/stale link counts and the per-solve
-            FISTA iteration counts the ``streaming_warm`` benchmark
-            series compares.  Built locally and assigned once per call,
-            so concurrent readers always see a consistent snapshot.
+        last_warm_stats: **Deprecated best-effort mirror** of the most
+            recent public estimate call's warm-start telemetry.  Under
+            the concurrent flush pool, overlapping plan groups race on
+            this attribute — each assignment is atomic (a consistent
+            snapshot), but *whose* call you read is arbitrary.  New
+            code should pass ``warm_stats_out`` to receive the calling
+            solve's own :class:`~repro.core.hints.WarmStartStats`, or
+            read the cumulative ``engine.*`` series in
+            :data:`repro.obs.REGISTRY`.
     """
 
     def __init__(self, config: TofEstimatorConfig | None = None):
@@ -125,6 +130,7 @@ class BatchTofEngine:
         exponent: int = 2,
         calibrations: Sequence[LinkCalibration] | None = None,
         hints: Sequence[SolveHint | None] | None = None,
+        warm_stats_out: list[WarmStartStats] | None = None,
     ) -> list[TofEstimate]:
         """ToF for ``N`` links from stacked band products.
 
@@ -143,6 +149,10 @@ class BatchTofEngine:
                 :class:`~repro.core.hints.SolveHint`).  Hinted and
                 unhinted links coexist in one stacked solve; a stale
                 hint degrades to that link's cold solve.
+            warm_stats_out: Optional list this call appends its own
+                :class:`~repro.core.hints.WarmStartStats` to — the
+                race-free replacement for reading ``last_warm_stats``
+                under concurrent solves.
 
         Returns:
             One :class:`TofEstimate` per row of ``channels``.
@@ -162,10 +172,16 @@ class BatchTofEngine:
         cals = self._check_calibrations(calibrations, n_links)
         hint_list = ensure_hints(hints, n_links)
         telemetry = _WarmTelemetry()
-        groups = self._estimate_group_stack(
-            "direct", freqs, stacked, exponent, [None] * n_links,
-            hints=hint_list, telemetry=telemetry,
-        )
+        with timed_span(
+            "engine.solve",
+            "engine.solve_s",
+            {"method": self.config.method, "kind": "products"},
+            n_links=n_links,
+        ):
+            groups = self._estimate_group_stack(
+                "direct", freqs, stacked, exponent, [None] * n_links,
+                hints=hint_list, telemetry=telemetry,
+            )
         estimates = []
         for group, cal in zip(groups, cals):
             raw = group.tof_s
@@ -177,7 +193,9 @@ class BatchTofEngine:
                     n_bands=group.n_bands,
                 )
             )
-        self.last_warm_stats = telemetry.snapshot(n_links, hint_list)
+        self._publish_warm(
+            telemetry.snapshot(n_links, hint_list), warm_stats_out
+        )
         return estimates
 
     def estimate_sweeps_batch(
@@ -185,6 +203,7 @@ class BatchTofEngine:
         sweeps_per_link: Sequence[Sequence[CsiSweep]],
         calibrations: Sequence[LinkCalibration] | None = None,
         hints: Sequence[SolveHint | None] | None = None,
+        warm_stats_out: list[WarmStartStats] | None = None,
     ) -> list[TofEstimate]:
         """ToF for ``N`` links from their CSI sweeps.
 
@@ -202,6 +221,10 @@ class BatchTofEngine:
             hints: Optional per-link raw-τ-domain temporal priors; each
                 link's hint warm-starts every band group it lands in
                 (the engine rescales per group exponent).
+            warm_stats_out: Optional list this call appends its own
+                :class:`~repro.core.hints.WarmStartStats` to — the
+                race-free replacement for reading ``last_warm_stats``
+                under concurrent solves.
 
         Returns:
             One :class:`TofEstimate` per link, in input order.
@@ -212,62 +235,118 @@ class BatchTofEngine:
         hint_list = ensure_hints(hints, n_links)
         telemetry = _WarmTelemetry()
 
-        # Per-link preprocessing, via the scalar estimator's own helper
-        # (single source of the gating/grouping semantics).
-        coarse_rts: list[float | None] = []
-        link_jobs: list[list[tuple[str, np.ndarray, np.ndarray, int, float | None]]]
-        link_jobs = []
-        for i, sweeps in enumerate(sweeps_per_link):
-            sweeps = list(sweeps)
-            if not sweeps:
-                raise ValueError(f"link {i}: need at least one sweep")
-            coarse_rt, jobs = est._link_jobs(sweeps, cals[i])
-            coarse_rts.append(coarse_rt)
-            link_jobs.append(jobs)
+        with timed_span(
+            "engine.solve",
+            "engine.solve_s",
+            {"method": self.config.method, "kind": "sweeps"},
+            n_links=n_links,
+        ):
+            # Per-link preprocessing, via the scalar estimator's own
+            # helper (single source of the gating/grouping semantics).
+            coarse_rts: list[float | None] = []
+            link_jobs: list[list[tuple[str, np.ndarray, np.ndarray, int, float | None]]]
+            link_jobs = []
+            for i, sweeps in enumerate(sweeps_per_link):
+                sweeps = list(sweeps)
+                if not sweeps:
+                    raise ValueError(f"link {i}: need at least one sweep")
+                coarse_rt, jobs = est._link_jobs(sweeps, cals[i])
+                coarse_rts.append(coarse_rt)
+                link_jobs.append(jobs)
 
-        # Shard the (link, group) jobs by frequency set so each shard
-        # shares one cached operator and one batched inversion.
-        shards: dict[tuple[str, bytes], list[tuple[int, int]]] = {}
-        for i, jobs in enumerate(link_jobs):
-            for j, (name, freqs, _, _, _) in enumerate(jobs):
-                shards.setdefault((name, freqs.tobytes()), []).append((i, j))
+            # Shard the (link, group) jobs by frequency set so each shard
+            # shares one cached operator and one batched inversion.
+            shards: dict[tuple[str, bytes], list[tuple[int, int]]] = {}
+            for i, jobs in enumerate(link_jobs):
+                for j, (name, freqs, _, _, _) in enumerate(jobs):
+                    shards.setdefault((name, freqs.tobytes()), []).append((i, j))
 
-        group_results: dict[tuple[int, int], GroupEstimate] = {}
-        for (name, _), members in shards.items():
-            first_i, first_j = members[0]
-            freqs = link_jobs[first_i][first_j][1]
-            exponent = link_jobs[first_i][first_j][3]
-            stacked = np.vstack([link_jobs[i][j][2] for i, j in members])
-            gates = [link_jobs[i][j][4] for i, j in members]
-            groups = self._estimate_group_stack(
-                name, freqs, stacked, exponent, gates,
-                hints=[hint_list[i] for i, _ in members],
-                telemetry=telemetry,
-            )
-            for (i, j), group in zip(members, groups):
-                group_results[(i, j)] = group
-
-        estimates = []
-        for i in range(n_links):
-            groups = [group_results[(i, j)] for j in range(len(link_jobs[i]))]
-            if not groups:
-                raise ValueError(f"link {i}: no usable band group in the sweep")
-            raw = est._fuse(groups)
-            estimates.append(
-                TofEstimate(
-                    tof_s=cals[i].apply(raw),
-                    raw_tof_s=raw,
-                    groups=tuple(groups),
-                    n_bands=sum(g.n_bands for g in groups),
-                    coarse_round_trip_s=coarse_rts[i],
+            group_results: dict[tuple[int, int], GroupEstimate] = {}
+            for (name, _), members in shards.items():
+                first_i, first_j = members[0]
+                freqs = link_jobs[first_i][first_j][1]
+                exponent = link_jobs[first_i][first_j][3]
+                stacked = np.vstack([link_jobs[i][j][2] for i, j in members])
+                gates = [link_jobs[i][j][4] for i, j in members]
+                groups = self._estimate_group_stack(
+                    name, freqs, stacked, exponent, gates,
+                    hints=[hint_list[i] for i, _ in members],
+                    telemetry=telemetry,
                 )
-            )
-        self.last_warm_stats = telemetry.snapshot(n_links, hint_list)
+                for (i, j), group in zip(members, groups):
+                    group_results[(i, j)] = group
+
+            estimates = []
+            for i in range(n_links):
+                groups = [group_results[(i, j)] for j in range(len(link_jobs[i]))]
+                if not groups:
+                    raise ValueError(f"link {i}: no usable band group in the sweep")
+                raw = est._fuse(groups)
+                estimates.append(
+                    TofEstimate(
+                        tof_s=cals[i].apply(raw),
+                        raw_tof_s=raw,
+                        groups=tuple(groups),
+                        n_bands=sum(g.n_bands for g in groups),
+                        coarse_round_trip_s=coarse_rts[i],
+                    )
+                )
+        self._publish_warm(
+            telemetry.snapshot(n_links, hint_list), warm_stats_out
+        )
         return estimates
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _kernel_span(self, stage: str, n_links: int):
+        """Span + ``engine.kernel_s{stage,method}`` timer for one stage.
+
+        Stage spans nest under the ambient ``engine.solve`` span of the
+        public call, so a trace shows the per-stage split of each solve
+        while the histogram accumulates it across calls.
+        """
+        return timed_span(
+            f"engine.kernel.{stage}",
+            "engine.kernel_s",
+            {"stage": stage, "method": self.config.method},
+            n_links=n_links,
+        )
+
+    def _publish_warm(
+        self,
+        stats: WarmStartStats,
+        warm_stats_out: list[WarmStartStats] | None,
+    ) -> None:
+        """Fan one call's warm-start telemetry to every consumer.
+
+        Appends to the caller's ``warm_stats_out`` (the race-free
+        per-call channel), folds the counts into the ``engine.*``
+        registry series, and refreshes the deprecated
+        ``last_warm_stats`` mirror.
+        """
+        if warm_stats_out is not None:
+            warm_stats_out.append(stats)
+        method = self.config.method
+        REGISTRY.inc("engine.links_warm_total", stats.n_hinted, method=method)
+        REGISTRY.inc(
+            "engine.links_cold_total",
+            stats.n_links - stats.n_hinted,
+            method=method,
+        )
+        if stats.n_stale:
+            REGISTRY.inc(
+                "engine.stale_fallbacks_total", stats.n_stale, method=method
+            )
+        for n_iterations in stats.fista_iterations:
+            REGISTRY.observe(
+                "engine.fista_iterations",
+                float(n_iterations),
+                buckets=COUNT_BUCKETS,
+                method=method,
+            )
+        self.last_warm_stats = stats
+
     def _estimate_group_stack(
         self,
         name: str,
@@ -321,30 +400,32 @@ class BatchTofEngine:
         # stop tolerance), so no staleness machinery is needed.
         initial = self._warm_initial(op, coarse_stack, scaled)
         iterations = np.zeros(n_links, dtype=np.int64)
-        solutions = invert_ndft_batch(
-            coarse_stack, coarse_freqs, op.taus_s, cfg.sparse, operator=op,
-            initial=initial, iterations_out=iterations,
-        )
+        with self._kernel_span("fista", n_links):
+            solutions = invert_ndft_batch(
+                coarse_stack, coarse_freqs, op.taus_s, cfg.sparse, operator=op,
+                initial=initial, iterations_out=iterations,
+            )
         telemetry.iterations.extend(int(v) for v in iterations)
         span = float(freqs.max() - freqs.min())
         groups = []
-        for i in range(n_links):
-            profile = MultipathProfile(
-                op.taus_s,
-                solutions[i],
-                dominance_threshold_rel=cfg.peak_threshold_rel,
-            )
-            delay = est._ista_delay(profile, freqs, stacked[i], gates[i])
-            groups.append(
-                GroupEstimate(
-                    name=name,
-                    tof_s=delay / exponent,
-                    span_hz=span,
-                    n_bands=len(freqs),
-                    exponent=exponent,
-                    profile=profile,
+        with self._kernel_span("peak_select", n_links):
+            for i in range(n_links):
+                profile = MultipathProfile(
+                    op.taus_s,
+                    solutions[i],
+                    dominance_threshold_rel=cfg.peak_threshold_rel,
                 )
-            )
+                delay = est._ista_delay(profile, freqs, stacked[i], gates[i])
+                groups.append(
+                    GroupEstimate(
+                        name=name,
+                        tof_s=delay / exponent,
+                        span_hz=span,
+                        n_bands=len(freqs),
+                        exponent=exponent,
+                        profile=profile,
+                    )
+                )
         return groups
 
     def _hybrid_group_stack(
@@ -384,73 +465,78 @@ class BatchTofEngine:
             h.scaled(float(exponent)) if h is not None else None for h in hints
         ]
         stale = np.zeros(n_links, dtype=bool)
-        paths_per_link = extract_paths_batch(
-            coarse_stack, coarse_freqs, window, cfg.deflation,
-            hints=scaled, stale_out=stale,
-        )
+        with self._kernel_span("extract", n_links):
+            paths_per_link = extract_paths_batch(
+                coarse_stack, coarse_freqs, window, cfg.deflation,
+                hints=scaled, stale_out=stale,
+            )
         telemetry.n_stale += int(stale.sum())
         targets = [
             gate_target_mean_s(gate, cfg.coarse_gate_margin_s, exponent)
             for gate in gates
         ]
-        paths_per_link = prune_ghost_atoms_batch(
-            paths_per_link,
-            coarse_stack,
-            coarse_freqs,
-            ghost_shifts_s(coarse_freqs, window),
-            max_delay_s=window,
-            final_alpha_rel=cfg.deflation.final_alpha_rel,
-            target_mean_delays_s=targets,
-        )
+        with self._kernel_span("prune", n_links):
+            paths_per_link = prune_ghost_atoms_batch(
+                paths_per_link,
+                coarse_stack,
+                coarse_freqs,
+                ghost_shifts_s(coarse_freqs, window),
+                max_delay_s=window,
+                final_alpha_rel=cfg.deflation.final_alpha_rel,
+                target_mean_delays_s=targets,
+            )
         if not coarse_mask.all():
             # The refit joins the lockstep fast path too: the scalar
             # per-link loop here was the mixed-aperture throughput
             # dilution the benchmark's hybrid_mixed_aperture series
             # tracks.
-            paths_per_link = full_aperture_refit_batch(
+            with self._kernel_span("refit", n_links):
+                paths_per_link = full_aperture_refit_batch(
+                    paths_per_link,
+                    freqs,
+                    stacked,
+                    final_alpha_rel=cfg.deflation.final_alpha_rel,
+                    max_delay_s=window,
+                )
+        with self._kernel_span("first_path", n_links):
+            delays = first_path_delays_batch(
                 paths_per_link,
-                freqs,
-                stacked,
-                final_alpha_rel=cfg.deflation.final_alpha_rel,
-                max_delay_s=window,
+                cfg.first_peak_amplitude_rel,
+                min_delays_s=[gate or 0.0 for gate in gates],
+                soft_window_s=SOFT_GATE_WINDOW_S * exponent / 2.0,
+                soft_amplitude_rel=SOFT_GATE_AMPLITUDE_REL,
             )
-        delays = first_path_delays_batch(
-            paths_per_link,
-            cfg.first_peak_amplitude_rel,
-            min_delays_s=[gate or 0.0 for gate in gates],
-            soft_window_s=SOFT_GATE_WINDOW_S * exponent / 2.0,
-            soft_amplitude_rel=SOFT_GATE_AMPLITUDE_REL,
-        )
 
-        if cfg.compute_profile:
-            op = get_grid_operator(coarse_freqs, window, cfg.grid_step_s)
-            # Stale-flagged links get a zero seed row, i.e. the exact
-            # cold profile — their hint already failed once this call.
-            initial = self._warm_initial(
-                op, coarse_stack, scaled, skip=stale,
-                fresh_paths=paths_per_link,
-            )
-            iterations = np.zeros(n_links, dtype=np.int64)
-            solutions = invert_ndft_batch(
-                coarse_stack, coarse_freqs, op.taus_s, cfg.sparse, operator=op,
-                initial=initial, iterations_out=iterations,
-            )
-            telemetry.iterations.extend(int(v) for v in iterations)
-            profiles = [
-                MultipathProfile(
-                    op.taus_s,
-                    solutions[i],
-                    dominance_threshold_rel=cfg.peak_threshold_rel,
+        with self._kernel_span("profile", n_links):
+            if cfg.compute_profile:
+                op = get_grid_operator(coarse_freqs, window, cfg.grid_step_s)
+                # Stale-flagged links get a zero seed row, i.e. the exact
+                # cold profile — their hint already failed once this call.
+                initial = self._warm_initial(
+                    op, coarse_stack, scaled, skip=stale,
+                    fresh_paths=paths_per_link,
                 )
-                for i in range(n_links)
-            ]
-        else:
-            profiles = [
-                est._make_profile(
-                    window, coarse_freqs, coarse_stack[i], paths_per_link[i]
+                iterations = np.zeros(n_links, dtype=np.int64)
+                solutions = invert_ndft_batch(
+                    coarse_stack, coarse_freqs, op.taus_s, cfg.sparse,
+                    operator=op, initial=initial, iterations_out=iterations,
                 )
-                for i in range(n_links)
-            ]
+                telemetry.iterations.extend(int(v) for v in iterations)
+                profiles = [
+                    MultipathProfile(
+                        op.taus_s,
+                        solutions[i],
+                        dominance_threshold_rel=cfg.peak_threshold_rel,
+                    )
+                    for i in range(n_links)
+                ]
+            else:
+                profiles = [
+                    est._make_profile(
+                        window, coarse_freqs, coarse_stack[i], paths_per_link[i]
+                    )
+                    for i in range(n_links)
+                ]
         span = float(freqs.max() - freqs.min())
         return [
             GroupEstimate(

@@ -52,6 +52,7 @@ from repro.core.localization import GeometryDrop, LocalizationResult, locate_tra
 from repro.core.localization_batch import locate_transmitter_batch
 from repro.core.tof import TofEstimatorConfig
 from repro.net.service import ISOLATED_LINK_ERRORS, RangingRequest
+from repro.obs import COUNT_BUCKETS, REGISTRY, SpanContext, timed_span, trace
 from repro.rf.constants import SPEED_OF_LIGHT
 from repro.rf.geometry import Point
 from repro.stream.service import (
@@ -188,6 +189,10 @@ class _PendingSolve:
     hint: Point | None
     signature: tuple[int, ...]
     future: asyncio.Future = field(repr=False)
+    # The parking client's locate-span context: the batched solve's
+    # span parents under its group's first client, stitching the solve
+    # into that request's trace across the worker-thread hop.
+    ctx: SpanContext | None = None
 
 
 class LocalizationService:
@@ -259,6 +264,20 @@ class LocalizationService:
         """Circle systems parked awaiting the next batched solve."""
         return len(self._pending)
 
+    def report(self) -> dict:
+        """Observability snapshot: loc stats + series + the ranging layer's.
+
+        Nests the backing streaming service's own :meth:`report`, so one
+        call surfaces the whole serving column under this front end.
+        """
+        return {
+            "layer": "loc",
+            "stats": dataclasses.asdict(self._stats),
+            "n_pending_solves": len(self._pending),
+            "metrics": REGISTRY.snapshot(prefix="loc."),
+            "ranging": self.ranging.report(),
+        }
+
     async def locate(
         self,
         client_id: str,
@@ -287,6 +306,25 @@ class LocalizationService:
                 client frame, with ``PositionFix.anchor_indices``
                 mapping back to the deployment.
         """
+        with timed_span(
+            "loc.locate",
+            "loc.locate_s",
+            client=client_id,
+            n_anchors=len(requests),
+        ):
+            return await self._locate_impl(
+                client_id, requests, time_s, position_hint, anchor_indices
+            )
+
+    async def _locate_impl(
+        self,
+        client_id: str,
+        requests: Sequence[RangingRequest | SweepRequest],
+        time_s: float | None,
+        position_hint: Point | None,
+        anchor_indices: Sequence[int] | None,
+    ) -> PositionFix:
+        """:meth:`locate` body, inside the round's span."""
         if anchor_indices is None:
             client_anchor_indices = tuple(range(len(self.anchors)))
         else:
@@ -313,6 +351,9 @@ class LocalizationService:
                 f"{len(client_anchor_indices)} anchors"
             )
         client_anchors = [self.anchors[i] for i in client_anchor_indices]
+        REGISTRY.observe(
+            "loc.fanout_links", float(len(requests)), buckets=COUNT_BUCKETS
+        )
         requests = self._with_predicted_delays(
             client_id, list(requests), client_anchors, time_s
         )
@@ -376,6 +417,11 @@ class LocalizationService:
         self._stats = self._bump(
             n_fixes=1, n_anchor_range_failures=n_range_failures
         )
+        REGISTRY.inc("loc.fixes_total", ok=True)
+        if n_range_failures:
+            REGISTRY.inc("loc.range_failures_total", n_range_failures)
+        if result.geometry_drops:
+            REGISTRY.inc("loc.geometry_drops_total", len(result.geometry_drops))
         distance_by_index = dict(zip(ok_indices, ok_distances_m))
         return PositionFix(
             client_id=client_id,
@@ -515,7 +561,15 @@ class LocalizationService:
             self._solve_handle = None
         future: asyncio.Future = loop.create_future()
         self._pending.append(
-            _PendingSolve(client_id, anchor_xy, distances, hint, signature, future)
+            _PendingSolve(
+                client_id,
+                anchor_xy,
+                distances,
+                hint,
+                signature,
+                future,
+                ctx=trace.current(),
+            )
         )
         self._solve_loop = loop
         if len(self._pending) >= self.loc_config.max_solve_clients:
@@ -628,24 +682,34 @@ class LocalizationService:
         members share one anchor geometry (that is what the signature
         means), so the anchors pass to the batched solver once, as a
         shared array.
+
+        The solve span parents under the group's first client's locate
+        span explicitly: this method may run on the solve worker, and
+        contextvars do not cross ``run_in_executor``.
         """
         batched = True
-        try:
+        with timed_span(
+            "loc.solve",
+            "loc.solve_s",
+            parent=group[0].ctx,
+            n_clients=len(group),
+        ):
             try:
-                results = locate_transmitter_batch(
-                    group[0].anchor_xy,
-                    np.array([p.distances for p in group], dtype=float),
-                    tolerance_m=self.loc_config.tolerance_m,
-                    position_hints=[p.hint for p in group],
-                )
-                outcomes: list[tuple[LocalizationResult | None, str | None]] = [
-                    (result, None) for result in results
-                ]
-            except ISOLATED_LINK_ERRORS:
-                batched = False
-                outcomes = [self._solve_alone(p) for p in group]
-        except Exception as exc:  # noqa: BLE001 — a dying solve must not hang callers
-            return None, exc, batched
+                try:
+                    results = locate_transmitter_batch(
+                        group[0].anchor_xy,
+                        np.array([p.distances for p in group], dtype=float),
+                        tolerance_m=self.loc_config.tolerance_m,
+                        position_hints=[p.hint for p in group],
+                    )
+                    outcomes: list[tuple[LocalizationResult | None, str | None]] = [
+                        (result, None) for result in results
+                    ]
+                except ISOLATED_LINK_ERRORS:
+                    batched = False
+                    outcomes = [self._solve_alone(p) for p in group]
+            except Exception as exc:  # noqa: BLE001 — a dying solve must not hang callers
+                return None, exc, batched
         return outcomes, None, batched
 
     @staticmethod
@@ -696,6 +760,9 @@ class LocalizationService:
         self._stats = self._bump(
             n_failed=1, n_anchor_range_failures=n_range_failures
         )
+        REGISTRY.inc("loc.fixes_total", ok=False)
+        if n_range_failures:
+            REGISTRY.inc("loc.range_failures_total", n_range_failures)
         return PositionFix(
             client_id=client_id,
             position=None,

@@ -16,6 +16,7 @@ shard layout and throughput, which the CI benchmark records.
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -25,6 +26,20 @@ from repro.core.batch import BatchTofEngine
 from repro.core.cfo import LinkCalibration
 from repro.core.hints import SolveHint
 from repro.core.tof import TofEstimate, TofEstimatorConfig
+from repro.obs import REGISTRY, timed_span
+
+def plan_label(signature: object) -> str:
+    """A short stable label for a band-plan signature, fit for metrics.
+
+    Plan signatures embed raw frequency bytes — unbounded and unprintable
+    as metric label values.  This digests one to ``plan-xxxxxx`` (CRC32
+    of the signature's repr): stable within a process run, bounded
+    cardinality (one value per distinct plan), readable in exports and
+    trace attributes.
+    """
+    digest = zlib.crc32(repr(signature).encode()) & 0xFFFFFF
+    return f"plan-{digest:06x}"
+
 
 ISOLATED_LINK_ERRORS = (ValueError, np.linalg.LinAlgError)
 """Exceptions a single degenerate link may raise out of a batched solve.
@@ -155,7 +170,12 @@ class RangingResponse:
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Telemetry for one ``submit`` call."""
+    """Telemetry for one ``submit``/``submit_grouped`` call.
+
+    Delivered per call via the ``stats_out`` argument (race-free under
+    concurrent callers); ``RangingService.last_stats`` remains as a
+    deprecated best-effort mirror of the most recent ``submit``.
+    """
 
     n_requests: int
     n_plans: int
@@ -191,6 +211,10 @@ class RangingService:
             raise ValueError(f"shards need at least one link, got {max_shard_links}")
         self.engine = engine or BatchTofEngine(config)
         self.max_shard_links = max_shard_links
+        # Deprecated best-effort mirror of the latest submit()'s stats;
+        # racy by construction under concurrent callers.  Use the
+        # stats_out argument (per-call) or the service.* registry
+        # series instead.
         self.last_stats: ServiceStats | None = None
 
     @staticmethod
@@ -220,11 +244,19 @@ class RangingService:
             by_plan.setdefault(self.plan_key(request), []).append(idx)
         return list(by_plan.values())
 
-    def submit(self, requests: Sequence[RangingRequest]) -> list[RangingResponse]:
+    def submit(
+        self,
+        requests: Sequence[RangingRequest],
+        stats_out: list[ServiceStats] | None = None,
+    ) -> list[RangingResponse]:
         """Estimate ToF for every request, in request order.
 
         Requests sharing (frequencies, exponent) are stacked into the
         same batched solves; sharding splits oversized stacks.
+
+        ``stats_out`` receives this call's own :class:`ServiceStats`
+        (appended) — the race-free channel; ``last_stats`` is only a
+        deprecated best-effort mirror under concurrent callers.
 
         Degenerate submissions are first-class, not incidental: an
         empty batch returns ``[]`` with a well-formed zero-shard
@@ -240,24 +272,35 @@ class RangingService:
         responses: list[RangingResponse | None] = [None] * len(requests)
         n_shards = 0
         n_failed = 0
-        for indices in groups:
-            group_responses, shards, failed = self._solve_plan(requests, indices)
-            n_shards += shards
-            n_failed += failed
-            for i, response in zip(indices, group_responses):
-                responses[i] = response
+        with timed_span(
+            "service.submit", "service.submit_s", n_requests=len(requests)
+        ):
+            for indices in groups:
+                group_responses, shards, failed = self._solve_plan(
+                    requests, indices
+                )
+                n_shards += shards
+                n_failed += failed
+                for i, response in zip(indices, group_responses):
+                    responses[i] = response
 
-        self.last_stats = ServiceStats(
+        stats = ServiceStats(
             n_requests=len(requests),
             n_plans=len(groups),
             n_shards=n_shards,
             elapsed_s=time.perf_counter() - start,
             n_failed=n_failed,
         )
+        if stats_out is not None:
+            stats_out.append(stats)
+        self._publish_stats(stats)
+        self.last_stats = stats
         return responses
 
     def submit_grouped(
-        self, requests: Sequence[RangingRequest]
+        self,
+        requests: Sequence[RangingRequest],
+        stats_out: list[ServiceStats] | None = None,
     ) -> list[RangingResponse]:
         """Solve one band-plan-uniform group of requests, in order.
 
@@ -267,7 +310,8 @@ class RangingService:
         :meth:`submit`, this method touches no shared service state
         (``last_stats`` stays untouched), so concurrent per-plan
         workers may call it on the same service without a lock; the
-        engine underneath is thread-safe.
+        engine underneath is thread-safe.  ``stats_out`` receives this
+        call's own single-plan :class:`ServiceStats` (appended).
         """
         requests = list(requests)
         if not requests:
@@ -280,7 +324,20 @@ class RangingService:
                     f"{request.link_id!r} differs from "
                     f"{requests[0].link_id!r} (partition with plan_groups)"
                 )
-        responses, _, _ = self._solve_plan(requests, list(range(len(requests))))
+        start = time.perf_counter()
+        responses, n_shards, n_failed = self._solve_plan(
+            requests, list(range(len(requests)))
+        )
+        stats = ServiceStats(
+            n_requests=len(requests),
+            n_plans=1,
+            n_shards=n_shards,
+            elapsed_s=time.perf_counter() - start,
+            n_failed=n_failed,
+        )
+        if stats_out is not None:
+            stats_out.append(stats)
+        self._publish_stats(stats)
         return responses
 
     def _solve_plan(
@@ -294,21 +351,40 @@ class RangingService:
         responses: list[RangingResponse] = []
         n_shards = 0
         n_failed = 0
-        for lo in range(0, len(indices), self.max_shard_links):
-            shard = list(indices[lo : lo + self.max_shard_links])
-            n_shards += 1
-            try:
-                shard_responses = self._solve_shard(requests, shard)
-            except ISOLATED_LINK_ERRORS:
-                # One degenerate link inside the batched solve must
-                # not take its shard down: retry link by link and
-                # report the failures individually.
-                shard_responses = [self._solve_one(requests[i]) for i in shard]
-            for response in shard_responses:
-                responses.append(response)
-                if not response.ok:
-                    n_failed += 1
+        label = plan_label(self.plan_key(requests[indices[0]]))
+        with timed_span(
+            "service.plan_solve",
+            "service.plan_solve_s",
+            {"plan": label},
+            plan=label,
+            n_links=len(indices),
+        ):
+            for lo in range(0, len(indices), self.max_shard_links):
+                shard = list(indices[lo : lo + self.max_shard_links])
+                n_shards += 1
+                try:
+                    shard_responses = self._solve_shard(requests, shard)
+                except ISOLATED_LINK_ERRORS:
+                    # One degenerate link inside the batched solve must
+                    # not take its shard down: retry link by link and
+                    # report the failures individually.
+                    REGISTRY.inc("service.isolated_retries_total", plan=label)
+                    shard_responses = [
+                        self._solve_one(requests[i]) for i in shard
+                    ]
+                for response in shard_responses:
+                    responses.append(response)
+                    if not response.ok:
+                        n_failed += 1
         return responses, n_shards, n_failed
+
+    @staticmethod
+    def _publish_stats(stats: ServiceStats) -> None:
+        """Fold one call's :class:`ServiceStats` into the registry."""
+        REGISTRY.inc("service.requests_total", stats.n_requests)
+        if stats.n_failed:
+            REGISTRY.inc("service.failed_total", stats.n_failed)
+        REGISTRY.inc("service.shards_total", stats.n_shards)
 
     def _solve_shard(
         self, requests: Sequence[RangingRequest], shard: Sequence[int]

@@ -1,0 +1,83 @@
+"""Unified observability for the serving stack: metrics + tracing.
+
+Two process-wide singletons serve every layer:
+
+* :data:`REGISTRY` — cumulative counters/gauges/histograms with
+  Prometheus-text and JSON export (:mod:`repro.obs.metrics`);
+* :data:`TRACER` — flush-path spans stitched across the asyncio loop
+  and the flush-pool worker threads (:mod:`repro.obs.trace`).
+
+:func:`timed_span` is the instrumentation idiom the layers share: one
+context manager that both opens a trace span and observes the block's
+duration into a latency histogram, so the trace tree and the metric
+series always agree on what was measured.
+
+``python -m repro.obs summarize <trace.jsonl>`` tabulates a written
+trace (:mod:`repro.obs.cli`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+from repro.obs import trace
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_S,
+    REGISTRY,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.trace import (
+    TRACER,
+    Span,
+    SpanContext,
+    Tracer,
+    get_tracer,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "LATENCY_BUCKETS_S",
+    "REGISTRY",
+    "TRACER",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "get_registry",
+    "get_tracer",
+    "timed_span",
+    "trace",
+]
+
+
+@contextmanager
+def timed_span(
+    span_name: str,
+    metric_name: str | None = None,
+    metric_labels: Mapping[str, object] | None = None,
+    parent: SpanContext | None = trace._UNSET,
+    **attrs: Any,
+) -> Iterator[Any]:
+    """Open a trace span and time the block into a latency histogram.
+
+    The span (named ``span_name``, carrying ``attrs``) and the
+    histogram observation (``metric_name`` with ``metric_labels``)
+    cover exactly the same interval; the observation lands even when
+    the block raises, so error latency is not silently dropped.
+    ``metric_name=None`` traces without publishing a metric.
+    """
+    start_s = time.perf_counter()
+    try:
+        with TRACER.span(span_name, parent, **attrs) as span:
+            yield span
+    finally:
+        if metric_name is not None:
+            REGISTRY.observe(
+                metric_name,
+                time.perf_counter() - start_s,
+                **dict(metric_labels or {}),
+            )

@@ -1,0 +1,10 @@
+"""Entry point: ``python -m repro.obs summarize <trace.jsonl>``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

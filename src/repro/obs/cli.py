@@ -1,0 +1,181 @@
+"""Trace-file summarizer: per-stage latency table from a spans JSONL.
+
+``python -m repro.obs summarize trace.jsonl`` aggregates the spans the
+tracer wrote (one JSON object per line) into a per-stage table —
+count, p50/p95/max duration, and self vs cumulative time — answering
+"where did the request's wall time go" without any external tooling.
+
+*Cumulative* time is a stage's own span durations summed; *self* time
+subtracts the durations of its direct children (matched by
+``parent_id`` within the same trace), so a ``stream.flush`` whose time
+is all spent inside ``stream.plan_solve`` children shows near-zero
+self.  Exit status: 0 with a non-empty table, 1 when the file holds no
+valid spans (CI's smoke step fails on that), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def load_spans(path: Path) -> list[dict[str, Any]]:
+    """Parse a spans JSONL file, skipping ill-formed lines."""
+    spans: list[dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if "name" not in record or "duration_s" not in record:
+                continue
+            try:
+                record["duration_s"] = float(record["duration_s"])
+            except (TypeError, ValueError):
+                continue
+            spans.append(record)
+    return spans
+
+
+def summarize_spans(spans: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Aggregate spans into per-stage rows, heaviest cumulative first."""
+    children_s: dict[tuple[str, str], float] = {}
+    for span in spans:
+        parent_id = span.get("parent_id")
+        trace_id = span.get("trace_id")
+        if parent_id and trace_id:
+            key = (str(trace_id), str(parent_id))
+            children_s[key] = children_s.get(key, 0.0) + span["duration_s"]
+
+    durations: dict[str, list[float]] = {}
+    self_s: dict[str, float] = {}
+    errors: dict[str, int] = {}
+    for span in spans:
+        name = str(span["name"])
+        duration = span["duration_s"]
+        durations.setdefault(name, []).append(duration)
+        own_children = children_s.get(
+            (str(span.get("trace_id")), str(span.get("span_id"))), 0.0
+        )
+        self_s[name] = self_s.get(name, 0.0) + max(0.0, duration - own_children)
+        if span.get("error"):
+            errors[name] = errors.get(name, 0) + 1
+
+    rows: list[dict[str, Any]] = []
+    for name, values in durations.items():
+        values.sort()
+        rows.append(
+            {
+                "stage": name,
+                "count": len(values),
+                "p50_s": _percentile(values, 0.50),
+                "p95_s": _percentile(values, 0.95),
+                "max_s": values[-1],
+                "self_s": self_s[name],
+                "cumulative_s": sum(values),
+                "errors": errors.get(name, 0),
+            }
+        )
+    rows.sort(key=lambda row: -row["cumulative_s"])
+    return rows
+
+
+def _format_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f}ms"
+    return f"{seconds * 1e6:8.1f}us"
+
+
+def render_table(rows: Sequence[dict[str, Any]]) -> str:
+    """The per-stage rows as an aligned text table."""
+    header = (
+        f"{'stage':<28} {'count':>6} {'p50':>10} {'p95':>10} "
+        f"{'max':>10} {'self':>10} {'cumul':>10} {'err':>4}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['stage']:<28} {row['count']:>6} "
+            f"{_format_s(row['p50_s']):>10} {_format_s(row['p95_s']):>10} "
+            f"{_format_s(row['max_s']):>10} {_format_s(row['self_s']):>10} "
+            f"{_format_s(row['cumulative_s']):>10} {row['errors']:>4}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    path = Path(args.trace_file)
+    if not path.is_file():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+    spans = load_spans(path)
+    rows = summarize_spans(spans)
+    if not rows:
+        print(
+            f"error: {path} contains no valid spans "
+            "(empty or ill-formed trace)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        n_traces = len(
+            {span.get("trace_id") for span in spans if span.get("trace_id")}
+        )
+        print(
+            json.dumps(
+                {"n_spans": len(spans), "n_traces": n_traces, "stages": rows},
+                indent=2,
+            )
+        )
+    else:
+        print(f"{len(spans)} spans from {path}")
+        print(render_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability tooling for the repro serving stack.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize",
+        help="per-stage latency table (p50/p95/max, self vs cumulative) "
+        "from a spans JSONL trace file",
+    )
+    summarize.add_argument("trace_file", help="spans JSONL written by the tracer")
+    summarize.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of a table",
+    )
+    summarize.set_defaults(func=_cmd_summarize)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    result: int = args.func(args)
+    return result

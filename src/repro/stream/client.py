@@ -88,6 +88,15 @@ class StreamClient:
         """Cumulative coalescing telemetry of the backing service."""
         return self.service.stats
 
+    def report(self) -> dict:
+        """Observability snapshot of the backing streaming service.
+
+        Safe from any thread: the service's ``report`` reads the
+        atomically-swapped stats object and the lock-guarded registry,
+        so no loop hop is needed.
+        """
+        return self.service.report()
+
     def close(self) -> None:
         """Stop the loop thread.  Idempotent; in-flight calls finish first.
 

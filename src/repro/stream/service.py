@@ -40,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import threading
+import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -54,7 +55,9 @@ from repro.net.service import (
     RangingRequest,
     RangingResponse,
     RangingService,
+    plan_label,
 )
+from repro.obs import COUNT_BUCKETS, REGISTRY, SpanContext, timed_span, trace
 from repro.stream.tracker import TrackerBank
 from repro.wifi.csi import CsiSweep
 
@@ -189,10 +192,18 @@ class StreamStats:
 
 @dataclass
 class _Pending:
-    """One parked request and the future its caller awaits."""
+    """One parked request and the future its caller awaits.
+
+    ``enqueued_perf_s`` and ``ctx`` carry the request's queue-entry
+    timestamp and its submit span's context through the flush, so the
+    queue wait becomes both a ``stream.queue_wait_s`` observation and a
+    retroactive trace span parented under the caller's submit.
+    """
 
     request: RangingRequest | SweepRequest
     future: asyncio.Future = field(repr=False)
+    enqueued_perf_s: float = 0.0
+    ctx: SpanContext | None = None
 
 
 class StreamingRangingService:
@@ -292,7 +303,12 @@ class StreamingRangingService:
                 "submit takes a RangingRequest or SweepRequest, got "
                 f"{type(request).__name__}"
             )
-        return await self._enqueue(request)
+        # The submit span covers the full await — park, queue wait,
+        # flush, solve, resolve — so its duration is the caller's
+        # end-to-end latency, and every downstream span of this
+        # request's flush chains into its trace.
+        with trace.span("stream.submit", link=request.link_id):
+            return await self._enqueue(request)
 
     async def submit_sweeps(
         self,
@@ -365,7 +381,14 @@ class StreamingRangingService:
             # never fire here.  Forget it so this loop gets its own.
             self._flush_handle = None
         future: asyncio.Future = loop.create_future()
-        self._pending.append(_Pending(request, future))
+        self._pending.append(
+            _Pending(
+                request,
+                future,
+                enqueued_perf_s=time.perf_counter(),
+                ctx=trace.current(),
+            )
+        )
         self._flush_loop = loop
         if len(self._pending) >= self.stream_config.max_batch_links:
             self._cancel_scheduled_flush()
@@ -476,6 +499,20 @@ class StreamingRangingService:
         batch, self._pending = self._pending[:cap], self._pending[cap:]
         if self._pending:
             self._flush_handle = asyncio.get_running_loop().call_soon(self._flush)
+        now_perf_s = time.perf_counter()
+        for p in batch:
+            # The sharding/overload ROADMAP items gate on this series:
+            # queue wait is the half of end-to-end latency that more
+            # workers (or shedding) can actually remove.
+            REGISTRY.observe("stream.queue_wait_s", now_perf_s - p.enqueued_perf_s)
+            trace.record_span(
+                "stream.queue_wait",
+                start_perf_s=p.enqueued_perf_s,
+                end_perf_s=now_perf_s,
+                parent=p.ctx,
+                link=p.request.link_id,
+            )
+        REGISTRY.set_gauge("stream.queue_depth", len(self._pending))
         if self.stream_config.offload_flush:
             task = asyncio.get_running_loop().create_task(
                 self._flush_offloaded(batch)
@@ -533,12 +570,21 @@ class StreamingRangingService:
         groups = self._plan_groups(batch)
         n_failed_products = 0
         n_failed_sweeps = 0
-        for _key, pending, solver, is_sweep in groups:
-            failed = self._solve_then_resolve(pending, solver)
-            if is_sweep:
-                n_failed_sweeps += failed
-            else:
-                n_failed_products += failed
+        # Parenting under the first request's submit span keeps one
+        # request's whole chain a single trace tree; batch-mates link
+        # in through their own queue_wait spans.
+        with trace.span(
+            "stream.flush",
+            parent=batch[0].ctx,
+            n_links=len(batch),
+            n_groups=len(groups),
+        ):
+            for key, pending, solver, is_sweep in groups:
+                failed = self._solve_then_resolve(pending, solver, key)
+                if is_sweep:
+                    n_failed_sweeps += failed
+                else:
+                    n_failed_products += failed
         self._record_flush(batch, len(groups), n_failed_products, n_failed_sweeps)
 
     async def _flush_offloaded(self, batch: list[_Pending]) -> None:
@@ -556,14 +602,28 @@ class StreamingRangingService:
         """
         loop = asyncio.get_running_loop()
         groups = self._plan_groups(batch)
-        failures = await asyncio.gather(
-            *(
-                self._offload_solve(
-                    loop, self._group_executor(key), pending, solver
+        # Parenting under the first request's submit span keeps one
+        # request's whole chain a single trace tree; batch-mates link
+        # in through their own queue_wait spans.
+        with trace.span(
+            "stream.flush",
+            parent=batch[0].ctx,
+            n_links=len(batch),
+            n_groups=len(groups),
+        ) as flush_span:
+            failures = await asyncio.gather(
+                *(
+                    self._offload_solve(
+                        loop,
+                        self._group_executor(key),
+                        pending,
+                        solver,
+                        key,
+                        flush_span.context,
+                    )
+                    for key, pending, solver, _is_sweep in groups
                 )
-                for key, pending, solver, _is_sweep in groups
             )
-        )
         n_failed_products = 0
         n_failed_sweeps = 0
         for (_key, _pending, _solver, is_sweep), failed in zip(groups, failures):
@@ -573,22 +633,62 @@ class StreamingRangingService:
                 n_failed_products += failed
         self._record_flush(batch, len(groups), n_failed_products, n_failed_sweeps)
 
-    async def _offload_solve(self, loop, executor, pending, solver) -> int:
+    async def _offload_solve(
+        self, loop, executor, pending, solver, key, flush_ctx
+    ) -> int:
         requests = [p.request for p in pending]
-        try:
-            responses = await loop.run_in_executor(executor, solver, requests)
-        except Exception as exc:  # noqa: BLE001 — a dying flush must not hang callers
-            self._reject_all(pending, exc)
-            return len(pending)
-        return self._resolve(pending, responses)
+        label = plan_label(key)
+        dispatch_perf_s = time.perf_counter()
 
-    def _solve_then_resolve(self, pending: list[_Pending], solver) -> int:
+        def solve_on_worker():
+            # Runs on the plan's pool worker.  Contextvars do not cross
+            # run_in_executor, so the flush span parents explicitly —
+            # this is the thread hop that keeps one request's trace a
+            # single tree.  The dispatch→start gap is the worker-queue
+            # backlog (same-plan solves serialize on one worker).
+            REGISTRY.observe(
+                "stream.worker_wait_s",
+                time.perf_counter() - dispatch_perf_s,
+                plan=label,
+            )
+            with timed_span(
+                "stream.plan_solve",
+                "stream.solve_s",
+                {"plan": label},
+                parent=flush_ctx,
+                plan=label,
+                n_links=len(requests),
+            ):
+                return solver(requests)
+
         try:
-            responses = solver([p.request for p in pending])
+            responses = await loop.run_in_executor(executor, solve_on_worker)
         except Exception as exc:  # noqa: BLE001 — a dying flush must not hang callers
             self._reject_all(pending, exc)
             return len(pending)
-        return self._resolve(pending, responses)
+        with trace.span(
+            "stream.resolve", parent=flush_ctx, n_links=len(pending)
+        ):
+            return self._resolve(pending, responses)
+
+    def _solve_then_resolve(
+        self, pending: list[_Pending], solver, key: object = None
+    ) -> int:
+        label = plan_label(key) if key is not None else "inline"
+        try:
+            with timed_span(
+                "stream.plan_solve",
+                "stream.solve_s",
+                {"plan": label},
+                plan=label,
+                n_links=len(pending),
+            ):
+                responses = solver([p.request for p in pending])
+        except Exception as exc:  # noqa: BLE001 — a dying flush must not hang callers
+            self._reject_all(pending, exc)
+            return len(pending)
+        with trace.span("stream.resolve", n_links=len(pending)):
+            return self._resolve(pending, responses)
 
     def _record_flush(
         self,
@@ -606,6 +706,34 @@ class StreamingRangingService:
             n_failed_products=self._stats.n_failed_products + n_failed_products,
             n_failed_sweeps=self._stats.n_failed_sweeps + n_failed_sweeps,
         )
+        REGISTRY.inc("stream.requests_total", len(batch))
+        REGISTRY.inc("stream.flushes_total")
+        REGISTRY.inc("stream.groups_total", n_groups)
+        n_failed = n_failed_products + n_failed_sweeps
+        if n_failed:
+            REGISTRY.inc("stream.failed_total", n_failed)
+        REGISTRY.observe(
+            "stream.flush_links", float(len(batch)), buckets=COUNT_BUCKETS
+        )
+
+    def report(self) -> dict:
+        """Observability snapshot: instance stats + the metric series.
+
+        The instance half (``stats``, ``n_pending``) is this service's
+        own; the ``metrics`` half is the process-wide registry filtered
+        to the serving-stack prefixes, so a deployment with one
+        streaming service per process reads it as its own too.
+        """
+        return {
+            "layer": "stream",
+            "stats": dataclasses.asdict(self._stats),
+            "n_pending": len(self._pending),
+            "metrics": {
+                **REGISTRY.snapshot(prefix="stream."),
+                **REGISTRY.snapshot(prefix="service."),
+                **REGISTRY.snapshot(prefix="engine."),
+            },
+        }
 
     _MAX_PINNED_PLANS = 1024
 

@@ -51,6 +51,7 @@ from repro.core.ndft import (
 from repro.core.profile import MultipathProfile, refine_first_peak
 from repro.core.tof import TofEstimator, TofEstimatorConfig
 from repro.obs import REGISTRY
+from repro.obs import bench as obs_bench
 from repro.wifi.bands import US_BAND_PLAN
 
 pytestmark = pytest.mark.bench
@@ -65,6 +66,30 @@ FREQS = US_BAND_PLAN.subset_5g().center_frequencies_hz
 CONFIG = TofEstimatorConfig(method="ista", quirk_2g4=False)
 HYBRID_CONFIG = TofEstimatorConfig(method="hybrid", quirk_2g4=False)
 ARTIFACT = Path(__file__).resolve().parent / "artifacts" / "batch_throughput.json"
+HISTORY = Path(__file__).resolve().parent / "artifacts" / "bench_history.jsonl"
+
+# One stamp and SHA per benchmark run, shared by every series it
+# appends, so `bench-compare` groups a run's points as one history row.
+RUN_TIMESTAMP_S = time.time()
+RUN_SHA = obs_bench.git_sha()
+
+
+def _append_history(
+    series: str,
+    value: float,
+    unit: str = "links_per_s",
+    meta: dict | None = None,
+) -> None:
+    """Append one series' headline rate to the regression-gate history."""
+    obs_bench.append_history(
+        HISTORY,
+        series,
+        value,
+        unit=unit,
+        sha=RUN_SHA,
+        timestamp_s=RUN_TIMESTAMP_S,
+        meta=meta,
+    )
 
 
 def _merge_artifact(section: str, payload: dict) -> None:
@@ -215,6 +240,11 @@ def test_batch_throughput():
         "batch_kernel_breakdown": _kernel_breakdown(batch_s),
     }
     _merge_artifact("ista", report)
+    _append_history(
+        "ista",
+        N_LINKS / batch_s,
+        meta={"kernel_breakdown": report["batch_kernel_breakdown"]},
+    )
     print(
         f"\nbatch {N_LINKS / batch_s:.1f} links/s | scalar "
         f"{N_LINKS / scalar_s:.1f} | seed {N_LINKS / seed_s:.1f} | "
@@ -271,6 +301,11 @@ def test_hybrid_batch_throughput():
         "batch_kernel_breakdown": _kernel_breakdown(batch_s),
     }
     _merge_artifact("hybrid", report)
+    _append_history(
+        "hybrid",
+        N_LINKS / batch_s,
+        meta={"kernel_breakdown": report["batch_kernel_breakdown"]},
+    )
     print(
         f"\nhybrid batch {N_LINKS / batch_s:.1f} links/s | scalar "
         f"{N_LINKS / scalar_s:.1f} | speedup {speedup:.2f}x "
@@ -335,6 +370,11 @@ def test_hybrid_mixed_aperture_throughput():
             "speedup_vs_scalar": speedup,
             "max_abs_tof_disagreement_s": agreement,
         },
+    )
+    _append_history(
+        "hybrid_mixed_aperture",
+        N_LINKS / batch_s,
+        meta={"speedup_vs_scalar": speedup},
     )
     print(
         f"\nhybrid mixed-aperture batch {N_LINKS / batch_s:.1f} links/s | "
@@ -433,6 +473,11 @@ def test_streaming_coalesced_matches_hybrid_batch():
             "max_abs_tof_disagreement_s": agreement,
         }
         _merge_artifact("streaming_coalesced", report)
+        _append_history(
+            "streaming_coalesced",
+            N_LINKS / stream_s,
+            meta={"parity_vs_batch": parity},
+        )
         print(
             f"\nstreaming {N_LINKS / stream_s:.1f} links/s | batch "
             f"{N_LINKS / batch_s:.1f} | parity {parity:.2f} "
@@ -580,6 +625,11 @@ def test_streaming_warm_start_throughput():
             "max_abs_tof_disagreement_s": agreement,
         }
         _merge_artifact("streaming_warm", report)
+        _append_history(
+            "streaming_warm",
+            n_links * n_ticks / warm_s,
+            meta={"iteration_ratio": warm_mean / cold_mean},
+        )
         print(
             f"\nwarm {warm_mean:.1f} mean FISTA iters vs cold {cold_mean:.1f} "
             f"({warm_mean / cold_mean:.2f}x) | warm "
@@ -663,6 +713,12 @@ def test_localization_fixes_throughput():
         "max_abs_position_disagreement_m": agreement,
     }
     _merge_artifact("localization_fixes", report)
+    _append_history(
+        "localization_fixes",
+        n_clients / batch_s,
+        unit="fixes_per_s",
+        meta={"speedup_vs_scalar": speedup},
+    )
     print(
         f"\nlocalization batch {n_clients / batch_s:.0f} fixes/s | scalar "
         f"{n_clients / scalar_s:.0f} | speedup {speedup:.2f}x "

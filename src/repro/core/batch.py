@@ -34,6 +34,7 @@ requested, one batched L1 inversion for all links.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Sequence
 
 import numpy as np
@@ -295,6 +296,21 @@ class BatchTofEngine:
             telemetry.snapshot(n_links, hint_list), warm_stats_out
         )
         return estimates
+
+    def report(self) -> dict:
+        """Observability snapshot: engine config + the ``engine.*`` series.
+
+        The bottom rung of the uniform per-layer ``report()`` ladder
+        (engine → service → stream → loc).  ``warm_stats`` is the
+        deprecated best-effort mirror of the most recent public call;
+        the registry series are the authoritative cumulative view.
+        """
+        return {
+            "layer": "engine",
+            "method": self.config.method,
+            "warm_stats": dataclasses.asdict(self.last_warm_stats),
+            "metrics": REGISTRY.snapshot(prefix="engine."),
+        }
 
     # ------------------------------------------------------------------
     # Internals

@@ -52,7 +52,14 @@ from repro.core.localization import GeometryDrop, LocalizationResult, locate_tra
 from repro.core.localization_batch import locate_transmitter_batch
 from repro.core.tof import TofEstimatorConfig
 from repro.net.service import ISOLATED_LINK_ERRORS, RangingRequest
-from repro.obs import COUNT_BUCKETS, REGISTRY, SpanContext, timed_span, trace
+from repro.obs import (
+    COUNT_BUCKETS,
+    REGISTRY,
+    ObsServer,
+    SpanContext,
+    timed_span,
+    trace,
+)
 from repro.rf.constants import SPEED_OF_LIGHT
 from repro.rf.geometry import Point
 from repro.stream.service import (
@@ -86,6 +93,12 @@ class LocConfig:
             timers — for the duration.  ``False`` restores the inline
             solve (deterministic single-threaded debugging), matching
             the streaming layer's ``offload_flush`` switch.
+        serve_port: Start an embedded telemetry endpoint
+            (:class:`repro.obs.ObsServer`: ``/metrics``, ``/health``,
+            ``/traces``) on this localhost port when the service is
+            constructed; ``0`` binds an ephemeral port (read it back
+            from ``service.obs_server.port``), ``None`` (default) runs
+            no server.  The service stops it on ``close()``.
     """
 
     solve_wait_s: float = 0.0
@@ -93,6 +106,7 @@ class LocConfig:
     tolerance_m: float = 0.3
     min_ok_anchors: int = 2
     offload_solve: bool = True
+    serve_port: int | None = None
 
     def __post_init__(self) -> None:
         if self.solve_wait_s < 0:
@@ -104,6 +118,10 @@ class LocConfig:
         if self.min_ok_anchors < 2:
             raise ValueError(
                 f"min_ok_anchors must be >= 2, got {self.min_ok_anchors}"
+            )
+        if self.serve_port is not None and not 0 <= self.serve_port <= 65535:
+            raise ValueError(
+                f"serve_port must be in [0, 65535], got {self.serve_port}"
             )
 
 
@@ -245,6 +263,12 @@ class LocalizationService:
         # keeping the loop free, not solver parallelism.
         self._solve_executor: ThreadPoolExecutor | None = None
         self._inflight: set[asyncio.Task] = set()
+        # Embedded telemetry endpoint, config-gated; stopped by close().
+        self.obs_server: ObsServer | None = None
+        if self.loc_config.serve_port is not None:
+            self.obs_server = ObsServer(
+                port=self.loc_config.serve_port
+            ).start()
 
     # ------------------------------------------------------------------
     # Public API
@@ -491,6 +515,8 @@ class LocalizationService:
         executor, self._solve_executor = self._solve_executor, None
         if executor is not None:
             executor.shutdown(wait=False)
+        if self.obs_server is not None:
+            self.obs_server.stop()
 
     # ------------------------------------------------------------------
     # Internals

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Sequence
 
 import numpy as np
@@ -377,6 +377,27 @@ class RangingService:
                     if not response.ok:
                         n_failed += 1
         return responses, n_shards, n_failed
+
+    def report(self) -> dict:
+        """Observability snapshot: service config, stats + series.
+
+        Matches the shape of the stream/loc layers' ``report()`` hooks
+        (``layer`` + ``stats`` + ``metrics``), so aggregators — the
+        ``/health`` endpoint's :func:`repro.obs.report` — can walk all
+        four layers uniformly.  Nests the engine's own report.
+        ``stats`` is the deprecated best-effort mirror of the latest
+        ``submit`` (None before the first); the registry series are the
+        authoritative cumulative view.
+        """
+        return {
+            "layer": "service",
+            "max_shard_links": self.max_shard_links,
+            "stats": (
+                asdict(self.last_stats) if self.last_stats is not None else None
+            ),
+            "metrics": REGISTRY.snapshot(prefix="service."),
+            "engine": self.engine.report(),
+        }
 
     @staticmethod
     def _publish_stats(stats: ServiceStats) -> None:

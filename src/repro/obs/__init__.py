@@ -1,4 +1,4 @@
-"""Unified observability for the serving stack: metrics + tracing.
+"""Unified observability for the serving stack: produce *and* consume.
 
 Two process-wide singletons serve every layer:
 
@@ -12,8 +12,21 @@ context manager that both opens a trace span and observes the block's
 duration into a latency histogram, so the trace tree and the metric
 series always agree on what was measured.
 
-``python -m repro.obs summarize <trace.jsonl>`` tabulates a written
-trace (:mod:`repro.obs.cli`).
+On top of that substrate sits the consumption layer:
+
+* :mod:`repro.obs.health` — declarative SLOs (latency percentiles,
+  error budgets, the stream-overload signal) judged over rolling
+  registry windows by a :class:`HealthMonitor`;
+* :mod:`repro.obs.server` — the live ``/metrics`` + ``/health`` +
+  ``/traces`` HTTP endpoint (:class:`ObsServer`), embeddable via
+  ``StreamConfig(serve_port=...)`` / ``LocConfig(serve_port=...)``;
+* :mod:`repro.obs.bench` — benchmark history + the median-of-last-K
+  regression gate;
+* :func:`report` — one aggregate: the health verdict plus each passed
+  layer's ``report()``.
+
+``python -m repro.obs summarize|serve|bench-compare`` is the CLI
+(:mod:`repro.obs.cli`).
 """
 
 from __future__ import annotations
@@ -23,6 +36,17 @@ from contextlib import contextmanager
 from typing import Any, Iterator, Mapping
 
 from repro.obs import trace
+from repro.obs.health import (
+    DEFAULT_SLOS,
+    ErrorRateSlo,
+    HealthMonitor,
+    HealthReport,
+    LatencySlo,
+    OverloadSlo,
+    Slo,
+    SloStatus,
+    get_monitor,
+)
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS_S,
@@ -30,6 +54,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
 )
+from repro.obs.server import ObsServer
 from repro.obs.trace import (
     TRACER,
     Span,
@@ -40,18 +65,47 @@ from repro.obs.trace import (
 
 __all__ = [
     "COUNT_BUCKETS",
+    "DEFAULT_SLOS",
     "LATENCY_BUCKETS_S",
     "REGISTRY",
     "TRACER",
+    "ErrorRateSlo",
+    "HealthMonitor",
+    "HealthReport",
+    "LatencySlo",
     "MetricsRegistry",
+    "ObsServer",
+    "OverloadSlo",
+    "Slo",
+    "SloStatus",
     "Span",
     "SpanContext",
     "Tracer",
+    "get_monitor",
     "get_registry",
     "get_tracer",
+    "report",
     "timed_span",
     "trace",
 ]
+
+
+def report(*layers: Any, monitor: HealthMonitor | None = None) -> dict[str, Any]:
+    """One aggregate view: the health verdict plus each layer's report.
+
+    Every serving layer exposes ``report()`` (engine, service, stream,
+    loc); pass any of them and this walks them uniformly alongside the
+    monitor's current :class:`HealthReport` (a fresh sample is taken
+    first, so the verdict reflects now, not the last tick)::
+
+        obs.report(engine, service, streaming, loc_service)
+    """
+    active = monitor if monitor is not None else get_monitor()
+    return {
+        "generated_at_s": time.time(),
+        "health": active.evaluate(sample_now=True).to_dict(),
+        "layers": [layer.report() for layer in layers],
+    }
 
 
 @contextmanager

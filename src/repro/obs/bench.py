@@ -1,0 +1,286 @@
+"""Benchmark history + noise-aware regression gate.
+
+The nightly lane writes ``benchmarks/artifacts/batch_throughput.json``
+— one snapshot, overwritten per run, so a throughput regression is
+only visible by diffing artifacts by hand.  This module gives the
+numbers a memory and a gate:
+
+* :func:`append_history` adds one schema-versioned JSON line per
+  benchmark series per run to ``bench_history.jsonl`` (git SHA,
+  caller-supplied timestamp, headline rate, kernel-stage breakdown);
+* :func:`load_history` reads it back tolerantly — a truncated final
+  line from a killed run or an entry from a newer schema must not
+  poison the whole gate;
+* :func:`compare` judges the newest point of every series against a
+  **median-of-last-K baseline** with a relative threshold.  The median
+  absorbs single-run outliers and the default 15% threshold clears
+  CI's observed run-to-run noise (±5%) while catching real slowdowns
+  (a 30% drop is well past it).  Series with fewer than
+  ``min_history`` points report ``insufficient-history`` and never
+  fail the gate — CI additionally runs the whole step soft-fail until
+  the history is that deep.
+
+``python -m repro.obs bench-compare`` wraps :func:`compare` for CI:
+prints the per-series trend table, exits 1 on any regression, 0
+otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+HISTORY_SCHEMA_VERSION = 1
+"""Bump when an entry's required fields change; readers skip newer."""
+
+DEFAULT_HISTORY_PATH = Path("benchmarks/artifacts/bench_history.jsonl")
+
+_REQUIRED_FIELDS = ("schema_version", "series", "value", "git_sha")
+
+
+def git_sha() -> str:
+    """The current commit's SHA: CI env var, else git, else ``unknown``."""
+    sha = os.environ.get("GITHUB_SHA", "")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def append_history(
+    path: str | Path,
+    series: str,
+    value: float,
+    *,
+    unit: str = "links_per_s",
+    sha: str | None = None,
+    timestamp_s: float = 0.0,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Append one benchmark point to the history file; returns the entry.
+
+    ``timestamp_s`` is passed in by the caller (the benchmark reads its
+    own clock once per run) so every series appended from one run
+    shares an identical stamp and rows group cleanly.  The parent
+    directory is created on demand; writes are line-append only, so an
+    interrupted run costs at most one (skipped-on-read) partial line.
+    """
+    entry: dict[str, Any] = {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "series": series,
+        "value": float(value),
+        "unit": unit,
+        "git_sha": sha if sha is not None else git_sha(),
+        "timestamp_s": float(timestamp_s),
+        "meta": meta or {},
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("a", encoding="utf-8") as sink:
+        sink.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: str | Path) -> list[dict[str, Any]]:
+    """Read history entries in file order, skipping unusable lines.
+
+    Skips: blank/truncated/corrupt JSON lines (a killed writer),
+    entries missing required fields, and entries stamped with a newer
+    schema version than this reader understands.
+    """
+    target = Path(path)
+    if not target.exists():
+        return []
+    entries: list[dict[str, Any]] = []
+    with target.open("r", encoding="utf-8") as source:
+        for line in source:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict):
+                continue
+            if any(name not in entry for name in _REQUIRED_FIELDS):
+                continue
+            if int(entry["schema_version"]) > HISTORY_SCHEMA_VERSION:
+                continue
+            entries.append(entry)
+    return entries
+
+
+@dataclass(frozen=True)
+class SeriesTrend:
+    """One benchmark series' newest point judged against its baseline."""
+
+    series: str
+    status: str  # "ok" | "regression" | "insufficient-history"
+    n_points: int
+    current: float
+    baseline: float | None
+    unit: str
+    history: tuple[float, ...] = ()
+
+    @property
+    def ratio(self) -> float | None:
+        """current / baseline (None without a baseline)."""
+        if self.baseline is None or self.baseline <= 0:
+            return None
+        return self.current / self.baseline
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Every series' trend verdict for one gate run."""
+
+    rows: tuple[SeriesTrend, ...]
+    threshold_rel: float
+    last_k: int
+    min_history: int
+    regressions: tuple[SeriesTrend, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "regressions",
+            tuple(r for r in self.rows if r.status == "regression"),
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """The per-series trend table, regressions flagged."""
+        header = (
+            f"{'series':<28} {'n':>4} {'baseline':>12} {'current':>12} "
+            f"{'delta':>8}  status"
+        )
+        lines = [
+            f"bench-compare: baseline = median of last {self.last_k}, "
+            f"threshold {self.threshold_rel:.0%}, "
+            f"min history {self.min_history}",
+            header,
+            "-" * len(header),
+        ]
+        for row in self.rows:
+            baseline = (
+                f"{row.baseline:.1f}" if row.baseline is not None else "-"
+            )
+            delta = (
+                f"{row.ratio - 1.0:+.1%}" if row.ratio is not None else "-"
+            )
+            lines.append(
+                f"{row.series:<28} {row.n_points:>4} {baseline:>12} "
+                f"{row.current:>12.1f} {delta:>8}  {row.status}"
+            )
+        if self.regressions:
+            names = ", ".join(r.series for r in self.regressions)
+            lines.append(f"REGRESSION in {len(self.regressions)}: {names}")
+        else:
+            lines.append("no regressions")
+        return "\n".join(lines)
+
+
+def compare(
+    entries: Iterable[dict[str, Any]],
+    *,
+    last_k: int = 5,
+    threshold_rel: float = 0.15,
+    min_history: int = 5,
+) -> BenchComparison:
+    """Judge each series' newest point against its recent baseline.
+
+    Baseline = median of up to ``last_k`` points immediately preceding
+    the newest one; regression = newest value below ``baseline *
+    (1 - threshold_rel)``.  Higher is better for every tracked series
+    (throughput rates), so only downward moves gate.  A series whose
+    total depth is below ``min_history`` is reported but never fails.
+    """
+    if not 0.0 < threshold_rel < 1.0:
+        raise ValueError(
+            f"threshold_rel must be in (0, 1), got {threshold_rel}"
+        )
+    if last_k < 1:
+        raise ValueError(f"last_k must be >= 1, got {last_k}")
+    by_series: dict[str, list[dict[str, Any]]] = {}
+    for entry in entries:
+        by_series.setdefault(str(entry["series"]), []).append(entry)
+    rows: list[SeriesTrend] = []
+    for series in sorted(by_series):
+        points = by_series[series]
+        values = [float(p["value"]) for p in points]
+        current = values[-1]
+        unit = str(points[-1].get("unit", ""))
+        window = tuple(values[-(last_k + 1):])
+        if len(values) < max(2, min_history):
+            rows.append(
+                SeriesTrend(
+                    series=series,
+                    status="insufficient-history",
+                    n_points=len(values),
+                    current=current,
+                    baseline=None,
+                    unit=unit,
+                    history=window,
+                )
+            )
+            continue
+        baseline = statistics.median(values[-(last_k + 1):-1])
+        regressed = current < baseline * (1.0 - threshold_rel)
+        rows.append(
+            SeriesTrend(
+                series=series,
+                status="regression" if regressed else "ok",
+                n_points=len(values),
+                current=current,
+                baseline=baseline,
+                unit=unit,
+                history=window,
+            )
+        )
+    return BenchComparison(
+        rows=tuple(rows),
+        threshold_rel=threshold_rel,
+        last_k=last_k,
+        min_history=min_history,
+    )
+
+
+def compare_file(
+    path: str | Path,
+    *,
+    last_k: int = 5,
+    threshold_rel: float = 0.15,
+    min_history: int = 5,
+) -> BenchComparison:
+    """:func:`load_history` + :func:`compare` in one call (the CLI path)."""
+    return compare(
+        load_history(path),
+        last_k=last_k,
+        threshold_rel=threshold_rel,
+        min_history=min_history,
+    )
+
+
+def history_depth(entries: Sequence[dict[str, Any]]) -> int:
+    """Distinct benchmark runs in a history (by git SHA + timestamp)."""
+    return len(
+        {(e["git_sha"], e.get("timestamp_s", 0.0)) for e in entries}
+    )

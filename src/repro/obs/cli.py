@@ -1,16 +1,26 @@
-"""Trace-file summarizer: per-stage latency table from a spans JSONL.
+"""Observability CLI: trace summarizer, telemetry server, bench gate.
 
-``python -m repro.obs summarize trace.jsonl`` aggregates the spans the
-tracer wrote (one JSON object per line) into a per-stage table —
-count, p50/p95/max duration, and self vs cumulative time — answering
-"where did the request's wall time go" without any external tooling.
+``python -m repro.obs summarize trace.jsonl`` (or ``-`` for stdin)
+aggregates the spans the tracer wrote (one JSON object per line) into
+a per-stage table — count, p50/p95/max duration, and self vs
+cumulative time — answering "where did the request's wall time go"
+without any external tooling.
 
 *Cumulative* time is a stage's own span durations summed; *self* time
 subtracts the durations of its direct children (matched by
 ``parent_id`` within the same trace), so a ``stream.flush`` whose time
 is all spent inside ``stream.plan_solve`` children shows near-zero
-self.  Exit status: 0 with a non-empty table, 1 when the file holds no
-valid spans (CI's smoke step fails on that), 2 on usage errors.
+self.  Ill-formed lines (interleaved partial writes from a crashed
+writer) are skipped and counted, not fatal — unless *nothing* valid
+remains.  Exit status: 0 with a non-empty table, 1 when the input
+holds no valid spans (CI's smoke step fails on that), 2 on usage
+errors.
+
+``python -m repro.obs serve --port N`` runs the standalone telemetry
+endpoint (``/metrics``, ``/health``, ``/traces``); ``python -m
+repro.obs bench-compare`` runs the benchmark-history regression gate
+(exit 1 on regression).  See :mod:`repro.obs.server` and
+:mod:`repro.obs.bench`.
 """
 
 from __future__ import annotations
@@ -18,8 +28,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -30,27 +41,45 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
     return sorted_values[rank]
 
 
+def parse_span_lines(
+    lines: Iterable[str],
+) -> tuple[list[dict[str, Any]], int]:
+    """Parse spans-JSONL lines; returns ``(spans, n_skipped)``.
+
+    Blank lines don't count as skipped; corrupt JSON (a crashed
+    writer's interleaved partial lines), non-object lines, and records
+    missing span fields do.
+    """
+    spans: list[dict[str, Any]] = []
+    skipped = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if not isinstance(record, dict):
+            skipped += 1
+            continue
+        if "name" not in record or "duration_s" not in record:
+            skipped += 1
+            continue
+        try:
+            record["duration_s"] = float(record["duration_s"])
+        except (TypeError, ValueError):
+            skipped += 1
+            continue
+        spans.append(record)
+    return spans, skipped
+
+
 def load_spans(path: Path) -> list[dict[str, Any]]:
     """Parse a spans JSONL file, skipping ill-formed lines."""
-    spans: list[dict[str, Any]] = []
     with path.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if not isinstance(record, dict):
-                continue
-            if "name" not in record or "duration_s" not in record:
-                continue
-            try:
-                record["duration_s"] = float(record["duration_s"])
-            except (TypeError, ValueError):
-                continue
-            spans.append(record)
+        spans, _skipped = parse_span_lines(handle)
     return spans
 
 
@@ -123,19 +152,36 @@ def render_table(rows: Sequence[dict[str, Any]]) -> str:
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
-    path = Path(args.trace_file)
-    if not path.is_file():
-        print(f"error: no such trace file: {path}", file=sys.stderr)
-        return 2
-    spans = load_spans(path)
+    if args.trace_file == "-":
+        source = "<stdin>"
+        spans, skipped = parse_span_lines(sys.stdin)
+    else:
+        path = Path(args.trace_file)
+        if not path.is_file():
+            print(f"error: no such trace file: {path}", file=sys.stderr)
+            return 2
+        source = str(path)
+        with path.open("r", encoding="utf-8") as handle:
+            spans, skipped = parse_span_lines(handle)
     rows = summarize_spans(spans)
     if not rows:
+        detail = (
+            f"{skipped} ill-formed line(s) skipped — truncated or "
+            "interleaved partial writes from a crashed writer?"
+            if skipped
+            else "empty trace"
+        )
         print(
-            f"error: {path} contains no valid spans "
-            "(empty or ill-formed trace)",
+            f"error: {source} contains no valid spans ({detail})",
             file=sys.stderr,
         )
         return 1
+    if skipped:
+        print(
+            f"warning: skipped {skipped} ill-formed line(s) in {source} "
+            "(partial writes from a crashed writer?)",
+            file=sys.stderr,
+        )
     if args.json:
         n_traces = len(
             {span.get("trace_id") for span in spans if span.get("trace_id")}
@@ -147,9 +193,87 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
             )
         )
     else:
-        print(f"{len(spans)} spans from {path}")
+        print(f"{len(spans)} spans from {source}")
         print(render_table(rows))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.health import get_monitor
+    from repro.obs.server import ObsServer
+
+    monitor = get_monitor()
+    sample_on_request = args.interval_s <= 0
+    server = ObsServer(
+        port=args.port,
+        host=args.host,
+        monitor=monitor,
+        sample_on_request=sample_on_request,
+    ).start()
+    if not sample_on_request:
+        monitor.interval_s = args.interval_s
+        monitor.start()
+    print(
+        f"serving telemetry on {server.url} "
+        "(/metrics /health /traces; Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if not sample_on_request:
+            monitor.stop()
+        server.stop()
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+
+    path = Path(args.history)
+    entries = bench.load_history(path)
+    if not entries:
+        print(f"bench-compare: no history at {path} yet; nothing to gate")
+        return 0
+    comparison = bench.compare(
+        entries,
+        last_k=args.last_k,
+        threshold_rel=args.threshold,
+        min_history=args.min_history,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": comparison.ok,
+                    "history_depth": bench.history_depth(entries),
+                    "rows": [
+                        {
+                            "series": row.series,
+                            "status": row.status,
+                            "n_points": row.n_points,
+                            "current": row.current,
+                            "baseline": row.baseline,
+                            "ratio": row.ratio,
+                            "unit": row.unit,
+                        }
+                        for row in comparison.rows
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(comparison.render())
+        depth = bench.history_depth(entries)
+        if depth < args.min_history:
+            print(
+                f"history depth {depth} < {args.min_history}: "
+                "gate is informational until the history fills"
+            )
+    return 0 if comparison.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -164,13 +288,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-stage latency table (p50/p95/max, self vs cumulative) "
         "from a spans JSONL trace file",
     )
-    summarize.add_argument("trace_file", help="spans JSONL written by the tracer")
+    summarize.add_argument(
+        "trace_file",
+        help="spans JSONL written by the tracer, or '-' for stdin",
+    )
     summarize.add_argument(
         "--json",
         action="store_true",
         help="emit the summary as JSON instead of a table",
     )
     summarize.set_defaults(func=_cmd_summarize)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the telemetry endpoint (/metrics, /health, /traces)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=9430, help="port to bind (default 9430)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default localhost)"
+    )
+    serve.add_argument(
+        "--interval-s",
+        type=float,
+        default=0.0,
+        dest="interval_s",
+        help="background health-sampling interval in seconds; "
+        "0 (default) samples on each /health request instead",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    bench_compare = sub.add_parser(
+        "bench-compare",
+        help="gate benchmark history for regressions "
+        "(median-of-last-K baseline; exit 1 on regression)",
+    )
+    bench_compare.add_argument(
+        "--history",
+        default="benchmarks/artifacts/bench_history.jsonl",
+        help="bench_history.jsonl path "
+        "(default benchmarks/artifacts/bench_history.jsonl)",
+    )
+    bench_compare.add_argument(
+        "--last-k",
+        type=int,
+        default=5,
+        dest="last_k",
+        help="baseline = median of this many points before the newest",
+    )
+    bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative drop below baseline that counts as a regression",
+    )
+    bench_compare.add_argument(
+        "--min-history",
+        type=int,
+        default=5,
+        dest="min_history",
+        help="series with fewer points than this never fail the gate",
+    )
+    bench_compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison as JSON instead of a table",
+    )
+    bench_compare.set_defaults(func=_cmd_bench_compare)
     return parser
 
 

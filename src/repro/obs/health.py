@@ -1,0 +1,720 @@
+"""Rolling SLO evaluation over the metrics registry: the health engine.
+
+PR 8's registry publishes cumulative series; nothing consumed them at
+runtime — a breached latency target or a saturating stream queue was
+only visible by reading a snapshot by hand.  This module closes that
+loop with three declarative objective kinds over the same series:
+
+* :class:`LatencySlo` — a percentile of a latency histogram, computed
+  over a **rolling window** (bucket-count deltas between the oldest and
+  newest registry samples, not process lifetime) must stay under a
+  target;
+* :class:`ErrorRateSlo` — a failure counter's windowed rate over a
+  traffic counter must stay inside a relative budget;
+* :class:`OverloadSlo` — the derived overload signal, defined exactly
+  as the ROADMAP's serving items state it: the rolling-window mean of
+  ``stream.queue_wait_s`` *growing* while ``engine.solve_s`` holds
+  steady.  Queue wait growing alone is ambiguous (heavier links also
+  grow solve time); queue wait growing while per-flush solve time does
+  not means arrivals outpace service — the precise condition the
+  admission-control work gates on.  Both growing is load growth
+  (``warn``), not overload (``breach``).
+
+:class:`HealthMonitor` snapshots the registry into a bounded rolling
+window of :class:`HealthSample`\\ s — on demand (:meth:`~HealthMonitor.sample`),
+or on an interval from a background thread (:meth:`~HealthMonitor.start`)
+— and :meth:`~HealthMonitor.evaluate` folds the window through every
+SLO into a :class:`HealthReport` with per-SLO status (``ok`` / ``warn``
+/ ``breach``) and burn rate.  :data:`DEFAULT_SLOS` wires objectives for
+all four serving layers; the ``/health`` endpoint
+(:mod:`repro.obs.server`) maps the report's overall status to HTTP
+200/503.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+
+_STATUS_ORDER = ("ok", "warn", "breach")
+
+_GROWTH_CAP = 1e6
+"""Reported growth ratios are capped here (JSON has no infinity)."""
+
+
+def worst_status(statuses: Sequence[str]) -> str:
+    """The most severe of a set of SLO statuses (``ok`` when empty)."""
+    worst = 0
+    for status in statuses:
+        worst = max(worst, _STATUS_ORDER.index(status))
+    return _STATUS_ORDER[worst]
+
+
+# ----------------------------------------------------------------------
+# Window samples
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SeriesSample:
+    """One metric series' cumulative state at one sample instant.
+
+    Counters/gauges keep their per-label-set values (error-rate SLOs
+    filter on labels); histograms are aggregated across label sets —
+    latency and overload objectives judge the layer, not one plan.
+    """
+
+    kind: str  # "counter" | "gauge" | "histogram" | "absent"
+    values: tuple[tuple[tuple[tuple[str, str], ...], float], ...] = ()
+    bounds: tuple[float, ...] = ()
+    bucket_counts: tuple[int, ...] = ()
+    total: float = 0.0
+    count: int = 0
+    max: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        """Cumulative mean of a histogram series (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+_ABSENT = SeriesSample(kind="absent")
+
+
+@dataclass(frozen=True)
+class HealthSample:
+    """The registry state of every watched series at one instant."""
+
+    time_s: float
+    series: dict[str, SeriesSample] = field(default_factory=dict)
+
+    def get(self, name: str) -> SeriesSample:
+        """The named series' state (an inert placeholder when absent)."""
+        return self.series.get(name, _ABSENT)
+
+
+def take_sample(
+    registry: MetricsRegistry,
+    names: Sequence[str],
+    now_s: float | None = None,
+) -> HealthSample:
+    """Snapshot the watched series of ``registry`` into one sample.
+
+    ``now_s`` lets tests (and replays of recorded telemetry) pin the
+    sample clock; live callers omit it.
+    """
+    snapshot = registry.snapshot(include_buckets=True)
+    series: dict[str, SeriesSample] = {}
+    for name in names:
+        family = snapshot.get(name)
+        if not isinstance(family, dict):
+            continue
+        entries = family.get("series")
+        kind = str(family.get("kind"))
+        if not isinstance(entries, list) or not entries:
+            continue
+        if kind == "histogram":
+            series[name] = _aggregate_histogram(kind, entries)
+        else:
+            values = tuple(
+                (
+                    tuple(sorted(dict(entry["labels"]).items())),
+                    float(entry["value"]),
+                )
+                for entry in entries
+            )
+            series[name] = SeriesSample(kind=kind, values=values)
+    return HealthSample(
+        time_s=time.time() if now_s is None else now_s, series=series
+    )
+
+
+def _aggregate_histogram(
+    kind: str, entries: list[dict[str, Any]]
+) -> SeriesSample:
+    bounds = tuple(float(b) for b in entries[0]["bounds"])
+    counts = [0] * (len(bounds) + 1)
+    total = 0.0
+    count = 0
+    max_value = 0.0
+    for entry in entries:
+        if tuple(float(b) for b in entry["bounds"]) != bounds:
+            # Mixed bucket layouts under one name cannot be summed;
+            # keep the first layout's series and skip the stragglers.
+            continue
+        for i, bucket_count in enumerate(entry["bucket_counts"]):
+            counts[i] += int(bucket_count)
+        total += float(entry["sum"])
+        count += int(entry["count"])
+        max_value = max(max_value, float(entry["max"]))
+    return SeriesSample(
+        kind=kind,
+        bounds=bounds,
+        bucket_counts=tuple(counts),
+        total=total,
+        count=count,
+        max=max_value,
+    )
+
+
+def _bucket_quantile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+    hi_cap: float,
+) -> float:
+    """Bucket-interpolated quantile of a (windowed) bucket-count vector."""
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for i, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            lo = bounds[i - 1] if i > 0 else 0.0
+            hi = bounds[i] if i < len(bounds) else hi_cap
+            within = (rank - cumulative) / bucket_count
+            return lo + (hi - lo) * min(max(within, 0.0), 1.0)
+        cumulative += bucket_count
+    return hi_cap
+
+
+def _histogram_delta(
+    old: SeriesSample, new: SeriesSample
+) -> tuple[tuple[float, ...], tuple[int, ...], float, int]:
+    """``(bounds, bucket deltas, sum delta, count delta)`` old → new.
+
+    A series that first appeared after ``old`` was taken diffs against
+    zero; a registry reset mid-window would make deltas negative, so
+    they clamp at zero (one window of distortion, then it heals).
+    """
+    if new.kind != "histogram":
+        return ((), (), 0.0, 0)
+    if old.kind != "histogram" or old.bounds != new.bounds:
+        return (new.bounds, new.bucket_counts, new.total, new.count)
+    deltas = tuple(
+        max(0, n - o) for n, o in zip(new.bucket_counts, old.bucket_counts)
+    )
+    return (
+        new.bounds,
+        deltas,
+        max(0.0, new.total - old.total),
+        max(0, new.count - old.count),
+    )
+
+
+def _counter_total(
+    sample: SeriesSample, label_filter: tuple[tuple[str, str], ...]
+) -> float:
+    """Sum of a counter's label-set values matching ``label_filter``."""
+    wanted = dict(label_filter)
+    total = 0.0
+    for labels, value in sample.values:
+        if all(dict(labels).get(k) == v for k, v in wanted.items()):
+            total += value
+    return total
+
+
+# ----------------------------------------------------------------------
+# Objectives
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SloStatus:
+    """One SLO's verdict for one evaluation window."""
+
+    name: str
+    layer: str
+    kind: str
+    status: str  # "ok" | "warn" | "breach"
+    value: float
+    target: float
+    burn_rate: float
+    detail: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "layer": self.layer,
+            "kind": self.kind,
+            "status": self.status,
+            "value": self.value,
+            "target": self.target,
+            "burn_rate": self.burn_rate,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class Slo:
+    """Base of every declarative objective: identity plus evaluation.
+
+    Subclasses declare which registry series they read
+    (:meth:`series_names` — the monitor samples exactly that set) and
+    how a window of samples maps to a :class:`SloStatus`.
+    """
+
+    name: str
+    layer: str
+
+    def series_names(self) -> tuple[str, ...]:
+        """Registry series this objective needs sampled."""
+        raise NotImplementedError
+
+    def evaluate(self, samples: Sequence[HealthSample]) -> SloStatus:
+        """This objective's verdict over a rolling window of samples."""
+        raise NotImplementedError
+
+    def _status(
+        self, status: str, value: float, target: float, detail: str
+    ) -> SloStatus:
+        return SloStatus(
+            name=self.name,
+            layer=self.layer,
+            kind=type(self).__name__.removesuffix("Slo").lower(),
+            status=status,
+            value=value,
+            target=target,
+            burn_rate=value / target if target > 0 else 0.0,
+            detail=detail,
+        )
+
+
+@dataclass(frozen=True)
+class LatencySlo(Slo):
+    """A windowed latency percentile must stay under ``target_s``.
+
+    The percentile is computed from histogram bucket-count deltas
+    between the window's oldest and newest samples, so a long-lived
+    process's quiet past cannot mask a latency regression happening
+    now.  ``warn`` starts at ``warn_ratio * target_s``.
+    """
+
+    series: str = ""
+    quantile: float = 0.95
+    target_s: float = 1.0
+    warn_ratio: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ValueError(f"SLO {self.name!r}: series is required")
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError(
+                f"SLO {self.name!r}: quantile must be in (0, 1), "
+                f"got {self.quantile}"
+            )
+        if self.target_s <= 0:
+            raise ValueError(
+                f"SLO {self.name!r}: target_s must be > 0, got {self.target_s}"
+            )
+
+    def series_names(self) -> tuple[str, ...]:
+        return (self.series,)
+
+    def evaluate(self, samples: Sequence[HealthSample]) -> SloStatus:
+        if not samples:
+            return self._status("ok", 0.0, self.target_s, "no samples yet")
+        old = samples[0].get(self.series)
+        new = samples[-1].get(self.series)
+        bounds, deltas, _sum_delta, count_delta = _histogram_delta(old, new)
+        if count_delta == 0:
+            return self._status(
+                "ok", 0.0, self.target_s, "no traffic in window"
+            )
+        value = _bucket_quantile(bounds, deltas, self.quantile, new.max)
+        detail = (
+            f"p{int(self.quantile * 100)} = {value:.4g}s over "
+            f"{count_delta} observations"
+        )
+        if value > self.target_s:
+            return self._status("breach", value, self.target_s, detail)
+        if value > self.warn_ratio * self.target_s:
+            return self._status("warn", value, self.target_s, detail)
+        return self._status("ok", value, self.target_s, detail)
+
+
+@dataclass(frozen=True)
+class ErrorRateSlo(Slo):
+    """A windowed failure rate must stay inside a relative budget.
+
+    ``numerator_labels`` filters the failure counter's label sets (e.g.
+    ``(("ok", "False"),)`` over ``loc.fixes_total``); the denominator
+    always sums every label set of its series.
+    """
+
+    numerator: str = ""
+    denominator: str = ""
+    budget_rel: float = 0.05
+    warn_ratio: float = 0.8
+    numerator_labels: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.numerator or not self.denominator:
+            raise ValueError(
+                f"SLO {self.name!r}: numerator and denominator are required"
+            )
+        if not 0.0 < self.budget_rel <= 1.0:
+            raise ValueError(
+                f"SLO {self.name!r}: budget_rel must be in (0, 1], "
+                f"got {self.budget_rel}"
+            )
+
+    def series_names(self) -> tuple[str, ...]:
+        return (self.numerator, self.denominator)
+
+    def evaluate(self, samples: Sequence[HealthSample]) -> SloStatus:
+        if not samples:
+            return self._status("ok", 0.0, self.budget_rel, "no samples yet")
+        old, new = samples[0], samples[-1]
+        failed = _counter_total(
+            new.get(self.numerator), self.numerator_labels
+        ) - _counter_total(old.get(self.numerator), self.numerator_labels)
+        traffic = _counter_total(new.get(self.denominator), ()) - (
+            _counter_total(old.get(self.denominator), ())
+        )
+        if traffic <= 0:
+            return self._status(
+                "ok", 0.0, self.budget_rel, "no traffic in window"
+            )
+        rate = max(0.0, failed) / traffic
+        detail = f"{failed:.0f} failures / {traffic:.0f} requests in window"
+        if rate > self.budget_rel:
+            return self._status("breach", rate, self.budget_rel, detail)
+        if rate > self.warn_ratio * self.budget_rel:
+            return self._status("warn", rate, self.budget_rel, detail)
+        return self._status("ok", rate, self.budget_rel, detail)
+
+
+@dataclass(frozen=True)
+class OverloadSlo(Slo):
+    """The ROADMAP's overload signal: queue wait grows, solve holds.
+
+    The window's samples split at their midpoint into an early and a
+    late half; each half's mean queue wait and mean solve time come
+    from the cumulative sum/count deltas across that half.  Verdict:
+
+    * ``breach`` — late-half mean queue wait at least ``growth_ratio``
+      times the early half's (and above ``min_wait_s``) while the
+      late-half mean solve time stayed within ``steady_ratio`` of the
+      early half's: arrivals outpace a healthy solver — overload.
+    * ``warn`` — queue wait grew but solve time grew with it: the work
+      itself got heavier (bigger coalesced batches, harder channels) —
+      capacity pressure, not queue overload.
+    * ``ok`` — queue wait flat, below the floor, or idle (an idle late
+      half is how a drained queue reports recovery).
+    """
+
+    queue_series: str = "stream.queue_wait_s"
+    solve_series: str = "engine.solve_s"
+    growth_ratio: float = 2.0
+    steady_ratio: float = 1.5
+    min_wait_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.growth_ratio <= 1.0:
+            raise ValueError(
+                f"SLO {self.name!r}: growth_ratio must be > 1, "
+                f"got {self.growth_ratio}"
+            )
+        if self.steady_ratio <= 1.0:
+            raise ValueError(
+                f"SLO {self.name!r}: steady_ratio must be > 1, "
+                f"got {self.steady_ratio}"
+            )
+
+    def series_names(self) -> tuple[str, ...]:
+        return (self.queue_series, self.solve_series)
+
+    @staticmethod
+    def _half_mean(
+        old: SeriesSample, new: SeriesSample
+    ) -> tuple[float, int]:
+        _bounds, _deltas, sum_delta, count_delta = _histogram_delta(old, new)
+        if count_delta == 0:
+            return 0.0, 0
+        return sum_delta / count_delta, count_delta
+
+    def evaluate(self, samples: Sequence[HealthSample]) -> SloStatus:
+        if len(samples) < 3:
+            return self._status(
+                "ok",
+                0.0,
+                self.growth_ratio,
+                f"insufficient samples ({len(samples)}/3)",
+            )
+        mid = len(samples) // 2
+        early_wait, early_wait_n = self._half_mean(
+            samples[0].get(self.queue_series),
+            samples[mid].get(self.queue_series),
+        )
+        late_wait, late_wait_n = self._half_mean(
+            samples[mid].get(self.queue_series),
+            samples[-1].get(self.queue_series),
+        )
+        if late_wait_n == 0:
+            return self._status(
+                "ok", 0.0, self.growth_ratio, "queue idle in recent window"
+            )
+        if late_wait < self.min_wait_s:
+            return self._status(
+                "ok",
+                1.0,
+                self.growth_ratio,
+                f"queue wait {late_wait:.4g}s below "
+                f"{self.min_wait_s:.4g}s floor",
+            )
+        wait_growth = (
+            late_wait / early_wait if early_wait_n and early_wait > 0
+            else _GROWTH_CAP
+        )
+        wait_growth = min(wait_growth, _GROWTH_CAP)
+        if wait_growth < self.growth_ratio:
+            return self._status(
+                "ok",
+                wait_growth,
+                self.growth_ratio,
+                f"queue wait steady at {late_wait:.4g}s "
+                f"({wait_growth:.2f}x over window)",
+            )
+        early_solve, early_solve_n = self._half_mean(
+            samples[0].get(self.solve_series),
+            samples[mid].get(self.solve_series),
+        )
+        late_solve, late_solve_n = self._half_mean(
+            samples[mid].get(self.solve_series),
+            samples[-1].get(self.solve_series),
+        )
+        if late_solve_n == 0 or early_solve_n == 0 or early_solve <= 0:
+            solve_growth = 1.0 if late_solve_n == 0 else _GROWTH_CAP
+        else:
+            solve_growth = min(late_solve / early_solve, _GROWTH_CAP)
+        detail = (
+            f"queue wait {early_wait:.4g}s -> {late_wait:.4g}s "
+            f"({wait_growth:.2f}x), solve {early_solve:.4g}s -> "
+            f"{late_solve:.4g}s ({solve_growth:.2f}x)"
+        )
+        if solve_growth <= self.steady_ratio:
+            return self._status(
+                "breach", wait_growth, self.growth_ratio, detail
+            )
+        return self._status(
+            "warn",
+            wait_growth,
+            self.growth_ratio,
+            detail + " — load growth, not queue overload",
+        )
+
+
+# ----------------------------------------------------------------------
+# Reports and the monitor
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HealthReport:
+    """Every SLO's verdict over one evaluation window."""
+
+    status: str
+    generated_at_s: float
+    n_samples: int
+    window_s: float
+    slos: tuple[SloStatus, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the process is servable (``ok`` or ``warn``)."""
+        return self.status != "breach"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "generated_at_s": self.generated_at_s,
+            "n_samples": self.n_samples,
+            "window_s": self.window_s,
+            "slos": [slo.to_dict() for slo in self.slos],
+        }
+
+
+DEFAULT_SLOS: tuple[Slo, ...] = (
+    LatencySlo(
+        name="engine-solve-p95",
+        layer="engine",
+        series="engine.solve_s",
+        quantile=0.95,
+        target_s=2.0,
+    ),
+    LatencySlo(
+        name="service-submit-p95",
+        layer="service",
+        series="service.submit_s",
+        quantile=0.95,
+        target_s=5.0,
+    ),
+    ErrorRateSlo(
+        name="service-error-budget",
+        layer="service",
+        numerator="service.failed_total",
+        denominator="service.requests_total",
+        budget_rel=0.05,
+    ),
+    LatencySlo(
+        name="stream-queue-wait-p95",
+        layer="stream",
+        series="stream.queue_wait_s",
+        quantile=0.95,
+        target_s=1.0,
+    ),
+    ErrorRateSlo(
+        name="stream-error-budget",
+        layer="stream",
+        numerator="stream.failed_total",
+        denominator="stream.requests_total",
+        budget_rel=0.05,
+    ),
+    OverloadSlo(name="stream-overload", layer="stream"),
+    LatencySlo(
+        name="loc-locate-p95",
+        layer="loc",
+        series="loc.locate_s",
+        quantile=0.95,
+        target_s=5.0,
+    ),
+    ErrorRateSlo(
+        name="loc-fix-error-budget",
+        layer="loc",
+        numerator="loc.fixes_total",
+        numerator_labels=(("ok", "False"),),
+        denominator="loc.fixes_total",
+        budget_rel=0.05,
+    ),
+)
+"""Default objectives: one latency target per layer plus error budgets
+for the layers with failure accounting and the stream overload signal.
+Thresholds are deliberately generous (single-core CI solves a fleet
+tick in hundreds of milliseconds); deployments tune their own set."""
+
+
+class HealthMonitor:
+    """Samples the registry into a rolling window and judges the SLOs.
+
+    Sampling is cheap (one registry snapshot filtered to the watched
+    series) and safe from any thread.  Use :meth:`sample` from a test
+    or an application tick, or :meth:`start` for a background sampling
+    thread (:meth:`stop` joins it).  :meth:`evaluate` never mutates the
+    window unless asked to take a fresh sample first.
+    """
+
+    def __init__(
+        self,
+        slos: Sequence[Slo] | None = None,
+        registry: MetricsRegistry | None = None,
+        interval_s: float = 1.0,
+        window_samples: int = 120,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if window_samples < 3:
+            raise ValueError(
+                f"window_samples must be >= 3, got {window_samples}"
+            )
+        self.slos: tuple[Slo, ...] = (
+            tuple(slos) if slos is not None else DEFAULT_SLOS
+        )
+        self.registry = registry if registry is not None else REGISTRY
+        self.interval_s = interval_s
+        names: set[str] = set()
+        for slo in self.slos:
+            names.update(slo.series_names())
+        self._series_names = tuple(sorted(names))
+        self._lock = threading.Lock()
+        self._samples: deque[HealthSample] = deque(  # guarded-by: self._lock
+            maxlen=window_samples
+        )
+        self._thread: threading.Thread | None = None  # guarded-by: self._lock
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Samples currently held in the rolling window."""
+        with self._lock:
+            return len(self._samples)
+
+    def sample(self, now_s: float | None = None) -> HealthSample:
+        """Take one registry sample into the rolling window."""
+        taken = take_sample(self.registry, self._series_names, now_s)
+        with self._lock:
+            self._samples.append(taken)
+        return taken
+
+    def reset(self) -> None:
+        """Drop the rolling window (tests, load-phase boundaries)."""
+        with self._lock:
+            self._samples.clear()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, sample_now: bool = False) -> HealthReport:
+        """Judge every SLO over the current window.
+
+        ``sample_now`` appends a fresh sample first, so pull-based
+        consumers (the ``/health`` endpoint without a sampler thread)
+        always judge up-to-date state.
+        """
+        if sample_now:
+            self.sample()
+        with self._lock:
+            samples = list(self._samples)
+        statuses = tuple(slo.evaluate(samples) for slo in self.slos)
+        window_s = (
+            samples[-1].time_s - samples[0].time_s if len(samples) > 1 else 0.0
+        )
+        return HealthReport(
+            status=worst_status([s.status for s in statuses]),
+            generated_at_s=time.time(),
+            n_samples=len(samples),
+            window_s=window_s,
+            slos=statuses,
+        )
+
+    # ------------------------------------------------------------------
+    # Background sampling
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the background sampling thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()
+            thread = threading.Thread(
+                target=self._run, name="obs-health-sampler", daemon=True
+            )
+            self._thread = thread
+        thread.start()
+
+    def stop(self) -> None:
+        """Stop and join the background sampling thread (idempotent)."""
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=10.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample()
+
+
+MONITOR = HealthMonitor()
+"""The process-wide default monitor (default SLOs, default registry)."""
+
+
+def get_monitor() -> HealthMonitor:
+    """The process-wide default health monitor."""
+    return MONITOR

@@ -225,12 +225,18 @@ class MetricsRegistry:
                 return 0.0
             return family.values.get(key, 0.0)
 
-    def snapshot(self, prefix: str | None = None) -> dict[str, object]:
+    def snapshot(
+        self, prefix: str | None = None, include_buckets: bool = False
+    ) -> dict[str, object]:
         """JSON-able view of every family (optionally name-filtered).
 
         Histogram series carry ``count``/``sum``/``max`` plus
         bucket-estimated ``p50``/``p95`` — the same numbers the trace
         CLI tabulates, so ``report()`` hooks and dashboards agree.
+        ``include_buckets`` adds each histogram series' raw layout
+        (``bounds`` + per-bucket ``bucket_counts``, last = overflow) —
+        the health monitor diffs those between samples to compute
+        quantiles over a rolling window instead of process lifetime.
         """
         out: dict[str, object] = {}
         with self._lock:
@@ -240,16 +246,20 @@ class MetricsRegistry:
                 series: list[dict[str, object]] = []
                 if family.kind == "histogram":
                     for key, histogram in sorted(family.histograms.items()):
-                        series.append(
-                            {
-                                "labels": dict(key),
-                                "count": histogram.count,
-                                "sum": histogram.total,
-                                "max": histogram.max,
-                                "p50": histogram.quantile(0.50),
-                                "p95": histogram.quantile(0.95),
-                            }
-                        )
+                        entry: dict[str, object] = {
+                            "labels": dict(key),
+                            "count": histogram.count,
+                            "sum": histogram.total,
+                            "max": histogram.max,
+                            "p50": histogram.quantile(0.50),
+                            "p95": histogram.quantile(0.95),
+                        }
+                        if include_buckets:
+                            entry["bounds"] = list(histogram.bounds)
+                            entry["bucket_counts"] = list(
+                                histogram.bucket_counts
+                            )
+                        series.append(entry)
                 else:
                     for key, value in sorted(family.values.items()):
                         series.append({"labels": dict(key), "value": value})

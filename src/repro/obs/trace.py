@@ -216,6 +216,7 @@ class Tracer:
         )
         self._sink: IO[str] | None = None  # guarded-by: self._lock
         self._sink_path: Path | None = None  # guarded-by: self._lock
+        self._max_bytes: int | None = None  # guarded-by: self._lock
         self._current: ContextVar[SpanContext | None] = ContextVar(
             "repro_obs_current_span", default=None
         )
@@ -229,6 +230,7 @@ class Tracer:
         enabled: bool = True,
         ring_size: int | None = None,
         trace_file: str | Path | None = None,
+        max_bytes: int | None = None,
     ) -> None:
         """(Re)configure the tracer; each call re-establishes the sink.
 
@@ -236,10 +238,18 @@ class Tracer:
         ``None`` closes any existing one — so ``configure(enabled=False)``
         is a complete shutdown (tests and example teardowns rely on it).
         ``ring_size`` rebuilds the ring, dropping buffered spans.
+        ``max_bytes`` bounds the sink: once a write carries the file
+        past it, the file rolls to ``<trace_file>.1`` (replacing any
+        previous rollover) and the sink reopens fresh — a long-running
+        service keeps at most ~``2 * max_bytes`` of spans on disk, and
+        the newest spans are always in the live file.
         """
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {max_bytes}")
         with self._lock:
             old_sink, self._sink = self._sink, None
             self._sink_path = None
+            self._max_bytes = max_bytes
             if ring_size is not None:
                 self._ring = deque(maxlen=ring_size)
             if trace_file is not None:
@@ -346,6 +356,25 @@ class Tracer:
                 # and a crashed (or just un-closed) process must still
                 # leave a summarizable trace behind.
                 self._sink.flush()
+                if (
+                    self._max_bytes is not None
+                    and self._sink.tell() >= self._max_bytes
+                ):
+                    self._sink = self._rotate_sink()
+
+    def _rotate_sink(self) -> IO[str]:
+        """Roll the full sink file to ``.1`` and reopen.  Lock held.
+
+        Pure handle swap: closes the full sink, replaces any previous
+        rollover, and *returns* the fresh handle — the caller stores it
+        back into ``self._sink`` inside its own ``with self._lock:``
+        block so the write stays lexically under the guard (REP002).
+        """
+        assert self._sink is not None and self._sink_path is not None
+        self._sink.close()
+        path = self._sink_path
+        path.replace(path.with_name(path.name + ".1"))
+        return path.open("w", encoding="utf-8")
 
 
 TRACER = Tracer()
@@ -362,10 +391,14 @@ def configure(
     enabled: bool = True,
     ring_size: int | None = None,
     trace_file: str | Path | None = None,
+    max_bytes: int | None = None,
 ) -> None:
     """Configure the process-wide tracer (see :meth:`Tracer.configure`)."""
     TRACER.configure(
-        enabled=enabled, ring_size=ring_size, trace_file=trace_file
+        enabled=enabled,
+        ring_size=ring_size,
+        trace_file=trace_file,
+        max_bytes=max_bytes,
     )
 
 

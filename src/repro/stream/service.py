@@ -57,7 +57,14 @@ from repro.net.service import (
     RangingService,
     plan_label,
 )
-from repro.obs import COUNT_BUCKETS, REGISTRY, SpanContext, timed_span, trace
+from repro.obs import (
+    COUNT_BUCKETS,
+    REGISTRY,
+    ObsServer,
+    SpanContext,
+    timed_span,
+    trace,
+)
 from repro.stream.tracker import TrackerBank
 from repro.wifi.csi import CsiSweep
 
@@ -101,6 +108,12 @@ class StreamConfig:
             plan never race).  ``1`` restores the single shared worker.
             On a one-core runner the win is overlap/latency, not
             throughput — gate on parity, not speedup.
+        serve_port: Start an embedded telemetry endpoint
+            (:class:`repro.obs.ObsServer`: ``/metrics``, ``/health``,
+            ``/traces``) on this localhost port when the service is
+            constructed; ``0`` binds an ephemeral port (read it back
+            from ``service.obs_server.port``), ``None`` (default) runs
+            no server.  The service stops it on ``close()``.
     """
 
     max_wait_s: float = 2e-3
@@ -108,6 +121,7 @@ class StreamConfig:
     offload_flush: bool = True
     warm_start: bool = False
     flush_workers: int = 4
+    serve_port: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_wait_s < 0:
@@ -119,6 +133,10 @@ class StreamConfig:
         if self.flush_workers < 1:
             raise ValueError(
                 f"flush_workers must be >= 1, got {self.flush_workers}"
+            )
+        if self.serve_port is not None and not 0 <= self.serve_port <= 65535:
+            raise ValueError(
+                f"serve_port must be in [0, 65535], got {self.serve_port}"
             )
 
 
@@ -266,6 +284,12 @@ class StreamingRangingService:
         # Monotonic; drives the round-robin.
         self._plans_pinned = 0  # guarded-by: self._pool_lock
         self._inflight: set[asyncio.Task] = set()
+        # Embedded telemetry endpoint, config-gated; stopped by close().
+        self.obs_server: ObsServer | None = None
+        if self.stream_config.serve_port is not None:
+            self.obs_server = ObsServer(
+                port=self.stream_config.serve_port
+            ).start()
 
     # ------------------------------------------------------------------
     # Public API
@@ -366,6 +390,8 @@ class StreamingRangingService:
             executors, self._executors = self._executors, {}
         for executor in executors.values():
             executor.shutdown(wait=False)
+        if self.obs_server is not None:
+            self.obs_server.stop()
 
     # ------------------------------------------------------------------
     # Micro-batching internals

@@ -32,6 +32,13 @@ import threading
 
 import pytest
 
+# The @shaped ndarray contracts gate at decoration time, so the flag
+# must be set before any test module imports the numeric core.  This
+# conftest is imported first by pytest, making the whole suite run
+# with runtime shape/dtype checking on; setdefault keeps an explicit
+# REPRO_CHECK_CONTRACTS=0 (e.g. the benchmark lane) authoritative.
+os.environ.setdefault("REPRO_CHECK_CONTRACTS", "1")
+
 HANG_GUARD_DEFAULT_S = 600.0
 
 

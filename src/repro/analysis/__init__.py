@@ -23,21 +23,36 @@ REP004    Float fields and parameters in ``core``/``rf``/``wifi`` must
           …) or be explicitly allowlisted as unitless.
 REP005    The deprecated ``submit_sweeps`` API must not be called in
           shipped code (use the unified ``submit(request)``).
+REP006    Public ``core``/``rf``/``wifi`` functions taking or returning
+          ndarrays must state the contract: a dtype-pinned
+          ``NDArray[...]`` alias (``repro.core.typing``) or a
+          ``@shaped`` runtime contract — never bare ``np.ndarray``.
+REP007    ``# noqa: REPxxx`` comments must still suppress a live
+          finding (stale suppressions are camouflage, RUF100-style).
 ========  =============================================================
 
 Run it as ``python -m repro.analysis check <paths>``; suppress a single
 finding with ``# noqa: REPxxx`` on the flagged line.
+
+The package also ships the debug-mode runtime half of the ndarray
+contract story: :func:`repro.analysis.contracts.shaped`, a
+shape-spec-DSL decorator enabled under ``REPRO_CHECK_CONTRACTS=1``
+(the test suite turns it on; production pays a no-op attribute read).
 """
 
 from __future__ import annotations
 
+from repro.analysis.contracts import ContractError, contracts_enabled, shaped
 from repro.analysis.engine import Checker, Diagnostic, SourceFile, check_paths
 from repro.analysis.rules import ALL_CHECKERS
 
 __all__ = [
     "ALL_CHECKERS",
     "Checker",
+    "ContractError",
     "Diagnostic",
     "SourceFile",
     "check_paths",
+    "contracts_enabled",
+    "shaped",
 ]

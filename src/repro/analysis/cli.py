@@ -28,7 +28,7 @@ from repro.analysis.rules import ALL_CHECKERS
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Repo-native static analysis (REP001-REP005).",
+        description="Repo-native static analysis (REP001-REP007).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     check = sub.add_parser(

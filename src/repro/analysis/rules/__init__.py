@@ -13,6 +13,8 @@ from repro.analysis.rules.rep002_guards import UnguardedStateChecker
 from repro.analysis.rules.rep003_frozen import FrozenRequestChecker
 from repro.analysis.rules.rep004_units import UnitSuffixChecker
 from repro.analysis.rules.rep005_deprecated import DeprecatedApiChecker
+from repro.analysis.rules.rep006_ndarray import NdarrayContractChecker
+from repro.analysis.rules.rep007_unused_noqa import UnusedSuppressionChecker
 
 ALL_CHECKERS: tuple[Checker, ...] = (
     BlockingCallChecker(),
@@ -20,6 +22,8 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     FrozenRequestChecker(),
     UnitSuffixChecker(),
     DeprecatedApiChecker(),
+    NdarrayContractChecker(),
+    UnusedSuppressionChecker(),
 )
 
 __all__ = [
@@ -29,4 +33,6 @@ __all__ = [
     "FrozenRequestChecker",
     "UnitSuffixChecker",
     "DeprecatedApiChecker",
+    "NdarrayContractChecker",
+    "UnusedSuppressionChecker",
 ]

@@ -1,0 +1,156 @@
+"""REP006 — public ndarray signatures in the numeric core carry contracts.
+
+A bare ``np.ndarray`` annotation on a public function in the physics
+layers says nothing about dtype or orientation — exactly the silence
+that lets a complex64 stack or a transposed ``(n_links, n_freqs)``
+matrix flow through the solver producing plausible-but-wrong ranges.
+The repo's convention is that every public function in ``core``,
+``rf`` or ``wifi`` that takes or returns an ndarray states its
+contract one of two ways:
+
+* statically, with a dtype-pinned ``NDArray[...]`` alias from
+  :mod:`repro.core.typing` (``ComplexCSI``, ``FrequencyVector``, …),
+  or a subscripted ``np.ndarray[...]``; or
+* at runtime, with a :func:`repro.analysis.contracts.shaped`
+  decorator, which additionally pins ranks and cross-argument
+  dimension agreement.
+
+Flagged: a parameter or return annotation on a public (non-underscore)
+function under a ``core``/``rf``/``wifi`` directory that mentions a
+*bare* (unsubscripted) ``ndarray`` / ``NDArray`` — including inside
+unions like ``np.ndarray | None`` — when the function carries no
+``@shaped`` decorator.  Unannotated parameters are out of scope (their
+ndarray-ness is not statically decidable); mypy's checked tier keeps
+those honest instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Diagnostic, SourceFile
+
+#: Annotation tail names that denote a shape/dtype-less array type.
+BARE_ARRAY_NAMES = frozenset({"ndarray", "NDArray"})
+
+
+def _dotted_text(node: ast.expr) -> str:
+    """Best-effort dotted rendering of a Name/Attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _bare_array_ref(annotation: ast.expr | None) -> str | None:
+    """The first bare ndarray/NDArray reference in an annotation, if any.
+
+    A reference that is the *value* of a subscript
+    (``NDArray[np.complex128]``, ``np.ndarray[Any, ...]``) is
+    parameterized and therefore fine; the search recurses into
+    subscript slices, unions, and container annotations so that
+    ``np.ndarray | None`` or ``tuple[np.ndarray, float]`` still flag.
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant):
+        if not isinstance(annotation.value, str):
+            return None
+        try:
+            parsed = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+        return _bare_array_ref(parsed)
+    if isinstance(annotation, ast.Subscript):
+        # The subscripted head is parameterized; only its slice can
+        # still hide a bare reference (Optional[np.ndarray], ...).
+        return _bare_array_ref(annotation.slice)
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        tail = (
+            annotation.attr
+            if isinstance(annotation, ast.Attribute)
+            else annotation.id
+        )
+        if tail in BARE_ARRAY_NAMES:
+            return _dotted_text(annotation) or tail
+        return None
+    for child in ast.iter_child_nodes(annotation):
+        if isinstance(child, ast.expr):
+            ref = _bare_array_ref(child)
+            if ref is not None:
+                return ref
+    return None
+
+
+def _has_shaped_decorator(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    """Whether the function declares a ``@shaped(...)`` contract."""
+    for decorator in func.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Attribute) and target.attr == "shaped":
+            return True
+        if isinstance(target, ast.Name) and target.id == "shaped":
+            return True
+    return False
+
+
+class NdarrayContractChecker:
+    """REP006: public core/rf/wifi ndarray signatures state their contract."""
+
+    code = "REP006"
+    name = "ndarray-contract"
+
+    #: Directory names whose files are in scope (same set as REP004).
+    SCOPED_DIRS = frozenset({"core", "rf", "wifi"})
+
+    def check(self, source: SourceFile) -> Iterator[Diagnostic]:
+        if not self.SCOPED_DIRS.intersection(source.path.parts):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if _has_shaped_decorator(node):
+                continue
+            yield from self._check_function(source, node)
+
+    def _check_function(
+        self,
+        source: SourceFile,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Diagnostic]:
+        args = [
+            *func.args.posonlyargs,
+            *func.args.args,
+            *func.args.kwonlyargs,
+        ]
+        for arg in args:
+            ref = _bare_array_ref(arg.annotation)
+            if ref is None:
+                continue
+            finding = source.diag(
+                arg,
+                self.code,
+                f"parameter '{arg.arg}' of public '{func.name}()' is "
+                f"annotated with bare '{ref}'; use an NDArray[...] alias "
+                "from repro.core.typing or add a @shaped contract",
+            )
+            if finding is not None:
+                yield finding
+        ref = _bare_array_ref(func.returns)
+        if ref is not None:
+            finding = source.diag(
+                func,
+                self.code,
+                f"public '{func.name}()' returns bare '{ref}'; use an "
+                "NDArray[...] alias from repro.core.typing or add a "
+                "@shaped contract",
+            )
+            if finding is not None:
+                yield finding

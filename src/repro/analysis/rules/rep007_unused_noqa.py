@@ -1,0 +1,79 @@
+"""REP007 — ``# noqa: REPxxx`` suppressions must still suppress something.
+
+Inline suppressions are load-bearing documentation: each one says "a
+human looked at this finding and accepted it".  When the underlying
+code changes and the finding goes away, a stale ``# noqa`` flips from
+documentation to camouflage — it will silently swallow the *next*
+genuine finding on that line.  This rule is the repo-native analogue
+of ruff's RUF100: a ``# noqa`` listing a REP code that no rule
+actually reports on that line is itself a finding.
+
+Mechanics: the checker re-runs every *other* registered rule over a
+shadow copy of the file with suppression disabled, records which
+``(line, code)`` pairs produced findings, and flags each REP-coded
+suppression with no hit.  Re-running internally makes the rule
+independent of CLI ``--select`` narrowing — ``--select REP006,REP007``
+cannot make a ``# noqa: REP004`` look unused.  Codes belonging to
+other tools (ruff's ``B905``, ``BLE001``, …) share the same comment
+syntax and are ignored; blanket ``# noqa`` comments (no code list)
+are left to ruff as well.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import Diagnostic, SourceFile
+
+
+class UnusedSuppressionChecker:
+    """REP007: every ``# noqa: REPxxx`` still suppresses a real finding."""
+
+    code = "REP007"
+    name = "unused-noqa"
+
+    def check(self, source: SourceFile) -> Iterator[Diagnostic]:
+        candidates: dict[int, list[str]] = {}
+        for line, codes in source.noqa.items():
+            if codes is None:  # blanket noqa: ruff's RUF100 territory
+                continue
+            rep_codes = sorted(
+                code
+                for code in codes
+                if code.startswith("REP") and code != self.code
+            )
+            if rep_codes:
+                candidates[line] = rep_codes
+        if not candidates:
+            return
+        from repro.analysis.rules import ALL_CHECKERS
+
+        shadow = SourceFile(
+            path=source.path,
+            text=source.text,
+            tree=source.tree,
+            noqa={},
+            guards=source.guards,
+        )
+        hits: set[tuple[int, str]] = set()
+        for checker in ALL_CHECKERS:
+            if checker.code == self.code:
+                continue
+            for finding in checker.check(shadow):
+                hits.add((finding.line, finding.code))
+        for line in sorted(candidates):
+            for code in candidates[line]:
+                if (line, code) in hits:
+                    continue
+                if source.suppressed(line, self.code):
+                    continue
+                yield Diagnostic(
+                    path=str(source.path),
+                    line=line,
+                    col=1,
+                    code=self.code,
+                    message=(
+                        f"unused suppression: no {code} finding on this "
+                        "line — remove the stale '# noqa'"
+                    ),
+                )

@@ -53,9 +53,9 @@ from repro.core.deflation_batch import (
     prune_ghost_atoms_batch,
 )
 from repro.core.hints import SolveHint, WarmStartStats, ensure_hints
-from repro.core.ndft import capped_window_s, get_grid_operator
+from repro.core.ndft import NdftOperator, capped_window_s, get_grid_operator
 from repro.obs import COUNT_BUCKETS, REGISTRY, timed_span
-from repro.core.profile import MultipathProfile
+from repro.core.profile import MultipathProfile, RefinedPath
 from repro.core.sparse import invert_ndft_batch
 from repro.core.tof import (
     GroupEstimate,
@@ -63,6 +63,14 @@ from repro.core.tof import (
     TofEstimator,
     TofEstimatorConfig,
     paths_residual_rel,
+)
+from repro.core.typing import (
+    BoolMask,
+    ComplexCSI,
+    ComplexCSIStack,
+    ComplexProfile,
+    ComplexProfileStack,
+    FrequencyVector,
 )
 from repro.wifi.csi import CsiSweep
 
@@ -126,8 +134,8 @@ class BatchTofEngine:
     # ------------------------------------------------------------------
     def estimate_products_batch(
         self,
-        frequencies_hz: np.ndarray,
-        channels: np.ndarray,
+        frequencies_hz: FrequencyVector | Sequence[float],
+        channels: ComplexCSIStack | Sequence[Sequence[complex]],
         exponent: int = 2,
         calibrations: Sequence[LinkCalibration] | None = None,
         hints: Sequence[SolveHint | None] | None = None,
@@ -183,8 +191,8 @@ class BatchTofEngine:
                 "direct", freqs, stacked, exponent, [None] * n_links,
                 hints=hint_list, telemetry=telemetry,
             )
-        estimates = []
-        for group, cal in zip(groups, cals):
+        estimates: list[TofEstimate] = []
+        for group, cal in zip(groups, cals, strict=True):
             raw = group.tof_s
             estimates.append(
                 TofEstimate(
@@ -245,13 +253,15 @@ class BatchTofEngine:
             # Per-link preprocessing, via the scalar estimator's own
             # helper (single source of the gating/grouping semantics).
             coarse_rts: list[float | None] = []
-            link_jobs: list[list[tuple[str, np.ndarray, np.ndarray, int, float | None]]]
+            link_jobs: list[
+                list[tuple[str, FrequencyVector, ComplexCSI, int, float | None]]
+            ]
             link_jobs = []
             for i, sweeps in enumerate(sweeps_per_link):
-                sweeps = list(sweeps)
-                if not sweeps:
+                sweep_list = list(sweeps)
+                if not sweep_list:
                     raise ValueError(f"link {i}: need at least one sweep")
-                coarse_rt, jobs = est._link_jobs(sweeps, cals[i])
+                coarse_rt, jobs = est._link_jobs(sweep_list, cals[i])
                 coarse_rts.append(coarse_rt)
                 link_jobs.append(jobs)
 
@@ -274,7 +284,7 @@ class BatchTofEngine:
                     hints=[hint_list[i] for i, _ in members],
                     telemetry=telemetry,
                 )
-                for (i, j), group in zip(members, groups):
+                for (i, j), group in zip(members, groups, strict=True):
                     group_results[(i, j)] = group
 
             estimates = []
@@ -366,8 +376,8 @@ class BatchTofEngine:
     def _estimate_group_stack(
         self,
         name: str,
-        freqs: np.ndarray,
-        stacked: np.ndarray,
+        freqs: FrequencyVector,
+        stacked: ComplexCSIStack,
         exponent: int,
         gates: Sequence[float | None],
         hints: Sequence[SolveHint | None] | None = None,
@@ -423,7 +433,7 @@ class BatchTofEngine:
             )
         telemetry.iterations.extend(int(v) for v in iterations)
         span = float(freqs.max() - freqs.min())
-        groups = []
+        groups: list[GroupEstimate] = []
         with self._kernel_span("peak_select", n_links):
             for i in range(n_links):
                 profile = MultipathProfile(
@@ -447,8 +457,8 @@ class BatchTofEngine:
     def _hybrid_group_stack(
         self,
         name: str,
-        freqs: np.ndarray,
-        stacked: np.ndarray,
+        freqs: FrequencyVector,
+        stacked: ComplexCSIStack,
         exponent: int,
         gates: Sequence[float | None],
         hints: Sequence[SolveHint | None],
@@ -572,12 +582,12 @@ class BatchTofEngine:
 
     @staticmethod
     def _warm_initial(
-        op,
-        coarse_stack: np.ndarray,
+        op: NdftOperator,
+        coarse_stack: ComplexCSIStack,
         scaled_hints: Sequence[SolveHint | None],
-        skip: np.ndarray | None = None,
-        fresh_paths: Sequence[Sequence] | None = None,
-    ) -> np.ndarray | None:
+        skip: BoolMask | None = None,
+        fresh_paths: Sequence[Sequence[RefinedPath]] | None = None,
+    ) -> ComplexProfileStack | None:
         """Per-link FISTA seed rows from group-domain hints.
 
         A link's candidate seeds, in precedence order: its hint's
@@ -597,17 +607,19 @@ class BatchTofEngine:
         """
         taus = op.taus_s
 
-        def rasterize(delays, amplitudes) -> np.ndarray:
+        def rasterize(
+            delays: Sequence[float], amplitudes: Sequence[complex]
+        ) -> ComplexProfile:
             seed = np.zeros(len(taus), dtype=complex)
-            for d, a in zip(delays, amplitudes):
+            for d, a in zip(delays, amplitudes, strict=True):
                 seed[int(np.argmin(np.abs(taus - d)))] += a
             return seed
 
-        candidates: dict[int, list[np.ndarray]] = {}
+        candidates: dict[int, list[ComplexProfile]] = {}
         for i, hint in enumerate(scaled_hints):
             if hint is None or (skip is not None and skip[i]):
                 continue
-            seeds: list[np.ndarray] = []
+            seeds: list[ComplexProfile] = []
             iterate = hint.profile_iterate
             if iterate is not None and len(iterate) == len(taus):
                 seeds.append(np.asarray(iterate, dtype=complex))

@@ -23,6 +23,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.interpolation import zero_subcarrier_product
+from repro.core.typing import ComplexCSI, FrequencyVector
 from repro.wifi.bands import Band
 from repro.wifi.csi import CsiSweep
 
@@ -33,7 +34,7 @@ def band_products(
     sweep: CsiSweep,
     power: int = 1,
     band_filter: Callable[[Band], bool] | None = None,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[FrequencyVector, ComplexCSI]:
     """Per-band averaged reciprocity products at subcarrier 0.
 
     For every band in the sweep (optionally filtered), interpolates each

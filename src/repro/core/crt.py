@@ -24,6 +24,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.typing import DelayVector, FloatVector
+
 
 def integer_crt(residues: Sequence[int], moduli: Sequence[int]) -> int:
     """Solve ``x ≡ r_i (mod m_i)`` for pairwise-coprime moduli.
@@ -49,7 +51,7 @@ def integer_crt(residues: Sequence[int], moduli: Sequence[int]) -> int:
                 )
     total = math.prod(moduli)
     x = 0
-    for r, m in zip(residues, moduli):
+    for r, m in zip(residues, moduli, strict=True):
         partial = total // m
         x += r * partial * pow(partial, -1, m)
     return x % total
@@ -57,7 +59,7 @@ def integer_crt(residues: Sequence[int], moduli: Sequence[int]) -> int:
 
 def phase_tof_candidates(
     phase_rad: float, frequency_hz: float, max_delay_s: float
-) -> np.ndarray:
+) -> DelayVector:
     """All delays in ``[0, max_delay)`` consistent with one band's phase.
 
     Implements Eqn. 3: ``tau = -phase / (2 pi f)  (mod 1/f)``, then
@@ -105,7 +107,7 @@ def crt_align(
         raise ValueError("need at least two bands to disambiguate")
     all_candidates = [
         phase_tof_candidates(p, f, max_delay_s)
-        for p, f in zip(phases_rad, frequencies_hz)
+        for p, f in zip(phases_rad, frequencies_hz, strict=True)
     ]
     # Vote on a grid fine enough that tolerance_s spans >= 1 bin.
     grid_step = max(tolerance_s / 2.0, 1e-12)
@@ -127,7 +129,7 @@ def crt_align(
 
 def _refine_alignment(
     coarse_delay_s: float,
-    all_candidates: list[np.ndarray],
+    all_candidates: list[DelayVector],
     window_s: float,
 ) -> float:
     """Average the per-band candidates nearest the coarse winner.
@@ -154,7 +156,7 @@ def alignment_votes(
     max_delay_s: float,
     grid_step_s: float = 0.01e-9,
     tolerance_s: float = 0.02e-9,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[DelayVector, FloatVector]:
     """The Fig. 3 picture itself: vote counts over a delay grid.
 
     Returns ``(grid, votes)`` where ``votes[k]`` is how many bands have a

@@ -24,12 +24,27 @@ same first-peak rule as the paper (§6).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.analysis.contracts import shaped
 from repro.core.hints import SolveHint
 from repro.core.ndft import get_operator, ndft_matrix, steering_vector
 from repro.core.profile import RefinedPath, _golden_max, scan_correlations
+from repro.core.typing import (
+    ComplexCSI,
+    ComplexProfile,
+    DelayVector,
+    FloatGrid,
+    FloatVector,
+    FrequencyVector,
+    NdftMatrix,
+)
+
+ScoreCandidates = Callable[[FloatGrid], "tuple[FloatVector, FloatVector]"]
+"""Maps an ``(n_candidates, n_atoms)`` delay-set stack to per-row
+``(residual power, energy-weighted mean delay)`` arrays."""
 
 
 @dataclass(frozen=True)
@@ -84,8 +99,8 @@ class DeflationConfig:
 
 
 def extract_paths(
-    channels: np.ndarray,
-    frequencies_hz: np.ndarray,
+    channels: ComplexCSI | Sequence[complex],
+    frequencies_hz: FrequencyVector | Sequence[float],
     max_delay_s: float,
     config: DeflationConfig | None = None,
     hint: SolveHint | None = None,
@@ -185,7 +200,7 @@ def extract_paths(
     amps = lasso_amplitudes(
         ndft_matrix(freqs, np.asarray(delays)), h, cfg.final_alpha_rel
     )
-    paths = [RefinedPath(float(d), complex(a)) for d, a in zip(delays, amps)]
+    paths = [RefinedPath(float(d), complex(a)) for d, a in zip(delays, amps, strict=True)]
     paths.sort(key=lambda p: p.delay_s)
     if window is not None:
         # Staleness safety nets, mirroring the batched extractor,
@@ -226,8 +241,10 @@ def extract_paths(
 
 
 def matched_filter_grid(
-    frequencies_hz: np.ndarray, max_delay_s: float, config: DeflationConfig
-) -> tuple[np.ndarray, float]:
+    frequencies_hz: FrequencyVector | Sequence[float],
+    max_delay_s: float,
+    config: DeflationConfig,
+) -> tuple[DelayVector, float]:
     """The greedy extractor's scan grid: ``(grid, grid_step_s)``.
 
     The step keeps the sub-grid phase error across the aperture below
@@ -243,13 +260,14 @@ def matched_filter_grid(
     return np.arange(0.0, max_delay_s, grid_step), grid_step
 
 
+@shaped("(n_freqs, n_atoms) complex128", "(n_freqs,) complex128", ret="(n_atoms,) complex128")
 def lasso_amplitudes(
-    A: np.ndarray,
-    h: np.ndarray,
+    A: NdftMatrix,
+    h: ComplexCSI,
     alpha_rel: float,
     max_iterations: int = 400,
     tolerance_rel: float = 1e-6,
-) -> np.ndarray:
+) -> ComplexProfile:
     """L1-regularized amplitude fit on a small fixed dictionary.
 
     FISTA on ``min ||h - A x||² + α||x||₁`` with α relative to
@@ -357,7 +375,9 @@ def first_path_delay(
     return admissible[0].delay_s
 
 
-def ghost_shifts_s(frequencies_hz: np.ndarray, max_delay_s: float) -> list[float]:
+def ghost_shifts_s(
+    frequencies_hz: FrequencyVector | Sequence[float], max_delay_s: float
+) -> list[float]:
     """The known pseudo-alias family of a band plan.
 
     Most 5 GHz channels sit on a 20 MHz lattice, so an atom shifted by a
@@ -377,7 +397,7 @@ def ghost_shifts_s(frequencies_hz: np.ndarray, max_delay_s: float) -> list[float
     values, counts = np.unique(khz, return_counts=True)
     modal_gap_hz = float(values[np.argmax(counts)]) * 1e3
     period = 1.0 / modal_gap_hz
-    shifts = []
+    shifts: list[float] = []
     k = 1
     while k * period < max_delay_s:
         shifts.append(k * period)
@@ -387,15 +407,15 @@ def ghost_shifts_s(frequencies_hz: np.ndarray, max_delay_s: float) -> list[float
 
 def prune_ghost_atoms(
     paths: list[RefinedPath],
-    channels: np.ndarray,
-    frequencies_hz: np.ndarray,
+    channels: ComplexCSI,
+    frequencies_hz: FrequencyVector,
     shifts_s: list[float],
     max_delay_s: float,
     margin_rel: float = 0.05,
     final_alpha_rel: float = 0.1,
     merge_tolerance_s: float = 0.4e-9,
     target_mean_delay_s: float | None = None,
-    score_candidates=None,
+    score_candidates: ScoreCandidates | None = None,
 ) -> list[RefinedPath]:
     """Relocate or remove atoms that are pseudo-aliases of real content.
 
@@ -442,15 +462,15 @@ def prune_ghost_atoms(
 
 def relocate_ghost_delays(
     paths: list[RefinedPath],
-    h: np.ndarray,
-    freqs: np.ndarray,
+    h: ComplexCSI,
+    freqs: FrequencyVector,
     shifts_s: list[float],
     max_delay_s: float,
     margin_rel: float = 0.05,
     merge_tolerance_s: float = 0.4e-9,
     target_mean_delay_s: float | None = None,
-    score_candidates=None,
-) -> np.ndarray:
+    score_candidates: ScoreCandidates | None = None,
+) -> DelayVector:
     """The relocation sweeps of :func:`prune_ghost_atoms`, delays only.
 
     Split out so the batched pruner can run the (data-dependent)
@@ -460,7 +480,7 @@ def relocate_ghost_delays(
     """
     delays = np.array(sorted(p.delay_s for p in paths))
 
-    def fit_for(d: np.ndarray) -> tuple[float, float]:
+    def fit_for(d: DelayVector) -> tuple[float, float]:
         """(residual power, energy-weighted mean delay) of an LS fit."""
         A = ndft_matrix(freqs, d)
         amps, *_ = np.linalg.lstsq(A, h, rcond=None)
@@ -470,14 +490,17 @@ def relocate_ghost_delays(
         mean = float((weights * d).sum() / total) if total > 0 else 0.0
         return float(np.vdot(r, r).real), mean
 
-    if score_candidates is None:
+    scorer = score_candidates
+    if scorer is None:
 
-        def score_candidates(alt_sets: np.ndarray):
+        def _default_scorer(alt_sets: FloatGrid) -> tuple[FloatVector, FloatVector]:
             scored = [fit_for(alt) for alt in alt_sets]
             return (
                 np.array([s[0] for s in scored]),
                 np.array([s[1] for s in scored]),
             )
+
+        scorer = _default_scorer
 
     for _ in range(3):  # a few sweeps; usually converges in one
         changed = False
@@ -491,11 +514,11 @@ def relocate_ghost_delays(
                         candidates.append(signed)
             alt_sets = np.tile(delays, (len(candidates), 1))
             alt_sets[:, i] = candidates
-            rss_all, mean_all = score_candidates(alt_sets)
+            rss_all, mean_all = scorer(alt_sets)
             best_rss = float(np.min(rss_all))
             admissible = [
                 (float(mean), c)
-                for rss, mean, c in zip(rss_all, mean_all, candidates)
+                for rss, mean, c in zip(rss_all, mean_all, candidates, strict=True)
                 if rss <= best_rss * (1.0 + margin_rel)
             ]
             if target_mean_delay_s is not None:
@@ -516,9 +539,9 @@ def relocate_ghost_delays(
     return delays
 
 
-def finalize_pruned_paths(delays: np.ndarray, amps: np.ndarray) -> list[RefinedPath]:
+def finalize_pruned_paths(delays: DelayVector, amps: ComplexProfile) -> list[RefinedPath]:
     """Assemble pruned paths from relocated delays and final amplitudes."""
-    result = [RefinedPath(float(d), complex(a)) for d, a in zip(delays, amps)]
+    result = [RefinedPath(float(d), complex(a)) for d, a in zip(delays, amps, strict=True)]
     # Relocated redundant ghosts end up with ~zero amplitude; drop them.
     peak = max(abs(p.amplitude) for p in result) if result else 0.0
     if peak > 0.0:

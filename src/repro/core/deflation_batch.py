@@ -35,10 +35,14 @@ regression tests pin delays at 1e-12 s and path counts exactly).
 
 from __future__ import annotations
 
+from typing import cast
+
 import numpy as np
 
+from repro.analysis.contracts import shaped
 from repro.core.deflation import (
     DeflationConfig,
+    ScoreCandidates,
     finalize_pruned_paths,
     first_path_delay,
     lasso_amplitudes,
@@ -48,17 +52,27 @@ from repro.core.deflation import (
 from repro.core.hints import SolveHint, ensure_hints
 from repro.core.ndft import get_operator, ndft_matrix, steering_vector
 from repro.core.profile import RefinedPath
+from repro.core.typing import (
+    BoolMask,
+    ComplexCSI,
+    ComplexCSIStack,
+    ComplexProfile,
+    DelayVector,
+    FloatGrid,
+    FloatVector,
+    FrequencyVector,
+)
 
 _INVPHI = (np.sqrt(5.0) - 1.0) / 2.0
 
 
 def extract_paths_batch(
-    channels: np.ndarray,
-    frequencies_hz: np.ndarray,
+    channels: ComplexCSIStack,
+    frequencies_hz: FrequencyVector,
     max_delay_s: float,
     config: DeflationConfig | None = None,
     hints: list[SolveHint | None] | None = None,
-    stale_out: np.ndarray | None = None,
+    stale_out: BoolMask | None = None,
 ) -> list[list[RefinedPath]]:
     """Greedy off-grid decomposition of every row of ``channels``.
 
@@ -163,9 +177,10 @@ def extract_paths_batch(
             amax = np.argmax(corr, axis=0)
             tau0 = grid[amax]
             for pos, link in enumerate(active):
-                if windows[link] is None:
+                win = windows[link]
+                if win is None:
                     continue
-                lo_i, hi_i = windows[link]
+                lo_i, hi_i = win
                 if not lo_i <= int(amax[pos]) < hi_i:
                     windows[link] = None
                     if stale_out is not None:
@@ -188,9 +203,10 @@ def extract_paths_batch(
                 corr = np.abs(Fh @ residual[active[cold_pos]].T)
                 tau0[cold_pos] = grid[np.argmax(corr, axis=0)]
             for pos, link in enumerate(active):
-                if windows[link] is None:
+                win = windows[link]
+                if win is None:
                     continue
-                lo_i, hi_i = windows[link]
+                lo_i, hi_i = win
                 corr_w = np.abs(Fh[lo_i:hi_i] @ residual[link])
                 tau0[pos] = grid[lo_i + int(np.argmax(corr_w))]
         taus = _polish_batch(
@@ -199,7 +215,7 @@ def extract_paths_batch(
         # Per-link joint re-fit and acceptance test.  The supports are
         # link-specific (k delays each), so this stays a loop — over
         # tiny, over-determined systems.
-        accepted = []
+        accepted: list[int] = []
         for pos, link in enumerate(active):
             previous_power = float(
                 np.vdot(residual[link], residual[link]).real
@@ -239,10 +255,10 @@ def extract_paths_batch(
         H[fitted],
         cfg.final_alpha_rel,
     )
-    for link, amps in zip(fitted, amp_sets):
+    for link, amps in zip(fitted, amp_sets, strict=True):
         paths = [
             RefinedPath(float(d), complex(a))
-            for d, a in zip(delays[link], amps)
+            for d, a in zip(delays[link], amps, strict=True)
         ]
         paths.sort(key=lambda p: p.delay_s)
         results[link] = paths
@@ -293,13 +309,17 @@ def extract_paths_batch(
         peak_val = corr_final[peak_idx, np.arange(len(warm_links))]
         n_bands = H.shape[1]
         for pos, link in enumerate(warm_links):
+            # warm_links requires windows[link] is not None, and a window
+            # is only ever set for a link whose hint is not None.
             hint = hint_list[link]
+            win = windows[link]
+            assert hint is not None and win is not None
             if res_power[pos] > hint.stale_bound() * total_power[link]:
                 stale.append(link)
                 continue
             if res_power[pos] <= cfg.residual_stop_rel * total_power[link]:
                 continue  # at the noise floor: extraction was complete
-            lo_i, hi_i = windows[link]
+            lo_i, hi_i = win
             idx = int(peak_idx[pos])
             improvement = float(peak_val[pos]) ** 2 / n_bands
             # Out-of-window leftovers are judged against the *total*
@@ -338,8 +358,8 @@ def extract_paths_batch(
 
 def prune_ghost_atoms_batch(
     paths_per_link: list[list[RefinedPath]],
-    channels: np.ndarray,
-    frequencies_hz: np.ndarray,
+    channels: ComplexCSIStack,
+    frequencies_hz: FrequencyVector,
     shifts_s: list[float],
     max_delay_s: float,
     final_alpha_rel: float = 0.1,
@@ -375,7 +395,7 @@ def prune_ghost_atoms_batch(
     results = list(paths_per_link)  # empty path lists pass through unchanged
     if not shifts_s:
         return results
-    relocated: dict[int, np.ndarray] = {}
+    relocated: dict[int, DelayVector] = {}
     for link, paths in enumerate(paths_per_link):
         if not paths:
             continue
@@ -395,7 +415,7 @@ def prune_ghost_atoms_batch(
         H[fitted],
         final_alpha_rel,
     )
-    for link, amps in zip(fitted, amp_sets):
+    for link, amps in zip(fitted, amp_sets, strict=True):
         results[link] = finalize_pruned_paths(relocated[link], amps)
     return results
 
@@ -406,7 +426,7 @@ def first_path_delays_batch(
     min_delays_s: list[float] | None = None,
     soft_window_s: float = 0.0,
     soft_amplitude_rel: float = 0.5,
-) -> np.ndarray:
+) -> DelayVector:
     """The paper's first-peak rule applied per link over a stack.
 
     ``min_delays_s`` carries each link's coarse gate (0 disables).
@@ -427,19 +447,19 @@ def first_path_delays_batch(
                 soft_window_s=soft_window_s,
                 soft_amplitude_rel=soft_amplitude_rel,
             )
-            for paths, gate in zip(paths_per_link, gates)
+            for paths, gate in zip(paths_per_link, gates, strict=True)
         ]
     )
 
 
 def lasso_amplitudes_batch(
-    delay_sets: list[np.ndarray],
-    frequencies_hz: np.ndarray,
-    channels: np.ndarray,
+    delay_sets: list[DelayVector],
+    frequencies_hz: FrequencyVector,
+    channels: ComplexCSIStack,
     alpha_rel: float,
     max_iterations: int = 400,
     tolerance_rel: float = 1e-6,
-) -> list[np.ndarray]:
+) -> list[ComplexProfile]:
     """L1-regularized amplitude fits for many links in one FISTA run.
 
     The batched counterpart of
@@ -454,14 +474,17 @@ def lasso_amplitudes_batch(
     iterating, mirroring the scalar trajectory per link.
     """
     n = len(delay_sets)
-    channels = np.asarray(channels, dtype=complex)
-    if channels.ndim != 2 or channels.shape[0] != n:
+    ch = np.asarray(channels, dtype=complex)
+    if ch.ndim != 2 or ch.shape[0] != n:
         raise ValueError(
             f"channels must be 2-D with one row per delay set, got "
-            f"{channels.shape} for {n} sets"
+            f"{ch.shape} for {n} sets"
         )
     freqs = np.asarray(frequencies_hz, dtype=float)
-    results: list[np.ndarray | None] = [None] * n
+    # Filled link by link below; every index is assigned before return
+    # (α = 0 links via the scalar fallback, α > 0 links via the lockstep
+    # FISTA's freeze-out), hence the casts at the exits.
+    results: list[ComplexProfile | None] = [None] * n
     widths = [len(d) for d in delay_sets]
     k_max = max(widths, default=0)
     if k_max == 0:
@@ -470,23 +493,23 @@ def lasso_amplitudes_batch(
     for i, d in enumerate(delay_sets):
         if widths[i]:
             A[i, :, : widths[i]] = ndft_matrix(freqs, np.asarray(d, dtype=float))
-    corr = np.abs(np.einsum("nbk,nb->nk", A.conj(), channels))
+    corr = np.abs(np.einsum("nbk,nb->nk", A.conj(), ch))
     alphas = alpha_rel * corr.max(axis=1)
     # α = 0 (zero channel, or alpha_rel = 0) falls back to the scalar
     # path's plain least squares, link by link.
     for i in np.flatnonzero(alphas == 0.0):
         results[i] = lasso_amplitudes(
-            A[i, :, : widths[i]], channels[i], 0.0, max_iterations, tolerance_rel
+            A[i, :, : widths[i]], ch[i], 0.0, max_iterations, tolerance_rel
         )
     active = np.flatnonzero(alphas > 0.0)
     if active.size == 0:
-        return results
+        return cast("list[ComplexProfile]", results)
     # Zero padding columns leave the largest singular value unchanged,
     # so each link's FISTA step size matches its scalar run.
     top_sv = np.linalg.svd(A[active], compute_uv=False)[:, 0]
     gammas = 1.0 / top_sv**2
     A_a = A[active]
-    H_a = channels[active]
+    H_a = ch[active]
     thr = gammas * alphas[active]
     gam = gammas[:, None]
     X = np.zeros((active.size, k_max), dtype=complex)
@@ -528,7 +551,7 @@ def lasso_amplitudes_batch(
         out_done[active] = True
     for i in np.flatnonzero(out_done):
         results[i] = out[i, : widths[i]]
-    return results
+    return cast("list[ComplexProfile]", results)
 
 
 def _lstsq_stack(A: np.ndarray, h: np.ndarray) -> np.ndarray:
@@ -558,7 +581,7 @@ def _lstsq_stack(A: np.ndarray, h: np.ndarray) -> np.ndarray:
     )
 
 
-def _stacked_candidate_scorer(h: np.ndarray, freqs: np.ndarray):
+def _stacked_candidate_scorer(h: ComplexCSI, freqs: FrequencyVector) -> ScoreCandidates:
     """A ``score_candidates`` hook scoring a whole candidate family at once.
 
     Returns the ``(rss, mean)`` pair per candidate row that
@@ -567,7 +590,7 @@ def _stacked_candidate_scorer(h: np.ndarray, freqs: np.ndarray):
     ``np.linalg.lstsq`` call per candidate.
     """
 
-    def score(alt_sets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def score(alt_sets: FloatGrid) -> tuple[FloatVector, FloatVector]:
         A = np.exp(-2.0j * np.pi * freqs[None, :, None] * alt_sets[:, None, :])
         amps = _lstsq_stack(A, h)
         r = h[None, :] - np.einsum("cbk,ck->cb", A, amps)
@@ -587,8 +610,8 @@ def _stacked_candidate_scorer(h: np.ndarray, freqs: np.ndarray):
 
 def full_aperture_refit_batch(
     paths_per_link: list[list[RefinedPath]],
-    frequencies_hz: np.ndarray,
-    channels: np.ndarray,
+    frequencies_hz: FrequencyVector,
+    channels: ComplexCSIStack,
     final_alpha_rel: float,
     polish_window_s: float = 0.2e-9,
     max_delay_s: float = np.inf,
@@ -637,7 +660,7 @@ def full_aperture_refit_batch(
     for _ in range(2):
         # Joint LS amplitudes per link: the supports are link-specific
         # small systems, noise next to the polish sweeps below.
-        amps: dict[int, np.ndarray] = {}
+        amps: dict[int, ComplexProfile] = {}
         for i in live:
             A = ndft_matrix(freqs, delays[i])
             amps[i], *_ = np.linalg.lstsq(A, H[i], rcond=None)
@@ -661,10 +684,10 @@ def full_aperture_refit_batch(
     amp_sets = lasso_amplitudes_batch(
         [delays[i] for i in live], freqs, H[live], final_alpha_rel
     )
-    for i, final_amps in zip(live, amp_sets):
+    for i, final_amps in zip(live, amp_sets, strict=True):
         refit = [
             RefinedPath(float(d), complex(a))
-            for d, a in zip(delays[i], final_amps)
+            for d, a in zip(delays[i], final_amps, strict=True)
         ]
         refit.sort(key=lambda p: p.delay_s)
         results[i] = refit
@@ -679,13 +702,19 @@ def _correlations_at(
     return np.abs(np.einsum("lb,lb->l", steer, residuals))
 
 
+@shaped(
+    "(n_links, n_bands) complex128",
+    "(n_bands,) float64",
+    "(n_links,) float64",
+    ret="(n_links,) float64",
+)
 def _polish_batch(
-    residuals: np.ndarray,
-    freqs: np.ndarray,
-    tau0: np.ndarray,
+    residuals: ComplexCSIStack,
+    freqs: FrequencyVector,
+    tau0: DelayVector,
     half_window_s: float,
     max_delay_s: float,
-) -> np.ndarray:
+) -> DelayVector:
     """Continuous per-link refinement of one delay each, in lockstep.
 
     Vectorized mirror of :func:`repro.core.deflation._polish` (including

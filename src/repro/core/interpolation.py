@@ -31,11 +31,12 @@ import math
 import numpy as np
 from scipy.interpolate import CubicSpline
 
+from repro.core.typing import ComplexCSI, FloatVector
 from repro.wifi.csi import BandCsi, LinkCsi
 from repro.wifi.ofdm import SUBCARRIER_SPACING_HZ
 
 
-def phase_slope_per_index(csi: np.ndarray, indices: np.ndarray) -> float:
+def phase_slope_per_index(csi: ComplexCSI, indices: FloatVector) -> float:
     """Robust bulk phase slope (radians per subcarrier index).
 
     The slope encodes the total group delay (propagation + detection +
@@ -59,7 +60,7 @@ def phase_slope_per_index(csi: np.ndarray, indices: np.ndarray) -> float:
     # prediction, then average slope contributions weighted by gap.
     slopes = []
     weights = []
-    for rot, gap in zip(pair_rot, gaps):
+    for rot, gap in zip(pair_rot, gaps, strict=True):
         predicted = coarse * gap
         observed = predicted + float(np.angle(rot * np.exp(-1j * predicted)))
         slopes.append(observed / gap)

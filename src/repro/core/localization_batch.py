@@ -34,11 +34,13 @@ positions at 1e-9 m).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, cast
 
 import numpy as np
 
+from repro.analysis.contracts import shaped
 from repro.core.localization import GeometryDrop, LocalizationResult
+from repro.core.typing import BoolMask, FloatGrid, FloatVector, IndexVector
 from repro.rf.geometry import Point
 
 _LM_LAMBDA0 = 1e-3
@@ -48,12 +50,12 @@ _STEP_TOL_REL = 1e-14
 
 
 def refine_positions_batch(
-    seeds: np.ndarray,
-    anchor_xy: np.ndarray,
-    dists_m: np.ndarray,
-    mask: np.ndarray | None = None,
+    seeds: FloatGrid,
+    anchor_xy: FloatGrid,
+    dists_m: FloatGrid,
+    mask: BoolMask | FloatGrid | None = None,
     max_iterations: int = 400,
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[FloatGrid, FloatVector]:
     """Damped Gauss–Newton refinement of many circle systems in lockstep.
 
     Minimizes ``sum_k (||x - a_k|| - d_k)^2`` per system from the given
@@ -99,7 +101,9 @@ def refine_positions_batch(
         raise ValueError(f"mask {W.shape} does not match distances {D.shape}")
     n_used = np.maximum(W.sum(axis=1), 1.0)
 
-    def evaluate(pos: np.ndarray, rows: np.ndarray):
+    def evaluate(
+        pos: FloatGrid, rows: IndexVector
+    ) -> tuple[FloatGrid, FloatGrid, FloatGrid, FloatGrid, FloatVector]:
         dx = A[rows, :, 0] - pos[:, None, 0]
         dy = A[rows, :, 1] - pos[:, None, 1]
         R = np.hypot(dx, dy)
@@ -153,10 +157,10 @@ def refine_positions_batch(
 
 
 def filter_geometry_consistent_batch(
-    anchor_xy: np.ndarray,
-    dists_m: np.ndarray,
+    anchor_xy: FloatGrid,
+    dists_m: FloatGrid,
     tolerance_m: float = 0.3,
-) -> tuple[np.ndarray, list[tuple[GeometryDrop, ...]]]:
+) -> tuple[BoolMask, list[tuple[GeometryDrop, ...]]]:
     """The §12.2 geometry filter across a stack of clients in lockstep.
 
     Per-client semantics equal
@@ -215,8 +219,8 @@ def filter_geometry_consistent_batch(
 
 
 def locate_transmitter_batch(
-    anchors: Sequence[Point] | Sequence[Sequence[Point]] | np.ndarray,
-    distances_m: np.ndarray,
+    anchors: Sequence[Point] | Sequence[Sequence[Point]] | FloatGrid,
+    distances_m: FloatGrid | Sequence[Sequence[float]],
     tolerance_m: float = 0.3,
     position_hints: Sequence[Point | None] | None = None,
 ) -> list[LocalizationResult]:
@@ -321,9 +325,9 @@ def locate_transmitter_batch(
 
 
 def _as_anchor_stack(
-    anchors: Sequence[Point] | Sequence[Sequence[Point]] | np.ndarray,
+    anchors: Sequence[Point] | Sequence[Sequence[Point]] | FloatGrid,
     n_clients: int,
-) -> np.ndarray:
+) -> FloatGrid:
     """Normalize the accepted anchor forms to an ``(N, K, 2)`` stack."""
     if isinstance(anchors, np.ndarray):
         A = np.asarray(anchors, dtype=float)
@@ -334,23 +338,25 @@ def _as_anchor_stack(
                 f"anchor array must be (K, 2) or (n_clients, K, 2), got {A.shape}"
             )
         return A
-    anchors = list(anchors)
-    if not anchors:
+    items = list(anchors)
+    if not items:
         raise ValueError("need at least 2 anchors, got 0")
-    if isinstance(anchors[0], Point):
-        shared = np.array([[p.x, p.y] for p in anchors], dtype=float)
+    if isinstance(items[0], Point):
+        shared_pts = cast("Sequence[Point]", items)
+        shared = np.array([[p.x, p.y] for p in shared_pts], dtype=float)
         return np.broadcast_to(shared, (n_clients, *shared.shape)).copy()
-    if len(anchors) != n_clients:
+    per_client = cast("Sequence[Sequence[Point]]", items)
+    if len(per_client) != n_clients:
         raise ValueError(
-            f"got {len(anchors)} anchor sets for {n_clients} clients"
+            f"got {len(per_client)} anchor sets for {n_clients} clients"
         )
-    counts = {len(a) for a in anchors}
+    counts = {len(a) for a in per_client}
     if len(counts) != 1:
         raise ValueError(
             f"all clients must share one anchor count, got {sorted(counts)}"
         )
     return np.array(
-        [[[p.x, p.y] for p in client] for client in anchors], dtype=float
+        [[[p.x, p.y] for p in client] for client in per_client], dtype=float
     )
 
 
@@ -360,9 +366,14 @@ def _pair_index_arrays(n_anchors: int) -> tuple[np.ndarray, np.ndarray]:
     return ii, jj
 
 
+@shaped(
+    "(n_clients, n_anchors, 2) float64",
+    "(n_clients, n_anchors) float64",
+    "(n_clients, n_anchors) bool",
+)
 def _candidate_seeds_batch(
-    A: np.ndarray, D: np.ndarray, mask: np.ndarray
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    A: FloatGrid, D: FloatGrid, mask: BoolMask
+) -> tuple[FloatGrid, FloatGrid, BoolMask, IndexVector]:
     """Vectorized mirror of ``localization._candidate_seeds``.
 
     For each client: anchor pairs restricted to the kept subset are
@@ -434,9 +445,15 @@ def _candidate_seeds_batch(
     return cand1, cand2, two, widest
 
 
+@shaped(
+    "(n_clients, n_anchors, 2) float64",
+    "(n_clients, n_anchors) bool",
+    "(n_clients,)",
+    ret="(n_clients,) bool",
+)
 def _colinear_batch(
-    A: np.ndarray, mask: np.ndarray, widest: np.ndarray
-) -> np.ndarray:
+    A: FloatGrid, mask: BoolMask, widest: IndexVector
+) -> BoolMask:
     """Vectorized ``localization.anchors_are_colinear`` over kept anchors."""
     n_clients, n_anchors = mask.shape
     rows = np.arange(n_clients)

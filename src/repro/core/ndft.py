@@ -18,14 +18,24 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
+
+from repro.core.typing import (
+    ComplexCSI,
+    ComplexProfile,
+    DelayVector,
+    FloatVector,
+    FrequencyVector,
+    NdftMatrix,
+)
 
 DEFAULT_GRID_STEP_S = 0.5e-9
 """Default delay-grid spacing; sub-grid accuracy comes from refinement."""
 
 
-def unambiguous_window_s(frequencies_hz: np.ndarray) -> float:
+def unambiguous_window_s(frequencies_hz: FrequencyVector | Sequence[float]) -> float:
     """Length of the alias-free delay window for a frequency set.
 
     This is the CRT/LCM bound of §4, with one refinement: a delay shift
@@ -57,7 +67,7 @@ def unambiguous_window_s(frequencies_hz: np.ndarray) -> float:
     return 1.0 / (float(gcd_khz) * 1e3)
 
 
-def capped_window_s(frequencies_hz: np.ndarray, cap_s: float) -> float:
+def capped_window_s(frequencies_hz: FrequencyVector | Sequence[float], cap_s: float) -> float:
     """The alias-free delay window, explicitly capped to a finite bound.
 
     :func:`unambiguous_window_s` returns ``inf`` for a single frequency
@@ -72,7 +82,7 @@ def capped_window_s(frequencies_hz: np.ndarray, cap_s: float) -> float:
 
 def tau_grid(
     max_delay_s: float, step_s: float = DEFAULT_GRID_STEP_S, start_s: float = 0.0
-) -> np.ndarray:
+) -> DelayVector:
     """A uniform candidate-delay grid ``[start, max_delay)``.
 
     Args:
@@ -94,7 +104,10 @@ def tau_grid(
     return start_s + step_s * np.arange(n)
 
 
-def ndft_matrix(frequencies_hz: np.ndarray, taus_s: np.ndarray) -> np.ndarray:
+def ndft_matrix(
+    frequencies_hz: FrequencyVector | Sequence[float],
+    taus_s: DelayVector | Sequence[float],
+) -> NdftMatrix:
     """The paper's non-uniform Fourier matrix ``F[i,k] = e^{-j2π f_i τ_k}``.
 
     Shape ``(len(frequencies), len(taus))``, complex128.
@@ -107,8 +120,10 @@ def ndft_matrix(frequencies_hz: np.ndarray, taus_s: np.ndarray) -> np.ndarray:
 
 
 def forward_ndft(
-    profile: np.ndarray, frequencies_hz: np.ndarray, taus_s: np.ndarray
-) -> np.ndarray:
+    profile: ComplexProfile | Sequence[complex],
+    frequencies_hz: FrequencyVector | Sequence[float],
+    taus_s: DelayVector | Sequence[float],
+) -> ComplexCSI:
     """Synthesize channels from a delay-domain profile (``h = F p``)."""
     profile = np.asarray(profile)
     if profile.shape != np.asarray(taus_s).shape:
@@ -119,15 +134,19 @@ def forward_ndft(
     return ndft_matrix(frequencies_hz, taus_s) @ profile
 
 
-def steering_vector(frequencies_hz: np.ndarray, tau_s: float) -> np.ndarray:
+def steering_vector(
+    frequencies_hz: FrequencyVector | Sequence[float], tau_s: float
+) -> ComplexCSI:
     """The column of F for a single delay — used by matched-filter steps."""
     freqs = np.asarray(frequencies_hz, dtype=float)
     return np.exp(-2.0j * np.pi * freqs * tau_s)
 
 
 def matched_filter(
-    channels: np.ndarray, frequencies_hz: np.ndarray, taus_s: np.ndarray
-) -> np.ndarray:
+    channels: ComplexCSI | Sequence[complex],
+    frequencies_hz: FrequencyVector | Sequence[float],
+    taus_s: DelayVector | Sequence[float],
+) -> FloatVector:
     """``|Fᴴ h|`` evaluated on a delay grid.
 
     The non-sparse "beamforming" projection; its peaks are delay
@@ -164,9 +183,9 @@ class NdftOperator:
         F: The forward matrix ``exp(-j 2π f_i τ_k)``.
     """
 
-    frequencies_hz: np.ndarray
-    taus_s: np.ndarray
-    F: np.ndarray = field(init=False)
+    frequencies_hz: FrequencyVector
+    taus_s: DelayVector
+    F: NdftMatrix = field(init=False)
     # Lazy memoization fields.  Cached operators are shared across the
     # RangingService worker pool, so a first-touch race on these would
     # recompute the SVD per thread and publish a half-written float/array
@@ -174,7 +193,7 @@ class NdftOperator:
     _op_lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
-    _adjoint: np.ndarray | None = field(  # guarded-by: self._op_lock
+    _adjoint: NdftMatrix | None = field(  # guarded-by: self._op_lock
         default=None, init=False, repr=False
     )
     _lipschitz: float | None = field(  # guarded-by: self._op_lock
@@ -202,7 +221,7 @@ class NdftOperator:
         return self.F.shape[1]
 
     @property
-    def adjoint(self) -> np.ndarray:
+    def adjoint(self) -> NdftMatrix:
         """``Fᴴ``, materialized once (the gradient uses it every step)."""
         if self._adjoint is None:
             with self._op_lock:
@@ -234,7 +253,10 @@ _cache_hits = 0  # guarded-by: _OPERATOR_CACHE_LOCK
 _cache_misses = 0  # guarded-by: _OPERATOR_CACHE_LOCK
 
 
-def get_operator(frequencies_hz: np.ndarray, taus_s: np.ndarray) -> NdftOperator:
+def get_operator(
+    frequencies_hz: FrequencyVector | Sequence[float],
+    taus_s: DelayVector | Sequence[float],
+) -> NdftOperator:
     """The cached NDFT operator for a (frequencies, delay grid) pair.
 
     Keyed by the exact float values of both arrays, LRU-evicted beyond
@@ -264,7 +286,7 @@ def get_operator(frequencies_hz: np.ndarray, taus_s: np.ndarray) -> NdftOperator
 
 
 def get_grid_operator(
-    frequencies_hz: np.ndarray,
+    frequencies_hz: FrequencyVector | Sequence[float],
     max_delay_s: float,
     step_s: float = DEFAULT_GRID_STEP_S,
 ) -> NdftOperator:

@@ -27,6 +27,7 @@ from repro.rf.environment import Environment, free_space
 from repro.rf.geometry import Point
 from repro.rf.noise import LinkBudget
 from repro.wifi.bands import BandPlan, US_BAND_PLAN
+from repro.wifi.csi import CsiSweep
 from repro.wifi.hardware import DeviceState, HardwareProfile, INTEL_5300
 from repro.wifi.radio import SimulatedLink
 
@@ -224,7 +225,7 @@ class ChronosPair:
         for rx_idx in range(self.receiver.n_antennas):
             for tx_idx in range(self.transmitter.n_antennas):
                 self._calibrations[(tx_idx, rx_idx)] = (
-                    one_calibration() if per_antenna else shared
+                    shared if shared is not None else one_calibration()
                 )
 
     def calibration_for(self, tx_antenna: int, rx_antenna: int) -> LinkCalibration:
@@ -279,8 +280,8 @@ class ChronosPair:
         the sparse inversions of all pairs share cached operators and
         batched solves.
         """
-        sweeps_per_link = []
-        calibrations = []
+        sweeps_per_link: list[list[CsiSweep]] = []
+        calibrations: list[LinkCalibration] = []
         for tx_antenna, rx_antenna in antenna_pairs:
             link = self.link(tx_antenna, rx_antenna)
             sweeps_per_link.append(
@@ -338,18 +339,19 @@ class ChronosPair:
         if batched:
             estimates = self.measure_tof_batch(pairs, n_sweeps=n_sweeps)
             pair_distance = {
-                pair: est.distance_m for pair, est in zip(pairs, estimates)
+                pair: est.distance_m
+                for pair, est in zip(pairs, estimates, strict=True)
             }
         else:
             pair_distance = {
                 pair: self.measure_distance(pair[0], pair[1], n_sweeps)
                 for pair in pairs
             }
-        distances = []
+        distance_list: list[float] = []
         for rx_idx in range(self.receiver.n_antennas):
             per_tx = [pair_distance[(t, rx_idx)] for t in tx_indices]
-            distances.append(float(np.median(per_tx)))
-        distances = tuple(distances)
+            distance_list.append(float(np.median(per_tx)))
+        distances = tuple(distance_list)
         anchors = self.receiver.antenna_positions()
         result = locate_transmitter(
             anchors, distances, tolerance_m=tolerance_m, position_hint=position_hint

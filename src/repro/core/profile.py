@@ -19,11 +19,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.ndft import ndft_matrix, steering_vector
+from repro.core.typing import (
+    ComplexCSI,
+    ComplexProfile,
+    DelayVector,
+    FloatVector,
+    FrequencyVector,
+)
 
 
 @dataclass(frozen=True)
@@ -50,8 +57,8 @@ class MultipathProfile:
 
     def __init__(
         self,
-        taus_s: np.ndarray,
-        amplitudes: np.ndarray,
+        taus_s: DelayVector | Sequence[float],
+        amplitudes: ComplexProfile | Sequence[complex],
         dominance_threshold_rel: float = 0.05,
     ):
         taus = np.asarray(taus_s, dtype=float)
@@ -147,7 +154,7 @@ class MultipathProfile:
         """Number of dominant peaks — the paper's §12.1 sparsity metric."""
         return len(self.peaks(threshold_rel))
 
-    def normalized_power(self) -> np.ndarray:
+    def normalized_power(self) -> FloatVector:
         """Power scaled so the maximum is 1 (for plotting/reporting)."""
         peak = self.power.max()
         return self.power / peak if peak > 0 else self.power.copy()
@@ -168,8 +175,8 @@ class RefinedPath:
 
 def refine_paths(
     profile: MultipathProfile,
-    channels: np.ndarray,
-    frequencies_hz: np.ndarray,
+    channels: ComplexCSI | Sequence[complex],
+    frequencies_hz: FrequencyVector | Sequence[float],
     n_refine_iterations: int = 3,
     threshold_rel: float | None = None,
     amplitude_keep_rel: float | None = None,
@@ -220,13 +227,13 @@ def refine_paths(
         order = np.argsort(delays)
         delays = delays[order]
         amps = _least_squares_amplitudes(h, freqs, delays)
-    return [RefinedPath(float(d), complex(a)) for d, a in zip(delays, amps)]
+    return [RefinedPath(float(d), complex(a)) for d, a in zip(delays, amps, strict=True)]
 
 
 def refine_first_peak(
     profile: MultipathProfile,
-    channels: np.ndarray,
-    frequencies_hz: np.ndarray,
+    channels: ComplexCSI | Sequence[complex],
+    frequencies_hz: FrequencyVector | Sequence[float],
     n_refine_iterations: int = 3,
     threshold_rel: float | None = None,
 ) -> float:
@@ -280,8 +287,8 @@ def _polish_single_delay(
 
 
 def scan_correlations(
-    residual: np.ndarray, freqs: np.ndarray, taus_s: np.ndarray
-) -> np.ndarray:
+    residual: ComplexCSI, freqs: FrequencyVector, taus_s: DelayVector
+) -> FloatVector:
     """``|⟨a(τ), r⟩|`` for every scan delay in one matrix product.
 
     One GEMV instead of one steering-vector build plus one vdot per
@@ -292,7 +299,9 @@ def scan_correlations(
     return np.abs(phases @ residual)
 
 
-def _golden_max(fn, lo_s: float, hi_s: float, tol_s: float = 1e-13) -> float:
+def _golden_max(
+    fn: Callable[[float], float], lo_s: float, hi_s: float, tol_s: float = 1e-13
+) -> float:
     """Golden-section maximization of a unimodal scalar function."""
     invphi = (np.sqrt(5.0) - 1.0) / 2.0
     a, b = lo_s, hi_s
@@ -312,7 +321,9 @@ def _golden_max(fn, lo_s: float, hi_s: float, tol_s: float = 1e-13) -> float:
 
 
 def profile_from_paths(
-    taus_s: np.ndarray, delays_s: Sequence[float], amplitudes: Sequence[float]
+    taus_s: DelayVector | Sequence[float],
+    delays_s: Sequence[float],
+    amplitudes: Sequence[float],
 ) -> MultipathProfile:
     """Rasterize ground-truth paths onto a grid (test/plot helper)."""
     taus = np.asarray(taus_s, dtype=float)

@@ -11,11 +11,14 @@ algorithm".  :class:`RangingFilter` implements that averaging/rejection.
 from __future__ import annotations
 
 from collections import deque
+from typing import Sequence
 
 import numpy as np
 
+from repro.core.typing import BoolMask, FloatVector
 
-def mad_outlier_mask(values: np.ndarray, k: float = 3.5) -> np.ndarray:
+
+def mad_outlier_mask(values: FloatVector | Sequence[float], k: float = 3.5) -> BoolMask:
     """Boolean mask of *inliers* by the median-absolute-deviation rule.
 
     A value is an outlier when it sits more than ``k`` scaled MADs from
@@ -112,7 +115,7 @@ class RangingFilter:
         self._samples.clear()
 
 
-def rmse(errors_m: np.ndarray) -> float:
+def rmse(errors_m: FloatVector | Sequence[float]) -> float:
     """Root-mean-square of a set of errors (Fig. 10a's metric)."""
     errs = np.asarray(errors_m, dtype=float)
     if errs.size == 0:

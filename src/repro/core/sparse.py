@@ -16,10 +16,21 @@ fixed point, fewer iterations), with the paper's step size
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.ndft import NdftOperator, get_operator, ndft_matrix
+from repro.core.typing import (
+    BoolMask,
+    ComplexCSI,
+    ComplexCSIStack,
+    ComplexProfile,
+    ComplexProfileStack,
+    DelayVector,
+    FrequencyVector,
+    IndexVector,
+)
 
 
 @dataclass(frozen=True)
@@ -61,7 +72,9 @@ class SparseSolverConfig:
             )
 
 
-def soft_threshold(p: np.ndarray, threshold: float) -> np.ndarray:
+def soft_threshold(
+    p: ComplexProfile | Sequence[complex], threshold: float
+) -> ComplexProfile:
     """The paper's SPARSIFY: complex soft-thresholding.
 
     Entries with magnitude below ``threshold`` become zero; the rest
@@ -83,12 +96,12 @@ def soft_threshold(p: np.ndarray, threshold: float) -> np.ndarray:
 
 
 def invert_ndft(
-    channels: np.ndarray,
-    frequencies_hz: np.ndarray,
-    taus_s: np.ndarray,
+    channels: ComplexCSI | Sequence[complex],
+    frequencies_hz: FrequencyVector | Sequence[float],
+    taus_s: DelayVector | Sequence[float],
     config: SparseSolverConfig | None = None,
     operator: NdftOperator | None = None,
-) -> np.ndarray:
+) -> ComplexProfile:
     """Solve ``min ||h - F p||² + α||p||₁`` for the delay profile ``p``.
 
     The scalar entry point is the ``N = 1`` case of
@@ -118,14 +131,14 @@ def invert_ndft(
 
 
 def invert_ndft_batch(
-    channels: np.ndarray,
-    frequencies_hz: np.ndarray,
-    taus_s: np.ndarray,
+    channels: ComplexCSIStack | Sequence[Sequence[complex]],
+    frequencies_hz: FrequencyVector | Sequence[float],
+    taus_s: DelayVector | Sequence[float],
     config: SparseSolverConfig | None = None,
     operator: NdftOperator | None = None,
-    initial: np.ndarray | None = None,
-    iterations_out: np.ndarray | None = None,
-) -> np.ndarray:
+    initial: ComplexProfileStack | None = None,
+    iterations_out: IndexVector | None = None,
+) -> ComplexProfileStack:
     """Algorithm 1 for a stack of links sharing one frequency set.
 
     Solves ``min ||h_i - F p_i||² + α_i ||p_i||₁`` for every row ``h_i``
@@ -246,7 +259,7 @@ def invert_ndft_batch(
         P_next = _soft_threshold_columns(grad, thr)
         diff = P_next - P
         check = iteration % cfg.check_every == 0 or iteration == cfg.max_iterations
-        done = None
+        done: BoolMask | None = None
         if check:
             # The scalar stop rule ``||Δp|| < tol·||p||`` compared in
             # squares (one fused reduction per column, no square roots).
@@ -323,10 +336,10 @@ def _soft_threshold_columns(P: np.ndarray, thresholds: np.ndarray) -> np.ndarray
 
 
 def lasso_objective(
-    p: np.ndarray,
-    channels: np.ndarray,
-    frequencies_hz: np.ndarray,
-    taus_s: np.ndarray,
+    p: ComplexProfile | Sequence[complex],
+    channels: ComplexCSI | Sequence[complex],
+    frequencies_hz: FrequencyVector | Sequence[float],
+    taus_s: DelayVector | Sequence[float],
     alpha: float,
 ) -> float:
     """Evaluate the Eqn. 10 objective — used by convergence tests."""

@@ -20,6 +20,7 @@ Pipeline for one CSI sweep:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -49,7 +50,9 @@ from repro.core.profile import (
     _golden_max,
 )
 from repro.core.sparse import SparseSolverConfig, invert_ndft
+from repro.core.typing import BoolMask, ComplexCSI, FrequencyVector
 from repro.rf.constants import SPEED_OF_LIGHT
+from repro.wifi.bands import Band
 from repro.wifi.csi import CsiSweep
 
 
@@ -136,8 +139,8 @@ class TofEstimatorConfig:
 
 
 def paths_residual_rel(
-    freqs: np.ndarray,
-    products: np.ndarray,
+    freqs: FrequencyVector,
+    products: ComplexCSI,
     paths: list[RefinedPath] | tuple[RefinedPath, ...],
 ) -> float | None:
     """Relative residual power of a path model against the raw products.
@@ -298,8 +301,8 @@ class TofEstimator:
 
     def estimate_from_products(
         self,
-        frequencies_hz: np.ndarray,
-        products: np.ndarray,
+        frequencies_hz: FrequencyVector | Sequence[float],
+        products: ComplexCSI | Sequence[complex],
         exponent: int = 2,
         hint: SolveHint | None = None,
     ) -> TofEstimate:
@@ -340,17 +343,19 @@ class TofEstimator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _group_specs(self):
+    def _group_specs(
+        self,
+    ) -> list[tuple[str, Callable[[Band], bool] | None, int, int]]:
         """(name, band filter, CSI power, profile exponent) per group."""
         cfg = self.config
+        specs: list[tuple[str, Callable[[Band], bool] | None, int, int]] = []
         if cfg.quirk_2g4:
-            specs = []
             if cfg.use_5g:
                 specs.append(("5g", lambda b: b.is_5g, 1, 2))
             if cfg.use_2g4:
                 specs.append(("2g4", lambda b: b.is_2g4, 4, 8))
             return specs
-        band_filter = None
+        band_filter: Callable[[Band], bool] | None = None
         if not cfg.use_2g4:
             band_filter = lambda b: b.is_5g
         elif not cfg.use_5g:
@@ -359,7 +364,10 @@ class TofEstimator:
 
     def _link_jobs(
         self, sweeps: list[CsiSweep], calibration: LinkCalibration
-    ) -> tuple[float | None, list[tuple[str, np.ndarray, np.ndarray, int, float | None]]]:
+    ) -> tuple[
+        float | None,
+        list[tuple[str, FrequencyVector, ComplexCSI, int, float | None]],
+    ]:
         """Per-link preprocessing: coarse gate + per-group products.
 
         Returns ``(coarse_round_trip_s, jobs)`` where each job is
@@ -377,7 +385,7 @@ class TofEstimator:
             gated = calibration.coarse_round_trip_to_raw_2tau(coarse_rt)
             if gated is not None:
                 gate_2tau = max(0.0, gated - self.config.coarse_gate_margin_s)
-        jobs = []
+        jobs: list[tuple[str, FrequencyVector, ComplexCSI, int, float | None]] = []
         for name, band_filter, power, exponent in self._group_specs():
             collected = self._averaged_products(sweeps, band_filter, power)
             if collected is None:
@@ -387,7 +395,12 @@ class TofEstimator:
             jobs.append((name, freqs, products, exponent, gate))
         return coarse_rt, jobs
 
-    def _averaged_products(self, sweeps, band_filter, power):
+    def _averaged_products(
+        self,
+        sweeps: list[CsiSweep],
+        band_filter: Callable[[Band], bool] | None,
+        power: int,
+    ) -> tuple[FrequencyVector, ComplexCSI] | None:
         """Average per-band products across sweeps; None if no bands."""
         per_band: dict[float, list[complex]] = {}
         for sweep in sweeps:
@@ -395,13 +408,13 @@ class TofEstimator:
                 freqs, products = band_products(sweep, power, band_filter)
             except ValueError:
                 continue
-            for f, p in zip(freqs, products):
+            for f, p in zip(freqs, products, strict=True):
                 per_band.setdefault(float(f), []).append(p)
         if len(per_band) < 2:
             return None
-        freqs = np.array(sorted(per_band))
-        products = np.array([np.mean(per_band[f]) for f in freqs])
-        return freqs, products
+        out_freqs = np.array(sorted(per_band))
+        out_products = np.array([np.mean(per_band[f]) for f in out_freqs])
+        return out_freqs, out_products
 
     def _coarse_round_trip(self, sweeps: list[CsiSweep]) -> float | None:
         """Mean forward+reverse slope delay over non-quirked bands.
@@ -426,8 +439,8 @@ class TofEstimator:
     def _estimate_group(
         self,
         name: str,
-        freqs: np.ndarray,
-        products: np.ndarray,
+        freqs: FrequencyVector,
+        products: ComplexCSI,
         exponent: int,
         gate_s: float | None,
         hint: SolveHint | None = None,
@@ -504,7 +517,7 @@ class TofEstimator:
         )
 
     def _ista_profile(
-        self, window_s: float, freqs: np.ndarray, products: np.ndarray
+        self, window_s: float, freqs: FrequencyVector, products: ComplexCSI
     ) -> MultipathProfile:
         """Algorithm 1's multipath profile on the coarse band set."""
         op = get_grid_operator(freqs, window_s, self.config.grid_step_s)
@@ -520,8 +533,8 @@ class TofEstimator:
     def _ista_delay(
         self,
         profile: MultipathProfile,
-        freqs: np.ndarray,
-        products: np.ndarray,
+        freqs: FrequencyVector,
+        products: ComplexCSI,
         gate_s: float | None,
     ) -> float:
         """First-peak selection + refinement on an Algorithm 1 profile.
@@ -546,8 +559,8 @@ class TofEstimator:
     def _make_profile(
         self,
         window_s: float,
-        freqs: np.ndarray,
-        products: np.ndarray,
+        freqs: FrequencyVector,
+        products: ComplexCSI,
         paths: list[RefinedPath],
     ) -> MultipathProfile:
         """Diagnostic profile: Algorithm 1, or rasterized extracted paths."""
@@ -565,8 +578,8 @@ class TofEstimator:
     def _full_aperture_refit(
         self,
         paths: list[RefinedPath],
-        freqs: np.ndarray,
-        products: np.ndarray,
+        freqs: FrequencyVector,
+        products: ComplexCSI,
         polish_window_s: float = 0.2e-9,
         max_delay_s: float = np.inf,
     ) -> list[RefinedPath]:
@@ -606,11 +619,13 @@ class TofEstimator:
                 )
         A = ndft_matrix(freqs, delays)
         amps = lasso_amplitudes(A, products, self.config.deflation.final_alpha_rel)
-        refit = [RefinedPath(float(d), complex(a)) for d, a in zip(delays, amps)]
+        refit = [
+            RefinedPath(float(d), complex(a)) for d, a in zip(delays, amps, strict=True)
+        ]
         refit.sort(key=lambda p: p.delay_s)
         return refit
 
-    def _coarse_mask(self, freqs: np.ndarray) -> np.ndarray:
+    def _coarse_mask(self, freqs: FrequencyVector) -> BoolMask:
         """Bands used for the coarse (on-grid) sparse inversion.
 
         The sub-grid phase error across an aperture ``S`` is

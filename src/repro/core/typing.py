@@ -1,0 +1,102 @@
+"""Shared ndarray aliases: the repo's recurring array shapes, named.
+
+The numeric core passes the same handful of array shapes between every
+layer — CSI stacks, frequency grids, delay grids, complex profiles —
+but an ``np.ndarray`` annotation says nothing about which one a
+parameter is.  These aliases give each recurring shape/dtype
+convention a name, so a signature reads as a contract
+(``def matched_filter(F: NdftMatrix, measurements: ComplexCSI) ->
+ComplexProfile``) and mypy enforces at least the dtype half of it.
+
+Static types cannot carry dimension sizes, so the *axis order* half of
+each contract is documented here once and enforced at runtime by
+:func:`repro.analysis.contracts.shaped` where it matters.  The
+conventions, repo-wide:
+
+* ``ComplexCSI`` — complex128 CSI samples on a frequency grid, shape
+  ``(n_freqs,)``: one link's (averaged, squared-channel) measurements,
+  ordered exactly like the frequency grid they were measured on.
+* ``ComplexCSIStack`` — complex128, shape ``(n_links, n_freqs)``:
+  axis 0 is the link (batch) axis, axis 1 the frequency axis.  Every
+  batched kernel (`invert_ndft_batch`, `extract_paths_batch`) uses
+  this orientation; transposing it is the bug class this module
+  exists to prevent.
+* ``ComplexProfile`` — complex128, shape ``(n_taus,)``: a multipath
+  profile / sparse iterate on a delay grid.
+* ``ComplexProfileStack`` — complex128, shape ``(n_links, n_taus)``:
+  batched profiles, link axis first.
+* ``NdftMatrix`` — complex128, shape ``(n_freqs, n_taus)``: the NDFT
+  synthesis matrix ``F`` with ``F[k, j] = exp(-2j*pi*f_k*tau_j)``.
+  Forward maps profiles to measurements; its conjugate transpose is
+  the adjoint.
+* ``FrequencyVector`` — float64 absolute frequencies in Hz, shape
+  ``(n_freqs,)``, ascending by convention.
+* ``DelayVector`` — float64 delays in seconds, shape ``(n_taus,)``
+  (a grid) or ``(n_paths,)`` (recovered path delays), ascending.
+* ``FloatVector`` / ``FloatGrid`` — float64 arrays of rank 1 / rank
+  >= 2 where no more specific alias applies (weights, distances,
+  positions; ``FloatGrid`` names stacked geometry like ``(M, K, 2)``
+  anchor coordinates).
+* ``BoolMask`` — boolean mask aligned elementwise with whatever array
+  it gates (documented per signature).
+* ``IndexVector`` — integer indices into another array's axis.
+
+All aliases intentionally pin a concrete dtype (``complex128`` /
+``float64`` — numpy's defaults on every platform this repo targets)
+rather than a widest-compatible union: the solver stack is written
+for double precision, and a complex64 array silently entering it is a
+defect (see ``tests/test_wifi_csi_hardware.py``'s dtype-boundary
+regressions), not a supported input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.typing import NDArray
+
+__all__ = [
+    "BoolMask",
+    "ComplexCSI",
+    "ComplexCSIStack",
+    "ComplexProfile",
+    "ComplexProfileStack",
+    "DelayVector",
+    "FloatGrid",
+    "FloatVector",
+    "FrequencyVector",
+    "IndexVector",
+    "NdftMatrix",
+]
+
+ComplexCSI = NDArray[np.complex128]
+"""One link's complex CSI on a frequency grid: ``(n_freqs,)`` complex128."""
+
+ComplexCSIStack = NDArray[np.complex128]
+"""Batched CSI, link axis first: ``(n_links, n_freqs)`` complex128."""
+
+ComplexProfile = NDArray[np.complex128]
+"""A multipath profile / sparse iterate on a delay grid: ``(n_taus,)``."""
+
+ComplexProfileStack = NDArray[np.complex128]
+"""Batched profiles, link axis first: ``(n_links, n_taus)`` complex128."""
+
+NdftMatrix = NDArray[np.complex128]
+"""The NDFT synthesis matrix: ``(n_freqs, n_taus)`` complex128."""
+
+FrequencyVector = NDArray[np.float64]
+"""Absolute frequencies in Hz: ``(n_freqs,)`` float64, ascending."""
+
+DelayVector = NDArray[np.float64]
+"""Delays in seconds: ``(n_taus,)`` or ``(n_paths,)`` float64, ascending."""
+
+FloatVector = NDArray[np.float64]
+"""A rank-1 float64 array with no more specific alias (weights, distances)."""
+
+FloatGrid = NDArray[np.float64]
+"""A rank->=2 float64 array (positions ``(N, 2)``, anchor stacks ``(M, K, 2)``)."""
+
+BoolMask = NDArray[np.bool_]
+"""A boolean mask aligned elementwise with the array it gates."""
+
+IndexVector = NDArray[np.intp]
+"""Integer indices into another array's axis."""

@@ -369,7 +369,8 @@ def figure_10(n_runs: int = 8, seed: int = 61) -> Fig10Result:
         last = result
     assert last is not None
     distances = [
-        d.distance_to(u) for d, u in zip(last.drone_track, last.user_track)
+        d.distance_to(u)
+        for d, u in zip(last.drone_track, last.user_track, strict=True)
     ]
     return Fig10Result(
         deviation_cm=summarize(deviations),

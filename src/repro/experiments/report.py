@@ -30,11 +30,13 @@ def format_table(
         for i in range(len(headers))
     ]
     lines = [
-        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)),
         "  ".join("-" * w for w in widths),
     ]
     for row in str_rows:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True))
+        )
     return "\n".join(lines)
 
 

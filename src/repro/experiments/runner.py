@@ -138,7 +138,9 @@ def run_tof_experiment(
     else:
         estimates = [
             TofEstimator(cfg, calibration).estimate_many(sweeps)
-            for calibration, sweeps in zip(calibrations, sweeps_per_link)
+            for calibration, sweeps in zip(
+                calibrations, sweeps_per_link, strict=True
+            )
         ]
     return [
         TofSample(
@@ -148,7 +150,7 @@ def run_tof_experiment(
             line_of_sight=link.line_of_sight,
             estimate=estimate,
         )
-        for link, estimate in zip(links, estimates)
+        for link, estimate in zip(links, estimates, strict=True)
     ]
 
 

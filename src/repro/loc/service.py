@@ -446,7 +446,7 @@ class LocalizationService:
             REGISTRY.inc("loc.range_failures_total", n_range_failures)
         if result.geometry_drops:
             REGISTRY.inc("loc.geometry_drops_total", len(result.geometry_drops))
-        distance_by_index = dict(zip(ok_indices, ok_distances_m))
+        distance_by_index = dict(zip(ok_indices, ok_distances_m, strict=True))
         return PositionFix(
             client_id=client_id,
             position=result.position,
@@ -553,7 +553,7 @@ class LocalizationService:
         if predicted is None:
             return requests
         out: list[RangingRequest | SweepRequest] = []
-        for request, anchor in zip(requests, client_anchors):
+        for request, anchor in zip(requests, client_anchors, strict=True):
             if request.hint is not None:
                 out.append(request)
                 continue
@@ -753,7 +753,7 @@ class LocalizationService:
                         error if error is not None else RuntimeError("solve failed")
                     )
             return batched
-        for p, outcome in zip(group, outcomes):
+        for p, outcome in zip(group, outcomes, strict=True):
             if not p.future.done() and not p.future.get_loop().is_closed():
                 p.future.set_result(outcome)
         return batched

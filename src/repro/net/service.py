@@ -281,7 +281,7 @@ class RangingService:
                 )
                 n_shards += shards
                 n_failed += failed
-                for i, response in zip(indices, group_responses):
+                for i, response in zip(indices, group_responses, strict=True):
                     responses[i] = response
 
         stats = ServiceStats(
@@ -432,7 +432,7 @@ class RangingService:
         )
         return [
             RangingResponse(link_id=requests[i].link_id, estimate=estimate)
-            for i, estimate in zip(shard, estimates)
+            for i, estimate in zip(shard, estimates, strict=True)
         ]
 
     def _solve_one(self, request: RangingRequest) -> RangingResponse:

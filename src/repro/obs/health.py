@@ -198,7 +198,8 @@ def _histogram_delta(
     if old.kind != "histogram" or old.bounds != new.bounds:
         return (new.bounds, new.bucket_counts, new.total, new.count)
     deltas = tuple(
-        max(0, n - o) for n, o in zip(new.bucket_counts, old.bucket_counts)
+        max(0, n - o)
+        for n, o in zip(new.bucket_counts, old.bucket_counts, strict=True)
     )
     return (
         new.bounds,

@@ -325,8 +325,10 @@ class MetricsRegistry:
         metric: str, key: _LabelKey, histogram: _Histogram
     ) -> Iterator[str]:
         cumulative = 0
+        # Deliberately non-strict: bucket_counts has one extra entry
+        # (the +Inf overflow bucket), emitted separately below.
         for bound, bucket_count in zip(
-            histogram.bounds, histogram.bucket_counts
+            histogram.bounds, histogram.bucket_counts, strict=False
         ):
             cumulative += bucket_count
             labels = _prometheus_labels(

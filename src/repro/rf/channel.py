@@ -13,14 +13,22 @@ center-frequencies across the whole sweep.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.rf.paths import PathSet
 
+if TYPE_CHECKING:
+    # Runtime import would cycle: repro.core.__init__'s import chain
+    # re-enters this module via wifi.radio.  Annotations are strings
+    # (``from __future__ import annotations``), so type-only is enough.
+    from repro.core.typing import ComplexCSI, ComplexCSIStack, FrequencyVector
 
-def channel_at(paths: PathSet, frequencies_hz: np.ndarray | Sequence[float]) -> np.ndarray:
+
+def channel_at(
+    paths: PathSet, frequencies_hz: FrequencyVector | Sequence[float]
+) -> ComplexCSI:
     """Evaluate the multipath channel on a frequency grid.
 
     Args:
@@ -40,8 +48,8 @@ def channel_at(paths: PathSet, frequencies_hz: np.ndarray | Sequence[float]) -> 
 
 
 def channel_matrix(
-    path_sets: Sequence[PathSet], frequencies_hz: np.ndarray | Sequence[float]
-) -> np.ndarray:
+    path_sets: Sequence[PathSet], frequencies_hz: FrequencyVector | Sequence[float]
+) -> ComplexCSIStack:
     """Stack :func:`channel_at` for several antenna pairs.
 
     Returns an array of shape ``(len(path_sets), len(frequencies_hz))``.

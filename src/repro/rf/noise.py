@@ -11,10 +11,14 @@ signal-to-noise ratio").  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.rf.constants import thermal_noise_power_dbm
+
+if TYPE_CHECKING:
+    from repro.core.typing import ComplexCSI
 
 
 @dataclass(frozen=True)
@@ -73,11 +77,11 @@ def noise_sigma_for_snr(snr_db: float, signal_power: float = 1.0) -> float:
 
 
 def awgn(
-    values: np.ndarray,
+    values: ComplexCSI,
     snr_db: float,
     rng: np.random.Generator,
     reference_power: float | None = None,
-) -> np.ndarray:
+) -> ComplexCSI:
     """Add complex white Gaussian noise to ``values`` at ``snr_db``.
 
     Args:

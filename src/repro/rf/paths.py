@@ -9,11 +9,14 @@ whose delay is the time-of-flight Chronos is after.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.rf.constants import SPEED_OF_LIGHT
+
+if TYPE_CHECKING:
+    from repro.core.typing import DelayVector, FloatVector
 
 
 @dataclass(frozen=True)
@@ -94,12 +97,12 @@ class PathSet:
         return self._paths[0].delay_s
 
     @property
-    def delays_s(self) -> np.ndarray:
-        """All path delays, seconds, ascending."""
+    def delays_s(self) -> DelayVector:
+        """All path delays, seconds, ascending: ``(n_paths,)`` float64."""
         return np.array([p.delay_s for p in self._paths])
 
     @property
-    def amplitudes(self) -> np.ndarray:
+    def amplitudes(self) -> FloatVector:
         """All path amplitudes, aligned with :attr:`delays_s`."""
         return np.array([p.amplitude for p in self._paths])
 

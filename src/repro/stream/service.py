@@ -652,7 +652,9 @@ class StreamingRangingService:
             )
         n_failed_products = 0
         n_failed_sweeps = 0
-        for (_key, _pending, _solver, is_sweep), failed in zip(groups, failures):
+        for (_key, _pending, _solver, is_sweep), failed in zip(
+            groups, failures, strict=True
+        ):
             if is_sweep:
                 n_failed_sweeps += failed
             else:
@@ -858,7 +860,7 @@ class StreamingRangingService:
         )
         return [
             RangingResponse(link_id=request.link_id, estimate=estimate)
-            for request, estimate in zip(requests, estimates)
+            for request, estimate in zip(requests, estimates, strict=True)
         ]
 
     def _solve_sweep_one(self, request: SweepRequest) -> RangingResponse:
@@ -892,7 +894,10 @@ class StreamingRangingService:
         """
         warm = self.stream_config.warm_start
         n_failed = 0
-        for p, response in zip(pending, responses):
+        # Deliberately non-strict: a misbehaving backend may return a
+        # short (or long) response list — the unmatched tail is resolved
+        # to orphan errors below, and extra responses are ignored.
+        for p, response in zip(pending, responses, strict=False):
             if not response.ok:
                 n_failed += 1
             elif warm:

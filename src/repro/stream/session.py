@@ -108,7 +108,7 @@ def schedule_sweep_arrivals(
         if now + next_in <= duration_s:
             scheduler.schedule(next_in, lambda: arrive(link_id))
 
-    for link_id, offset in zip(link_ids, offsets):
+    for link_id, offset in zip(link_ids, offsets, strict=True):
         first = offset + duration_of(link_id, offset)
         if first <= duration_s:
             scheduler.schedule_at(first, lambda link=link_id: arrive(link))
@@ -159,7 +159,7 @@ class StreamSession:
             responses = await asyncio.gather(
                 *(self._submit(arrival.request) for arrival in group)
             )
-            for arrival, response in zip(group, responses):
+            for arrival, response in zip(group, responses, strict=True):
                 state = None
                 if response.ok and np.isfinite(response.estimate.tof_s):
                     state = self.trackers.update(

@@ -17,9 +17,12 @@ paper's §4 unambiguity claim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.typing import FrequencyVector
 
 FREQUENCY_GRID_HZ = 5e6
 """Greatest common divisor of all US Wi-Fi center frequencies."""
@@ -98,8 +101,8 @@ class BandPlan:
         return f"BandPlan(n={len(self)}, {lo:.3f}-{hi:.3f} GHz)"
 
     @property
-    def center_frequencies_hz(self) -> np.ndarray:
-        """All center frequencies, ascending, as a float array."""
+    def center_frequencies_hz(self) -> FrequencyVector:
+        """All center frequencies, ascending: ``(n_bands,)`` float64 Hz."""
         return np.array([b.center_hz for b in self.bands])
 
     @property

@@ -11,12 +11,17 @@ algorithms need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 import numpy as np
 
 from repro.wifi.bands import Band
 from repro.wifi.ofdm import INTEL5300_SUBCARRIERS_20MHZ, subcarrier_frequencies
+
+if TYPE_CHECKING:
+    # Type-only: a runtime import of repro.core here would cycle back
+    # through repro.core.__init__ -> pipeline -> wifi.radio -> this module.
+    from repro.core.typing import ComplexCSI, FloatVector, FrequencyVector
 
 
 @dataclass(frozen=True)
@@ -32,7 +37,7 @@ class BandCsi:
     """
 
     band: Band
-    csi: np.ndarray
+    csi: ComplexCSI
     subcarriers: tuple[int, ...] = INTEL5300_SUBCARRIERS_20MHZ
     timestamp_s: float = 0.0
 
@@ -45,20 +50,24 @@ class BandCsi:
                 f"CSI has {len(csi)} entries but {len(self.subcarriers)} "
                 "subcarrier indices"
             )
-        object.__setattr__(self, "csi", csi.astype(complex))
+        # Pin the dtype at the measurement boundary: downstream NDFT /
+        # reciprocity math assumes complex128, and a complex64 sweep
+        # (e.g. parsed from a packed capture) would silently halve the
+        # phase precision of every profile computed from it.
+        object.__setattr__(self, "csi", csi.astype(np.complex128))
 
     @property
-    def frequencies_hz(self) -> np.ndarray:
+    def frequencies_hz(self) -> FrequencyVector:
         """Absolute RF frequency of each CSI entry."""
         return subcarrier_frequencies(self.band.center_hz, self.subcarriers)
 
     @property
-    def magnitudes(self) -> np.ndarray:
+    def magnitudes(self) -> FloatVector:
         """Per-subcarrier CSI magnitude."""
         return np.abs(self.csi)
 
     @property
-    def phases(self) -> np.ndarray:
+    def phases(self) -> FloatVector:
         """Per-subcarrier CSI phase, wrapped to (-pi, pi]."""
         return np.angle(self.csi)
 
@@ -130,7 +139,7 @@ class CsiSweep:
         return tuple(seen[c] for c in sorted(seen))
 
     @property
-    def center_frequencies_hz(self) -> np.ndarray:
+    def center_frequencies_hz(self) -> FrequencyVector:
         """Center frequency of every unique band in the sweep."""
         return np.array([b.center_hz for b in self.bands])
 
@@ -141,7 +150,7 @@ class CsiSweep:
             groups.setdefault(m.band.center_hz, []).append(m)
         return {c: groups[c] for c in sorted(groups)}
 
-    def subset(self, predicate) -> "CsiSweep":
+    def subset(self, predicate: Callable[[Band], bool]) -> "CsiSweep":
         """A sweep containing only measurements whose band satisfies
         ``predicate(band) -> bool``."""
         kept = [m for m in self._measurements if predicate(m.band)]

@@ -25,8 +25,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.typing import ComplexCSI
 
 
 @dataclass(frozen=True)
@@ -189,7 +193,7 @@ def chain_ripple_phase(seed: int, channel: int, sigma_rad: float) -> float:
     return float(rng.normal(0.0, sigma_rad))
 
 
-def apply_phase_quirk(csi: np.ndarray) -> np.ndarray:
+def apply_phase_quirk(csi: ComplexCSI) -> ComplexCSI:
     """Apply the Intel 5300 2.4 GHz firmware quirk: phase modulo π/2.
 
     Magnitude is preserved; the reported phase is the true phase wrapped

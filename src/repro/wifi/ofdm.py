@@ -13,7 +13,12 @@ so the interpolation code faces the same gaps as on real hardware.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.typing import FrequencyVector
 
 SUBCARRIER_SPACING_HZ = 312_500.0
 """802.11n subcarrier spacing: 20 MHz / 64."""
@@ -33,7 +38,7 @@ INTEL5300_SUBCARRIERS_20MHZ = (
 
 def subcarrier_frequencies(
     center_hz: float, indices: tuple[int, ...] = INTEL5300_SUBCARRIERS_20MHZ
-) -> np.ndarray:
+) -> FrequencyVector:
     """Absolute RF frequency of each subcarrier in a band.
 
     Args:
@@ -49,7 +54,7 @@ def subcarrier_frequencies(
     return center_hz + idx * SUBCARRIER_SPACING_HZ
 
 
-def baseband_offsets(indices: tuple[int, ...] = INTEL5300_SUBCARRIERS_20MHZ) -> np.ndarray:
+def baseband_offsets(indices: tuple[int, ...] = INTEL5300_SUBCARRIERS_20MHZ) -> FrequencyVector:
     """Baseband frequency offsets ``f_{i,k} - f_{i,0}`` of each subcarrier.
 
     These are the frequencies that packet-detection delay rotates CSI by

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,6 +33,7 @@ from repro.rf.paths import PathSet
 from repro.wifi.bands import Band, BandPlan, US_BAND_PLAN
 from repro.wifi.csi import BandCsi, CsiSweep, LinkCsi
 from repro.wifi.hardware import (
+    DetectionDelayModel,
     DeviceState,
     HardwareProfile,
     INTEL_5300,
@@ -42,6 +44,11 @@ from repro.wifi.ofdm import (
     baseband_offsets,
     subcarrier_frequencies,
 )
+
+if TYPE_CHECKING:
+    # Type-only: a runtime import of repro.core here would cycle back
+    # through repro.core.__init__ -> pipeline -> this module.
+    from repro.core.typing import ComplexCSI, FrequencyVector
 
 DEFAULT_TURNAROUND_MEAN_S = 25e-6
 """Mean packet→ACK turnaround (driver-injected ACKs, §11)."""
@@ -200,12 +207,12 @@ class SimulatedLink:
     def _measure_one(
         self,
         band: Band,
-        freqs: np.ndarray,
-        offsets: np.ndarray,
-        h_true: np.ndarray,
+        freqs: FrequencyVector,
+        offsets: FrequencyVector,
+        h_true: ComplexCSI,
         chain_delay_s: float,
         chain_ripple_rad: float,
-        delay_model,
+        delay_model: DetectionDelayModel,
         cfo_phase_rad: float,
         kappa: complex,
         timestamp_s: float,

@@ -1,4 +1,4 @@
-"""The repo-native static-analysis engine (REP001–REP005) and its CLI.
+"""The repo-native static-analysis engine (REP001–REP007) and its CLI.
 
 Every rule is pinned with at least one violating and one clean fixture
 snippet, suppression (``# noqa: REPxxx``) is honored, the CLI exit-code
@@ -322,6 +322,163 @@ class TestRep005DeprecatedApi:
         assert diags == []
 
 
+class TestRep006NdarrayContract:
+    def test_bare_param_and_return_flagged_in_core(self, tmp_path):
+        diags = _check_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def solve(channels: np.ndarray, alpha: float) -> np.ndarray:
+                return channels * alpha
+            """,
+            name="core/solver.py",
+            select=["REP006"],
+        )
+        assert _codes(diags) == ["REP006", "REP006"]
+        messages = " / ".join(d.message for d in diags)
+        assert "channels" in messages
+        assert "returns bare" in messages
+
+    def test_bare_ndarray_inside_union_flagged(self, tmp_path):
+        diags = _check_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def seed(prior: np.ndarray | None) -> None:
+                pass
+            """,
+            name="rf/seed.py",
+            select=["REP006"],
+        )
+        assert _codes(diags) == ["REP006"]
+
+    def test_string_annotation_flagged(self, tmp_path):
+        diags = _check_snippet(
+            tmp_path,
+            """
+            def solve(channels: "np.ndarray") -> None:
+                pass
+            """,
+            name="wifi/solver.py",
+            select=["REP006"],
+        )
+        assert _codes(diags) == ["REP006"]
+
+    def test_subscripted_alias_clean(self, tmp_path):
+        diags = _check_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            from numpy.typing import NDArray
+
+            ComplexCSI = NDArray[np.complex128]
+
+            def solve(channels: ComplexCSI) -> NDArray[np.float64]:
+                return abs(channels)
+            """,
+            name="core/solver.py",
+            select=["REP006"],
+        )
+        assert diags == []
+
+    def test_shaped_decorator_exempts(self, tmp_path):
+        diags = _check_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            from repro.analysis.contracts import shaped
+
+            @shaped("(n,) complex128")
+            def solve(channels: np.ndarray) -> np.ndarray:
+                return channels
+            """,
+            name="core/solver.py",
+            select=["REP006"],
+        )
+        assert diags == []
+
+    def test_private_functions_and_other_packages_exempt(self, tmp_path):
+        code = """
+            import numpy as np
+
+            def _helper(x: np.ndarray) -> np.ndarray:
+                return x
+            """
+        assert (
+            _check_snippet(
+                tmp_path, code, name="core/mod.py", select=["REP006"]
+            )
+            == []
+        )
+        public = """
+            import numpy as np
+
+            def render(x: np.ndarray) -> None:
+                pass
+            """
+        assert (
+            _check_snippet(
+                tmp_path, public, name="figures/plot.py", select=["REP006"]
+            )
+            == []
+        )
+
+
+class TestRep007UnusedNoqa:
+    def test_stale_suppression_flagged(self, tmp_path):
+        diags = _check_snippet(
+            tmp_path,
+            """
+            x = 1  # noqa: REP001
+            """,
+            select=["REP007"],
+        )
+        assert _codes(diags) == ["REP007"]
+        assert "REP001" in diags[0].message
+
+    def test_live_suppression_clean(self, tmp_path):
+        diags = _check_snippet(
+            tmp_path,
+            """
+            import time
+
+            async def flush():
+                time.sleep(0.01)  # noqa: REP001
+            """,
+            select=["REP007"],
+        )
+        assert diags == []
+
+    def test_select_narrowing_cannot_fake_staleness(self, tmp_path):
+        """REP007 re-runs all rules internally, ignoring --select."""
+        diags = _check_snippet(
+            tmp_path,
+            """
+            import time
+
+            async def flush():
+                time.sleep(0.01)  # noqa: REP001
+            x = 1  # noqa: REP002
+            """,
+            select=["REP007"],
+        )
+        assert _codes(diags) == ["REP007"]
+        assert "REP002" in diags[0].message
+
+    def test_foreign_codes_and_blanket_noqa_ignored(self, tmp_path):
+        diags = _check_snippet(
+            tmp_path,
+            """
+            pairs = list(zip([1], [2]))  # noqa: B905
+            x = 1  # noqa
+            """,
+            select=["REP007"],
+        )
+        assert diags == []
+
+
 class TestSuppression:
     def test_noqa_with_code_suppresses(self, tmp_path):
         diags = _check_snippet(
@@ -394,7 +551,7 @@ class TestEngine:
     def test_every_checker_registered_once(self):
         codes = [c.code for c in ALL_CHECKERS]
         assert codes == sorted(codes)
-        assert len(set(codes)) == len(codes) == 5
+        assert len(set(codes)) == len(codes) == 7
 
     def test_source_file_parse_indexes_comments_not_strings(self, tmp_path):
         path = tmp_path / "s.py"
@@ -435,7 +592,15 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert cli_main(["check", "--list-rules", "."]) == 0
         out = capsys.readouterr().out
-        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+        for code in (
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP005",
+            "REP006",
+            "REP007",
+        ):
             assert code in out
 
     def test_module_entry_point(self, tmp_path):

@@ -1,0 +1,249 @@
+"""The ``@shaped`` runtime ndarray-contract checker and its spec DSL.
+
+Pins the grammar (:func:`parse_spec`), every violation class (wrong
+type, rank, dtype, fixed dim, symbolic cross-argument disagreement),
+the ``None``-skip rules for optional arrays, the decoration-time
+enabled gate (disabled mode must return the original function object),
+and signature preservation — the properties the numeric core's
+kernels rely on when the test suite runs with
+``REPRO_CHECK_CONTRACTS=1``.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import (
+    ContractError,
+    ShapeSpec,
+    SpecError,
+    contracts_enabled,
+    parse_spec,
+    shaped,
+)
+
+
+class TestParseSpec:
+    def test_dims_names_and_dtype(self):
+        spec = parse_spec("(n_links, n_freqs) complex128")
+        assert spec.dims == ("n_links", "n_freqs")
+        assert spec.dtype == np.dtype(np.complex128)
+        assert spec.rank == 2
+
+    def test_integer_and_wildcard_dims(self):
+        spec = parse_spec("(_, 3, n)")
+        assert spec.dims == (None, 3, "n")
+        assert spec.dtype is None
+
+    def test_trailing_comma_vector(self):
+        assert parse_spec("(n_freqs,) float64").dims == ("n_freqs",)
+
+    def test_rank_zero_scalar(self):
+        spec = parse_spec("() float64")
+        assert spec.dims == ()
+        assert spec.rank == 0
+
+    def test_whitespace_tolerated(self):
+        spec = parse_spec("  ( n , _ )  bool ")
+        assert spec.dims == ("n", None)
+        assert spec.dtype == np.dtype(np.bool_)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "n_links, n_freqs",  # missing parens
+            "(n_links",  # unclosed
+            "(n, 2x)",  # bad token
+            "(n,,m)",  # empty dim
+            "(n) float64 extra",  # trailing junk
+        ],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(SpecError):
+            parse_spec(bad)
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(SpecError, match="complex96"):
+            parse_spec("(n,) complex96")
+
+    def test_spec_error_is_value_error(self):
+        assert issubclass(SpecError, ValueError)
+
+    def test_returns_frozen_dataclass(self):
+        spec = parse_spec("(n,)")
+        assert isinstance(spec, ShapeSpec)
+        with pytest.raises(AttributeError):
+            spec.rank = 5  # type: ignore[misc]
+
+
+class TestShapedEnforcement:
+    """All enforcement tests force checking on via ``enabled=True`` so
+    they are independent of the process-wide environment flag."""
+
+    def _solver(self):
+        @shaped(
+            "(n_links, n_freqs) complex128",
+            "(n_freqs,) float64",
+            ret="(n_links,) float64",
+            enabled=True,
+        )
+        def solve(channels, freqs, scale=1.0):
+            return np.zeros(channels.shape[0]) * scale
+
+        return solve
+
+    def test_conforming_call_passes_through(self):
+        solve = self._solver()
+        h = np.zeros((3, 8), dtype=np.complex128)
+        f = np.zeros(8, dtype=np.float64)
+        assert solve(h, f).shape == (3,)
+
+    def test_non_ndarray_rejected(self):
+        solve = self._solver()
+        with pytest.raises(ContractError, match="must be an ndarray"):
+            solve([[1.0]], np.zeros(1))
+
+    def test_wrong_rank_rejected(self):
+        solve = self._solver()
+        with pytest.raises(ContractError, match="rank 2"):
+            solve(np.zeros(8, dtype=np.complex128), np.zeros(8))
+
+    def test_wrong_dtype_rejected(self):
+        solve = self._solver()
+        err = "dtype complex128.*got complex64"
+        with pytest.raises(ContractError, match=err):
+            solve(np.zeros((3, 8), dtype=np.complex64), np.zeros(8))
+
+    def test_cross_argument_dim_disagreement(self):
+        solve = self._solver()
+        h = np.zeros((3, 8), dtype=np.complex128)
+        f = np.zeros(9, dtype=np.float64)  # n_freqs: 8 vs 9
+        with pytest.raises(ContractError) as excinfo:
+            solve(h, f)
+        message = str(excinfo.value)
+        assert "n_freqs" in message
+        assert "argument 'channels'" in message  # where it was bound
+
+    def test_return_value_checked_against_bindings(self):
+        @shaped("(n,) float64", ret="(n,) float64", enabled=True)
+        def off_by_one(x):
+            return np.zeros(x.shape[0] + 1)
+
+        with pytest.raises(ContractError, match="return value"):
+            off_by_one(np.zeros(4))
+
+    def test_fixed_integer_dim(self):
+        @shaped("(m, 2) float64", enabled=True)
+        def planar(xy):
+            return xy
+
+        planar(np.zeros((5, 2)))
+        with pytest.raises(ContractError, match="axis 1 must have size 2"):
+            planar(np.zeros((5, 3)))
+
+    def test_wildcard_dim_matches_any_size(self):
+        @shaped("(_, n)", enabled=True)
+        def stack(x):
+            return x
+
+        stack(np.zeros((1, 7)))
+        stack(np.zeros((99, 7)))
+
+    def test_none_spec_skips_parameter(self):
+        @shaped(None, "(n,) float64", enabled=True)
+        def mixed(anything, vec):
+            return anything
+
+        assert mixed("not an array", np.zeros(3)) == "not an array"
+
+    def test_none_value_skips_optional_array(self):
+        @shaped("(n,) float64", "(n,) float64", enabled=True)
+        def seeded(x, prior=None):
+            return x
+
+        seeded(np.zeros(3))  # prior omitted: unchecked
+        seeded(np.zeros(3), prior=np.zeros(3))
+        with pytest.raises(ContractError):
+            seeded(np.zeros(3), prior=np.zeros(4))
+
+    def test_keyword_calls_checked_too(self):
+        solve = self._solver()
+        with pytest.raises(ContractError):
+            solve(
+                freqs=np.zeros(8),
+                channels=np.zeros((3, 8), dtype=np.complex64),
+            )
+
+    def test_self_is_skipped_on_methods(self):
+        class Engine:
+            @shaped("(n,) float64", enabled=True)
+            def run(self, x):
+                return x.sum()
+
+        assert Engine().run(np.zeros(4)) == 0.0
+        with pytest.raises(ContractError):
+            Engine().run(np.zeros((2, 2)))
+
+    def test_too_many_specs_fails_at_decoration(self):
+        with pytest.raises(SpecError, match="2 shape specs for 1"):
+
+            @shaped("(n,)", "(m,)", enabled=True)
+            def one(x):
+                return x
+
+    def test_bad_spec_fails_at_import_even_when_disabled(self):
+        with pytest.raises(SpecError):
+
+            @shaped("(n", enabled=False)
+            def broken(x):
+                return x
+
+    def test_contract_error_is_type_error(self):
+        assert issubclass(ContractError, TypeError)
+
+
+class TestDecorationGate:
+    def test_disabled_mode_returns_original_function(self):
+        def raw(x):
+            return x
+
+        decorated = shaped("(n,) float64", enabled=False)(raw)
+        assert decorated is raw  # no wrapper frame on the call path
+        assert decorated.__shape_contract__["args"][0].dims == ("n",)
+        # And nothing is checked:
+        assert decorated("not an array") == "not an array"
+
+    def test_enabled_mode_wraps_and_preserves_signature(self):
+        @shaped("(n,) float64", ret="(n,) float64", enabled=True)
+        def solve(x, scale=2.0):
+            """Doubles."""
+            return x * scale
+
+        assert solve.__name__ == "solve"
+        assert solve.__doc__ == "Doubles."
+        assert list(inspect.signature(solve).parameters) == ["x", "scale"]
+        assert solve.__shape_contract__["ret"].dims == ("n",)
+
+    def test_env_flag_drives_default(self, monkeypatch):
+        def probe():
+            @shaped("(n,)")
+            def f(x):
+                return x
+
+            return f
+
+        monkeypatch.setenv("REPRO_CHECK_CONTRACTS", "1")
+        assert contracts_enabled()
+        with pytest.raises(ContractError):
+            probe()("not an array")
+
+        monkeypatch.setenv("REPRO_CHECK_CONTRACTS", "0")
+        assert not contracts_enabled()
+        assert probe()("not an array") == "not an array"
+
+    def test_suite_runs_with_contracts_on(self):
+        """conftest.py exports REPRO_CHECK_CONTRACTS=1 for the suite."""
+        assert contracts_enabled()

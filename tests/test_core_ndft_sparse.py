@@ -61,6 +61,18 @@ class TestNdftMatrix:
         assert F.shape == (len(FREQS_5G), len(taus))
         assert np.allclose(np.abs(F), 1.0)
 
+    def test_float32_inputs_still_yield_complex128(self):
+        """Regression: float32 frequencies/taus must not leak a
+        complex64 Fourier matrix — at 5 GHz carriers a float32 phase
+        argument loses the sub-nanosecond delay resolution the whole
+        pipeline is built for."""
+        taus = tau_grid(50e-9, 1e-9)
+        F = ndft_matrix(
+            FREQS_5G.astype(np.float32), taus.astype(np.float32)
+        )
+        assert F.dtype == np.complex128
+        assert np.allclose(np.abs(F), 1.0)
+
     def test_forward_matches_channel_model(self):
         taus = np.array([0.0, 10e-9, 20e-9])
         profile = np.array([0.0, 1.0, 0.5], dtype=complex)

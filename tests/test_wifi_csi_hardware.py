@@ -39,6 +39,20 @@ class TestBandCsi:
         assert np.allclose(bc.magnitudes, 2.0)
         assert np.allclose(bc.phases, 0.5)
 
+    def test_complex64_csi_promoted_to_complex128(self):
+        """Regression: a packed-capture complex64 sweep used to flow
+        through unchanged, silently halving the phase precision of
+        every NDFT/reciprocity product downstream.  The measurement
+        boundary now pins complex128."""
+        narrow = np.full(30, 1.0 + 1.0j, dtype=np.complex64)
+        bc = BandCsi(band=BAND, csi=narrow)
+        assert bc.csi.dtype == np.complex128
+
+    def test_list_csi_coerced_to_complex128(self):
+        bc = BandCsi(band=BAND, csi=[1.0 + 0j] * 30)
+        assert isinstance(bc.csi, np.ndarray)
+        assert bc.csi.dtype == np.complex128
+
 
 class TestLinkCsi:
     def test_band_mismatch_rejected(self):
